@@ -1,0 +1,69 @@
+"""Ablation — bisection early-stop fraction (DESIGN.md decision 5).
+
+The partial-recomputation baseline stops its localization descent at 40 %
+of the complete traversal (the setting the paper adopts from [30]).
+Sweeping the fraction exposes the probe-cost / recompute-size trade-off:
+shallow stops recompute big ranges, deep stops pay many probes.
+"""
+
+import numpy as np
+from conftest import write_result
+
+from repro.analysis import format_table
+from repro.baselines import PartialRecomputationSpMV
+from repro.sparse import suite_matrix
+
+FRACTIONS = (0.2, 0.4, 0.6, 0.8, 1.0)
+TRIALS = 10
+
+
+def _campaign(matrix, fraction: float, seed: int) -> tuple[float, float]:
+    """Mean protected seconds and mean recomputed rows per correction."""
+    scheme = PartialRecomputationSpMV(matrix, early_stop_fraction=fraction)
+    rng = np.random.default_rng(seed)
+    seconds = []
+    rows = []
+    for _ in range(TRIALS):
+        b = rng.standard_normal(matrix.n_cols)
+        index = int(rng.integers(0, matrix.n_rows))
+        magnitude = 10.0 * float(np.linalg.norm(b))
+        state = {"armed": True}
+
+        def tamper(stage, data, work):
+            if stage == "result" and state["armed"]:
+                data[index] += magnitude
+                state["armed"] = False
+
+        result = scheme.multiply(b, tamper=tamper)
+        seconds.append(result.seconds)
+        rows.append(sum(stop - start for start, stop in result.corrections))
+    return float(np.mean(seconds)), float(np.mean(rows))
+
+
+def test_bisection_early_stop_ablation(benchmark, full_suite):
+    matrix = suite_matrix("msc10848")
+    rows_out = []
+    seconds_by_fraction = {}
+    for fraction in FRACTIONS:
+        seconds, rows = _campaign(matrix, fraction, seed=21)
+        seconds_by_fraction[fraction] = seconds
+        rows_out.append(
+            (f"{fraction:.0%}", f"{seconds * 1e6:.1f} us", f"{rows:.0f} rows")
+        )
+    table = format_table(
+        ("traversal depth", "mean protected time", "mean recomputed rows"),
+        rows_out,
+        title="Ablation — bisection early stop (msc10848 analogue)",
+    )
+    write_result("ablation_bisection", table)
+
+    # Deeper traversal always shrinks the recomputed range...
+    _, rows_shallow = _campaign(matrix, 0.2, seed=22)
+    _, rows_deep = _campaign(matrix, 1.0, seed=22)
+    assert rows_deep < rows_shallow
+    # ...but full traversal pays so many probes it is not the optimum.
+    assert min(seconds_by_fraction, key=seconds_by_fraction.get) < 1.0
+
+    benchmark.pedantic(
+        lambda: _campaign(matrix, 0.4, seed=23), rounds=1, iterations=1
+    )

@@ -1,0 +1,73 @@
+"""Ablation — block size under load (extension of the Figure 4 study).
+
+Figure 4 picks b_s = 32 from *detection* overhead alone.  Once errors
+actually arrive, larger blocks recompute more rows per correction, so the
+optimum drifts toward smaller blocks as the error frequency grows.  This
+bench sweeps block size × per-multiply error probability and reports the
+total (detection + correction) overhead.
+"""
+
+import numpy as np
+from conftest import write_result
+
+from repro.analysis import format_table
+from repro.core import FaultTolerantSpMV
+from repro.machine import ExecutionMeter
+from repro.sparse import suite_matrix
+
+BLOCK_SIZES = (8, 16, 32, 64, 128, 256)
+ERROR_PROBABILITIES = (0.0, 0.5, 1.0)
+MULTIPLIES = 24
+
+
+def _mean_overhead(matrix, block_size: int, probability: float, seed: int) -> float:
+    ft = FaultTolerantSpMV(matrix, block_size=block_size)
+    rng = np.random.default_rng(seed)
+    plain_meter = ExecutionMeter()
+    ft.plain_multiply(rng.standard_normal(matrix.n_cols), meter=plain_meter)
+    total = 0.0
+    for _ in range(MULTIPLIES):
+        b = rng.standard_normal(matrix.n_cols)
+        inject = rng.random() < probability
+        index = int(rng.integers(0, matrix.n_rows))
+        magnitude = 10.0 * float(np.linalg.norm(b))
+        state = {"armed": inject}
+
+        def tamper(stage, data, work):
+            if stage == "result" and state["armed"]:
+                data[index] += magnitude
+                state["armed"] = False
+
+        total += ft.multiply(b, tamper=tamper).seconds
+    return total / MULTIPLIES / plain_meter.seconds - 1.0
+
+
+def test_block_size_under_load(benchmark):
+    matrix = suite_matrix("msc10848")
+    rows = []
+    optima = {}
+    for probability in ERROR_PROBABILITIES:
+        overheads = [
+            _mean_overhead(matrix, bs, probability, seed=51) for bs in BLOCK_SIZES
+        ]
+        optima[probability] = BLOCK_SIZES[int(np.argmin(overheads))]
+        rows.append(
+            (f"p={probability:g}",)
+            + tuple(f"{o:.1%}" for o in overheads)
+        )
+    table = format_table(
+        ("error prob / multiply",) + tuple(str(bs) for bs in BLOCK_SIZES),
+        rows,
+        title="Ablation — total overhead by block size and error frequency (msc10848)",
+    )
+    write_result(
+        "ablation_blocksize_vs_rate",
+        f"{table}\noptimal block size per error probability: {optima}",
+    )
+
+    # The optimum never moves toward larger blocks as errors get frequent.
+    assert optima[1.0] <= optima[0.0]
+
+    benchmark.pedantic(
+        lambda: _mean_overhead(matrix, 32, 1.0, seed=52), rounds=1, iterations=1
+    )

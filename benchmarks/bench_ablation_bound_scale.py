@@ -1,0 +1,86 @@
+"""Ablation — bound tightness vs coverage (the Section III-C trade-off).
+
+"Error bounds that were chosen smaller than the actual rounding error lead
+to false positive error detections ... Too large bounds increase the
+number of undetected errors."  Sweeping a multiplicative scale on the
+paper's sparse bound maps that frontier: scale << 1 floods the campaign
+with false positives (and spurious corrections); scale >> 1 bleeds recall.
+"""
+
+import numpy as np
+from conftest import write_result
+
+from repro.analysis import ConfusionCounts, format_table
+from repro.core import AbftConfig, BlockAbftDetector
+from repro.faults import FaultInjector
+from repro.sparse import suite_matrix
+
+SCALES = (1e-4, 1e-2, 1.0, 1e2, 1e4, 1e8)
+TRIALS = 150
+SIGMA = 1e-12
+
+
+def _campaign_with_scale(matrix, scale: float, trials: int = TRIALS) -> ConfusionCounts:
+    """Coverage campaign against the sparse bound scaled by ``scale``."""
+    detector = BlockAbftDetector(matrix, AbftConfig(block_size=32, bound_scale=scale))
+    rng = np.random.default_rng(61)
+    injector = FaultInjector(rng=rng)
+    counts = ConfusionCounts()
+    for _ in range(trials):
+        b = rng.standard_normal(matrix.n_cols)
+        r = matrix.matvec(b)
+        clean = detector.detect(b, r)
+        counts.false_positives += int(clean.flagged.size)
+        if clean.clean:
+            counts.true_negatives += 1
+        record = injector.corrupt_random_element(r, sigma=SIGMA)
+        report = detector.detect(b, r)
+        target = record.index // 32
+        flagged = set(int(x) for x in report.flagged)
+        if target in flagged:
+            counts.true_positives += 1
+        else:
+            counts.false_negatives += 1
+        counts.false_positives += len(flagged - {target})
+    return counts
+
+
+def test_bound_scale_frontier(benchmark):
+    matrix = suite_matrix("bcsstk13")
+    rows = []
+    stats = {}
+    for scale in SCALES:
+        counts = _campaign_with_scale(matrix, scale)
+        stats[scale] = counts
+        rows.append(
+            (
+                f"{scale:g}",
+                f"{counts.f1:.3f}",
+                f"{counts.recall:.3f}",
+                counts.false_positives,
+                counts.false_negatives,
+            )
+        )
+    table = format_table(
+        ("bound scale", "F1", "recall", "false positives", "false negatives"),
+        rows,
+        title=f"Ablation — bound tightness frontier (bcsstk13, sigma={SIGMA:g}, "
+        f"{TRIALS} trials)",
+    )
+    write_result("ablation_bound_scale", table)
+
+    # The derived bound (scale 1) is close to the F1 peak, with a visible
+    # safety margin: tightening by ~2 orders still gains recall before
+    # false positives appear — the worst-case analysis is conservative,
+    # which is exactly what the empirical-bound extension exploits.
+    best_scale = max(stats, key=lambda s: stats[s].f1)
+    assert best_scale <= 1.0
+    assert stats[1.0].f1 >= 0.9 * stats[best_scale].f1
+    # Tiny scales eventually explode false positives; huge scales explode
+    # misses.
+    assert stats[1e-4].false_positives > stats[1.0].false_positives
+    assert stats[1e8].false_negatives > stats[1.0].false_negatives
+
+    benchmark.pedantic(
+        lambda: _campaign_with_scale(matrix, 1.0, trials=30), rounds=1, iterations=1
+    )

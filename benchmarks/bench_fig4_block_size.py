@@ -1,0 +1,49 @@
+"""Figure 4 — SpMV detection overhead as a function of the block size.
+
+Paper result: average overhead 83.7 % at block size 1, falling to a
+minimum of 43.0 % at block size 32, rising again toward 512.  The sweep
+runs over all 25 suite matrices on the modeled machine; the timed unit is
+one full per-matrix block-size sweep.
+"""
+
+from conftest import write_result
+
+from repro.analysis import (
+    FIGURE4_BLOCK_SIZES,
+    column_curve,
+    render_block_size_sweep,
+    sweep_block_sizes,
+)
+
+
+def test_fig4_block_size_sweep(benchmark, full_suite):
+    sweep = sweep_block_sizes(full_suite, block_sizes=FIGURE4_BLOCK_SIZES)
+    report = render_block_size_sweep(sweep)
+
+    averages = dict(zip(sweep.block_sizes, sweep.averages()))
+    paper_note = (
+        f"paper: 83.7% at b_s=1, minimum 43.0% at b_s=32 | "
+        f"measured: {averages[1]:.1%} at b_s=1, "
+        f"{averages[32]:.1%} at b_s=32"
+    )
+    curve = column_curve(
+        list(sweep.block_sizes),
+        list(sweep.averages()),
+        height=10,
+        title="average detection overhead by block size",
+        formatter=lambda v: f"{v:.1%}",
+    )
+    write_result("fig4_block_size", f"{report}\n\n{curve}\n\n{paper_note}")
+
+    # Shape assertions: a U with its floor in the paper's region.
+    assert sweep.best_block_size() in (16, 32, 64)
+    assert averages[1] > averages[32]
+    assert averages[512] > averages[32]
+    assert 0.5 < averages[1] < 1.3
+    assert 0.2 < averages[32] < 0.6
+
+    benchmark.pedantic(
+        lambda: sweep_block_sizes(full_suite[:4], block_sizes=FIGURE4_BLOCK_SIZES),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,105 @@
+"""Fault-tolerant PageRank (a graph application from the paper's Section III-E).
+
+PageRank's power iteration is one SpMV per step over a fixed link matrix,
+so the proposed block-ABFT scheme protects it directly — the checksum
+matrix is built once and amortizes across all iterations, the data-reuse
+situation the paper highlights.
+
+The demo builds a synthetic scale-free web graph with
+:func:`repro.apps.build_link_matrix`, runs :func:`repro.apps.pagerank`
+under a transient-error process, and compares the unprotected vs protected
+rankings against the fault-free reference.
+
+Run:  python examples/pagerank.py
+"""
+
+import numpy as np
+
+from repro.apps import build_link_matrix, pagerank
+from repro.faults import ErrorProcess, FaultInjector
+
+N_PAGES = 2000
+ERROR_RATE = 2e-5  # per arithmetic operation
+
+
+def build_edges(n: int, seed: int) -> np.ndarray:
+    """Preferential-attachment edge list (popular pages attract links)."""
+    rng = np.random.default_rng(seed)
+    edges = []
+    for page in range(1, n):
+        n_links = 1 + int(rng.integers(0, 8))
+        picks = (rng.random(n_links) ** 2 * page).astype(np.int64)
+        edges.extend((page, int(target)) for target in np.unique(picks))
+    return np.asarray(edges, dtype=np.int64)
+
+
+def make_tamper(seed: int):
+    """Error process corrupting SpMV results (and detection operations)."""
+    injector = FaultInjector.seeded(seed)
+    process = ErrorProcess(ERROR_RATE, injector.rng)
+
+    def tamper(stage, data, work):
+        for _ in range(process.events_in(work)):
+            if data.size:
+                injector.corrupt_random_element(data, target=stage)
+
+    return tamper, injector
+
+
+def top_pages(ranks: np.ndarray, count: int = 10) -> list[int]:
+    return [int(page) for page in np.argsort(ranks)[::-1][:count]]
+
+
+def main() -> None:
+    link = build_link_matrix(build_edges(N_PAGES, seed=3), N_PAGES)
+    print(f"web graph: {N_PAGES} pages, {link.nnz} links")
+
+    reference, _ = pagerank(link, protected=False)
+    tamper, injector = make_tamper(seed=1)
+    unprotected, _ = pagerank(link, protected=False, tamper=tamper)
+    unprotected_hits = len(injector.log)
+    tamper, injector = make_tamper(seed=1)
+    protected, diagnostics = pagerank(link, protected=True, tamper=tamper)
+
+    print(f"\nreference top-10 pages:  {top_pages(reference)}")
+    print(f"unprotected top-10:      {top_pages(unprotected)}  ({unprotected_hits} errors hit)")
+    print(
+        f"ABFT-protected top-10:   {top_pages(protected)}  "
+        f"({len(injector.log)} errors hit, {diagnostics.detections} multiplies flagged)"
+    )
+    print(f"\nL1 rank error, unprotected: {np.abs(unprotected - reference).sum():.3e}")
+    print(f"L1 rank error, protected:   {np.abs(protected - reference).sum():.3e}")
+    overlap = len(set(top_pages(reference)) & set(top_pages(protected)))
+    print(f"protected top-10 overlap with reference: {overlap}/10")
+    print(
+        "\nnote: power iteration self-heals small mid-run perturbations, so the"
+        "\nunprotected error above stays modest — the danger is an error near"
+        "\nconvergence or one that blows up the iterate.  Worst case:"
+    )
+
+    # --- worst case: a severe burst near the final iteration -----------
+    def late_strike(stage, data, work):
+        if stage != "result":
+            return
+        late_strike.iteration += 1
+        if late_strike.iteration == 55:  # two iterations before the budget
+            data[: len(data) // 2] = 0.0  # half the spread vector lost
+
+    # A tight iteration budget leaves no room to re-converge after the hit.
+    late_strike.iteration = 0
+    broken, _ = pagerank(
+        link, protected=False, tamper=late_strike, tol=1e-14, max_iterations=57
+    )
+    late_strike.iteration = 0
+    saved, diag = pagerank(
+        link, protected=True, tamper=late_strike, tol=1e-14, max_iterations=57
+    )
+    print(f"unprotected after late strike: L1 error {np.abs(broken - reference).sum():.3e}")
+    print(
+        f"protected after late strike:   L1 error {np.abs(saved - reference).sum():.3e} "
+        f"({diag.detections} multiplies flagged and repaired)"
+    )
+
+
+if __name__ == "__main__":
+    main()

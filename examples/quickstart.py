@@ -1,0 +1,67 @@
+"""Quickstart: protect a sparse matrix-vector multiplication with block ABFT.
+
+Runs the proposed fault-tolerant SpMV on one of the paper's benchmark
+matrices, injects a transient error into the result, and shows that the
+scheme detects it, localizes it to a 32-row block, and repairs it by
+recomputing only that block.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import FaultTolerantSpMV, suite_matrix
+from repro.faults import FaultInjector
+from repro.machine import ExecutionMeter
+
+
+def main() -> None:
+    # One of the 25 Table I matrices (synthetic analogue, same N and NNZ).
+    matrix = suite_matrix("bcsstk13")
+    print(f"matrix: bcsstk13 analogue, shape={matrix.shape}, nnz={matrix.nnz}")
+
+    ft = FaultTolerantSpMV(matrix, block_size=32)
+    checksum = ft.detector.checksum
+    print(
+        f"checksum matrix C: {checksum.matrix.shape[0]} blocks, "
+        f"nnz(C)/nnz(A) = {checksum.sparsity_gain:.2f}"
+    )
+
+    rng = np.random.default_rng(7)
+    b = rng.standard_normal(matrix.n_cols)
+    reference = matrix.matvec(b)
+
+    # --- fault-free multiply -------------------------------------------
+    clean = ft.multiply(b)
+    assert clean.clean and np.array_equal(clean.value, reference)
+    meter = ExecutionMeter()
+    ft.plain_multiply(b, meter=meter)
+    print(
+        f"fault-free: no blocks flagged; detection overhead "
+        f"{clean.seconds / meter.seconds - 1:.1%} (simulated K80 model)"
+    )
+
+    # --- multiply with an injected transient error ----------------------
+    injector = FaultInjector.seeded(42)
+    state = {"hit": None}
+
+    def inject_once(stage: str, data: np.ndarray, work: float) -> None:
+        if stage == "result" and state["hit"] is None:
+            record = injector.corrupt_random_element(data, sigma=1e-10)
+            state["hit"] = record
+            print(
+                f"injected burst at result[{record.index}]: "
+                f"{record.original:.6g} -> {record.corrupted:.6g} "
+                f"(bits {record.burst.position}..{record.burst.position + record.burst.width - 1})"
+            )
+
+    protected = ft.multiply(b, tamper=inject_once)
+    hit_block = state["hit"].index // 32
+    print(f"detected blocks: {protected.detected[0]} (error was in block {hit_block})")
+    print(f"corrected blocks: {protected.corrected_blocks} in {protected.rounds} round(s)")
+    assert np.array_equal(protected.value, reference), "correction must be exact"
+    print("result verified: bit-identical to the fault-free product")
+
+
+if __name__ == "__main__":
+    main()

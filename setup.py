@@ -1,0 +1,10 @@
+"""Setup shim so editable installs work offline with setuptools 65 (no wheel).
+
+``pip install -e . --no-build-isolation`` on this toolchain requires the
+``wheel`` package for PEP 660 builds; falling back to the legacy setup.py
+path avoids that dependency.  All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

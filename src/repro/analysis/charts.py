@@ -1,0 +1,140 @@
+"""ASCII chart rendering for figure data (no plotting dependencies).
+
+The paper's figures are bar/line charts; in a terminal-only environment
+these renderers give the benches an actual visual, next to the numeric
+tables: horizontal bars for per-matrix comparisons (Figures 5-6), grouped
+bars for multi-series data, and a column curve for sweeps (Figure 4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.errors import ConfigurationError
+
+#: Eighth-block characters for sub-character bar resolution.
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def _bar(value: float, peak: float, width: int) -> str:
+    """A horizontal bar of ``value/peak`` scaled to ``width`` cells."""
+    if peak <= 0:
+        return ""
+    cells = max(0.0, value / peak) * width
+    full = int(cells)
+    remainder = int((cells - full) * 8)
+    bar = "█" * full
+    if remainder and full < width:
+        bar += _BLOCKS[remainder]
+    return bar
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    title: str | None = None,
+    formatter=lambda v: f"{v:.3g}",
+) -> str:
+    """Horizontal bar chart, one row per label.
+
+    Args:
+        labels: row names.
+        values: one non-negative value per label.
+        width: bar area width in characters.
+        title: optional heading line.
+        formatter: value-to-string for the right-hand annotation.
+    """
+    if len(labels) != len(values):
+        raise ConfigurationError(
+            f"labels/values length mismatch: {len(labels)} vs {len(values)}"
+        )
+    if width < 5:
+        raise ConfigurationError(f"width must be >= 5, got {width}")
+    if not labels:
+        return title or "(empty chart)"
+    peak = max(max(values), 1e-300)
+    name_width = max(len(label) for label in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        lines.append(
+            f"{label:<{name_width}s} {_bar(value, peak, width):<{width}s} "
+            f"{formatter(value)}"
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    labels: Sequence[str],
+    series: Dict[str, Sequence[float]],
+    width: int = 40,
+    title: str | None = None,
+    formatter=lambda v: f"{v:.3g}",
+) -> str:
+    """Grouped horizontal bars: per label, one bar per series."""
+    for name, values in series.items():
+        if len(values) != len(labels):
+            raise ConfigurationError(
+                f"series {name!r} has {len(values)} values for {len(labels)} labels"
+            )
+    if not labels or not series:
+        return title or "(empty chart)"
+    peak = max(max(values) for values in series.values())
+    peak = max(peak, 1e-300)
+    name_width = max(
+        [len(label) for label in labels] + [len(name) + 2 for name in series]
+    )
+    lines = [title] if title else []
+    for index, label in enumerate(labels):
+        lines.append(f"{label}:")
+        for name, values in series.items():
+            value = values[index]
+            lines.append(
+                f"  {name:<{name_width}s} {_bar(value, peak, width):<{width}s} "
+                f"{formatter(value)}"
+            )
+    return "\n".join(lines)
+
+
+def column_curve(
+    xs: Sequence[object],
+    ys: Sequence[float],
+    height: int = 10,
+    title: str | None = None,
+    formatter=lambda v: f"{v:.3g}",
+) -> str:
+    """Vertical column chart (one column per x) — the Figure 4 sweep shape.
+
+    Columns scale to the maximum y; the minimum column is marked with ``▼``
+    above it so the sweep's optimum is visible at a glance.
+    """
+    if len(xs) != len(ys):
+        raise ConfigurationError(f"xs/ys length mismatch: {len(xs)} vs {len(ys)}")
+    if height < 2:
+        raise ConfigurationError(f"height must be >= 2, got {height}")
+    if not xs:
+        return title or "(empty chart)"
+    peak = max(max(ys), 1e-300)
+    col_width = max(len(str(x)) for x in xs) + 1
+    levels = [max(0.0, y / peak) * height for y in ys]
+    best = min(range(len(ys)), key=ys.__getitem__)
+    lines = [title] if title else []
+    marker_row = "".join(
+        ("▼" if i == best else " ").center(col_width) for i in range(len(xs))
+    )
+    lines.append(marker_row)
+    for row in range(height, 0, -1):
+        cells = []
+        for level in levels:
+            if level >= row:
+                cells.append("█".center(col_width))
+            elif level >= row - 0.5:
+                cells.append("▄".center(col_width))
+            else:
+                cells.append(" ".center(col_width))
+        lines.append("".join(cells))
+    lines.append("".join(str(x).center(col_width) for x in xs))
+    lines.append(
+        f"min {formatter(min(ys))} at {xs[best]}; max {formatter(max(ys))}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,101 @@
+"""Evaluation metrics: F1 coverage score, runtime overhead, success rate."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class ConfusionCounts:
+    """Detection-outcome tallies of an injection campaign.
+
+    The paper's coverage metric (Section V-B) is the balanced F1 score::
+
+        F1 = 2 TP / (2 TP + FN + FP)
+
+    where TP are successfully detected errors, FN undetected errors, and FP
+    mistakenly flagged error-free outputs.
+    """
+
+    true_positives: int = 0
+    false_negatives: int = 0
+    false_positives: int = 0
+    true_negatives: int = 0
+
+    def merge(self, other: "ConfusionCounts") -> "ConfusionCounts":
+        """Combine two tallies (e.g. across matrices or seeds)."""
+        return ConfusionCounts(
+            self.true_positives + other.true_positives,
+            self.false_negatives + other.false_negatives,
+            self.false_positives + other.false_positives,
+            self.true_negatives + other.true_negatives,
+        )
+
+    @property
+    def trials(self) -> int:
+        return (
+            self.true_positives
+            + self.false_negatives
+            + self.false_positives
+            + self.true_negatives
+        )
+
+    @property
+    def f1(self) -> float:
+        """Balanced F1 score (0 when the tally is empty)."""
+        denominator = 2 * self.true_positives + self.false_negatives + self.false_positives
+        if denominator == 0:
+            return 0.0
+        return 2 * self.true_positives / denominator
+
+    @property
+    def precision(self) -> float:
+        detected = self.true_positives + self.false_positives
+        return self.true_positives / detected if detected else 0.0
+
+    @property
+    def recall(self) -> float:
+        actual = self.true_positives + self.false_negatives
+        return self.true_positives / actual if actual else 0.0
+
+
+def runtime_overhead(protected_seconds: float, plain_seconds: float) -> float:
+    """The paper's overhead metric: ``protected / plain - 1``."""
+    if plain_seconds <= 0:
+        raise ConfigurationError(
+            f"baseline runtime must be positive, got {plain_seconds}"
+        )
+    return protected_seconds / plain_seconds - 1.0
+
+
+def mean(values: Sequence[float] | Iterable[float]) -> float:
+    """Arithmetic mean (errors on empty input rather than returning NaN)."""
+    values = list(values)
+    if not values:
+        raise ConfigurationError("cannot average an empty sequence")
+    return sum(values) / len(values)
+
+
+def success_rate(outcomes: Iterable[bool]) -> float:
+    """Fraction of True outcomes (the paper's PCG success metric)."""
+    outcomes = list(outcomes)
+    if not outcomes:
+        raise ConfigurationError("cannot compute a rate over zero runs")
+    return sum(outcomes) / len(outcomes)
+
+
+def relative_reduction(ours: float, baseline: float) -> float:
+    """``1 - ours/baseline`` — the paper's "reduced by X %" comparisons."""
+    if baseline == 0:
+        raise ConfigurationError("baseline must be non-zero")
+    return 1.0 - ours / baseline
+
+
+def improvement_factor(ours: float, baseline: float) -> float:
+    """``ours / baseline`` — the paper's "N times more" comparisons."""
+    if baseline == 0:
+        raise ConfigurationError("baseline must be non-zero")
+    return ours / baseline

@@ -1,0 +1,163 @@
+"""Structured persistence for experiment results (JSON on disk).
+
+The benchmark harness renders text tables; this module keeps the *data*:
+each record stores the experiment id, its parameters, the values, and a
+schema version, so longitudinal comparisons ("did the calibration change
+Figure 5?") diff machine-readably instead of by eyeball.
+
+Format: one JSON document per experiment, written atomically::
+
+    {
+      "schema": 1,
+      "experiment": "fig5",
+      "parameters": {...},
+      "values": {...}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict
+
+from repro.errors import ConfigurationError
+
+#: Bump when the on-disk layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ExperimentRecord:
+    """One persisted experiment result."""
+
+    experiment: str
+    parameters: Dict[str, Any]
+    values: Dict[str, Any]
+    schema: int = SCHEMA_VERSION
+
+    def to_json(self) -> str:
+        """Serialize deterministically (sorted keys, stable separators)."""
+        return json.dumps(
+            {
+                "schema": self.schema,
+                "experiment": self.experiment,
+                "parameters": self.parameters,
+                "values": self.values,
+            },
+            sort_keys=True,
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentRecord":
+        """Parse and validate a persisted record.
+
+        Raises:
+            ConfigurationError: on malformed documents or schema mismatch.
+        """
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"malformed experiment record: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ConfigurationError("experiment record must be a JSON object")
+        missing = {"schema", "experiment", "parameters", "values"} - set(payload)
+        if missing:
+            raise ConfigurationError(f"experiment record missing keys: {sorted(missing)}")
+        if payload["schema"] > SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"record schema {payload['schema']} is newer than supported "
+                f"{SCHEMA_VERSION}"
+            )
+        return cls(
+            experiment=str(payload["experiment"]),
+            parameters=dict(payload["parameters"]),
+            values=dict(payload["values"]),
+            schema=int(payload["schema"]),
+        )
+
+
+class ResultStore:
+    """Directory of experiment records, one file per experiment."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+
+    def _path_for(self, experiment: str) -> Path:
+        if not experiment or "/" in experiment or experiment.startswith("."):
+            raise ConfigurationError(f"invalid experiment name {experiment!r}")
+        return self.directory / f"{experiment}.json"
+
+    def save(
+        self,
+        experiment: str,
+        values: Dict[str, Any],
+        parameters: Dict[str, Any] | None = None,
+    ) -> ExperimentRecord:
+        """Persist a record atomically (write-to-temp + rename)."""
+        record = ExperimentRecord(
+            experiment=experiment,
+            parameters=parameters or {},
+            values=values,
+        )
+        self.directory.mkdir(parents=True, exist_ok=True)
+        target = self._path_for(experiment)
+        handle, temp_path = tempfile.mkstemp(
+            dir=self.directory, prefix=f".{experiment}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "w") as stream:
+                stream.write(record.to_json())
+                stream.write("\n")
+            os.replace(temp_path, target)
+        except BaseException:
+            if os.path.exists(temp_path):
+                os.unlink(temp_path)
+            raise
+        return record
+
+    def load(self, experiment: str) -> ExperimentRecord:
+        """Load one record.
+
+        Raises:
+            ConfigurationError: if the record does not exist or is invalid.
+        """
+        target = self._path_for(experiment)
+        if not target.exists():
+            raise ConfigurationError(f"no persisted record for {experiment!r}")
+        return ExperimentRecord.from_json(target.read_text())
+
+    def list_experiments(self) -> list[str]:
+        """Names of all persisted experiments, sorted."""
+        if not self.directory.exists():
+            return []
+        return sorted(path.stem for path in self.directory.glob("*.json"))
+
+    def compare(
+        self, experiment: str, fresh_values: Dict[str, Any], rel_tol: float = 0.05
+    ) -> Dict[str, tuple]:
+        """Diff freshly computed values against the stored record.
+
+        Returns a map ``key -> (stored, fresh)`` for every numeric value
+        that moved by more than ``rel_tol`` (relative), plus any keys that
+        appear on only one side.
+        """
+        stored = self.load(experiment).values
+        drifted: Dict[str, tuple] = {}
+        for key in set(stored) | set(fresh_values):
+            old = stored.get(key)
+            new = fresh_values.get(key)
+            if old is None or new is None:
+                drifted[key] = (old, new)
+                continue
+            if isinstance(old, (int, float)) and isinstance(new, (int, float)):
+                scale = max(abs(old), abs(new), 1e-300)
+                if abs(old - new) / scale > rel_tol:
+                    drifted[key] = (old, new)
+            elif old != new:
+                drifted[key] = (old, new)
+        return drifted

@@ -1,0 +1,124 @@
+"""Statistical helpers for campaign results.
+
+The paper reports point estimates over 100 000 trials; our campaigns run
+hundreds, so interval estimates matter.  Provided here:
+
+* :func:`wilson_interval` — binomial confidence interval for success/
+  detection rates (robust at the 0 %/100 % edges where the normal
+  approximation fails);
+* :func:`bootstrap_mean_interval` — non-parametric CI for mean overheads;
+* :func:`summarize` — five-number summary of a sample.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Two-sided z-scores for common confidence levels.
+_Z_SCORES = {0.90: 1.6448536269514722, 0.95: 1.959963984540054, 0.99: 2.5758293035489004}
+
+
+def _z_for(confidence: float) -> float:
+    try:
+        return _Z_SCORES[confidence]
+    except KeyError:
+        known = ", ".join(f"{c:g}" for c in sorted(_Z_SCORES))
+        raise ConfigurationError(
+            f"unsupported confidence level {confidence}; supported: {known}"
+        ) from None
+
+
+def wilson_interval(
+    successes: int, trials: int, confidence: float = 0.95
+) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Args:
+        successes: number of positive outcomes (0 <= successes <= trials).
+        trials: number of trials (> 0).
+        confidence: one of 0.90, 0.95, 0.99.
+
+    Returns:
+        ``(low, high)`` bounds on the true proportion.
+    """
+    if trials <= 0:
+        raise ConfigurationError(f"trials must be positive, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ConfigurationError(
+            f"successes must be in [0, trials={trials}], got {successes}"
+        )
+    z = _z_for(confidence)
+    p = successes / trials
+    denom = 1.0 + z * z / trials
+    centre = (p + z * z / (2 * trials)) / denom
+    margin = (
+        z * math.sqrt(p * (1.0 - p) / trials + z * z / (4.0 * trials * trials)) / denom
+    )
+    return max(0.0, centre - margin), min(1.0, centre + margin)
+
+
+def bootstrap_mean_interval(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 0,
+) -> Tuple[float, float]:
+    """Percentile-bootstrap confidence interval for the mean.
+
+    Args:
+        values: the sample (non-empty).
+        confidence: interval mass (any value in (0, 1)).
+        resamples: bootstrap resamples.
+        seed: RNG seed for reproducibility.
+    """
+    values = np.asarray(list(values), dtype=np.float64)
+    if values.size == 0:
+        raise ConfigurationError("cannot bootstrap an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError(f"confidence must be in (0, 1), got {confidence}")
+    if resamples < 1:
+        raise ConfigurationError(f"resamples must be >= 1, got {resamples}")
+    rng = np.random.default_rng(seed)
+    indices = rng.integers(0, values.size, size=(resamples, values.size))
+    means = values[indices].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(means, [alpha, 1.0 - alpha])
+    return float(low), float(high)
+
+
+@dataclass(frozen=True)
+class SampleSummary:
+    """Five-number summary plus mean and standard deviation."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    q25: float
+    median: float
+    q75: float
+    maximum: float
+
+
+def summarize(values: Iterable[float]) -> SampleSummary:
+    """Summary statistics of a non-empty sample."""
+    values = np.asarray(list(values), dtype=np.float64)
+    if values.size == 0:
+        raise ConfigurationError("cannot summarize an empty sample")
+    q25, median, q75 = np.quantile(values, [0.25, 0.5, 0.75])
+    return SampleSummary(
+        count=int(values.size),
+        mean=float(values.mean()),
+        std=float(values.std(ddof=1)) if values.size > 1 else 0.0,
+        minimum=float(values.min()),
+        q25=float(q25),
+        median=float(median),
+        q75=float(q75),
+        maximum=float(values.max()),
+    )

@@ -1,0 +1,210 @@
+"""Protected power iteration and PageRank (paper Section III-E).
+
+The paper names "graph-based applications such as PageRank and Random Walk
+with Restart" as direct beneficiaries: their inner loop is one SpMV per
+step over a *fixed* matrix, so the checksum matrix is built once and
+amortizes perfectly.  This module provides both the generic dominant-
+eigenvector power iteration and PageRank on top of it, each with optional
+block-ABFT protection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.corrector import TamperHook
+from repro.core.protected import FaultTolerantSpMV, plain_spmv
+from repro.errors import ConfigurationError, ShapeMismatchError
+from repro.machine import ExecutionMeter, Machine
+from repro.sparse.coo import CooMatrix
+from repro.sparse.csr import CsrMatrix
+
+
+@dataclass(frozen=True)
+class PowerIterationResult:
+    """Outcome of a (possibly protected) power iteration.
+
+    Attributes:
+        vector: final normalized iterate.
+        eigenvalue: Rayleigh-quotient estimate of the dominant eigenvalue.
+        iterations: steps performed.
+        converged: iterate movement fell below the tolerance.
+        detections: multiplies in which the ABFT check fired (0 when
+            running unprotected).
+        seconds / flops: simulated cost.
+    """
+
+    vector: np.ndarray
+    eigenvalue: float
+    iterations: int
+    converged: bool
+    detections: int
+    seconds: float
+    flops: float
+
+
+def power_iteration(
+    matrix: CsrMatrix,
+    tol: float = 1e-10,
+    max_iterations: int = 1000,
+    protected: bool = True,
+    block_size: int = 32,
+    seed: int = 0,
+    tamper: Optional[TamperHook] = None,
+    machine: Optional[Machine] = None,
+) -> PowerIterationResult:
+    """Dominant eigenpair of a square matrix by power iteration.
+
+    Args:
+        matrix: square matrix (SpMV per step).
+        tol: L2 movement threshold between normalized iterates.
+        max_iterations: step budget.
+        protected: protect each SpMV with block ABFT.
+        block_size: ABFT block size.
+        seed: seeds the random start vector.
+        tamper: optional fault hook (forwarded to every multiply).
+        machine: simulated device.
+
+    Raises:
+        ShapeMismatchError: for non-square matrices.
+        ConfigurationError: for non-positive tolerances/budgets.
+    """
+    if matrix.shape[0] != matrix.shape[1]:
+        raise ShapeMismatchError(f"need a square matrix, got {matrix.shape}")
+    if tol <= 0:
+        raise ConfigurationError(f"tol must be positive, got {tol}")
+    if max_iterations < 1:
+        raise ConfigurationError(f"max_iterations must be >= 1, got {max_iterations}")
+
+    machine = machine or Machine()
+    meter = ExecutionMeter(machine=machine)
+    operator = (
+        FaultTolerantSpMV(matrix, block_size=block_size, machine=machine)
+        if protected
+        else None
+    )
+    rng = np.random.default_rng(seed)
+    vector = rng.standard_normal(matrix.n_rows)
+    vector /= np.linalg.norm(vector)
+
+    detections = 0
+    converged = False
+    iterations = 0
+    next_vector = vector
+    for iterations in range(1, max_iterations + 1):
+        if operator is not None:
+            result = operator.multiply(vector, tamper=tamper, meter=meter)
+            detections += int(bool(result.detected[0]))
+            image = result.value
+        else:
+            image = plain_spmv(matrix, vector, meter=meter, tamper=tamper)
+        norm = float(np.linalg.norm(image))
+        if not np.isfinite(norm) or norm == 0.0:
+            break  # corrupted beyond repair or nilpotent direction
+        next_vector = image / norm
+        # Sign-align so symmetric spectra do not oscillate the test below.
+        if float(np.dot(next_vector, vector)) < 0:
+            next_vector = -next_vector
+        movement = float(np.linalg.norm(next_vector - vector))
+        vector = next_vector
+        if movement < tol:
+            converged = True
+            break
+
+    image = matrix.matvec(vector)
+    eigenvalue = float(np.dot(vector, image))
+    seconds, flops = meter.snapshot()
+    return PowerIterationResult(
+        vector=vector,
+        eigenvalue=eigenvalue,
+        iterations=iterations,
+        converged=converged,
+        detections=detections,
+        seconds=seconds,
+        flops=flops,
+    )
+
+
+def build_link_matrix(
+    edges: np.ndarray, n_pages: int
+) -> CsrMatrix:
+    """Column-stochastic link matrix from a ``(source, target)`` edge list.
+
+    Dangling pages (no outgoing links) keep an all-zero column; the
+    PageRank iteration redistributes their mass uniformly.
+    """
+    edges = np.asarray(edges, dtype=np.int64)
+    if edges.ndim != 2 or edges.shape[1] != 2:
+        raise ShapeMismatchError(f"edges must be (m, 2), got {edges.shape}")
+    if edges.size and (edges.min() < 0 or edges.max() >= n_pages):
+        raise ConfigurationError("edge endpoint out of range")
+    sources, targets = edges[:, 0], edges[:, 1]
+    out_degree = np.bincount(sources, minlength=n_pages).astype(np.float64)
+    safe_degree = np.where(out_degree == 0, 1.0, out_degree)
+    weights = 1.0 / safe_degree[sources]
+    return CooMatrix((n_pages, n_pages), targets, sources, weights).to_csr()
+
+
+def pagerank(
+    link_matrix: CsrMatrix,
+    damping: float = 0.85,
+    tol: float = 1e-10,
+    max_iterations: int = 200,
+    protected: bool = True,
+    block_size: int = 32,
+    tamper: Optional[TamperHook] = None,
+    machine: Optional[Machine] = None,
+) -> Tuple[np.ndarray, PowerIterationResult]:
+    """PageRank over a column-stochastic link matrix.
+
+    Returns ``(ranks, diagnostics)`` where ranks sum to 1.  Each step is
+    one (optionally protected) SpMV plus the damping/teleport update.
+    """
+    if not 0.0 < damping < 1.0:
+        raise ConfigurationError(f"damping must be in (0, 1), got {damping}")
+    if link_matrix.shape[0] != link_matrix.shape[1]:
+        raise ShapeMismatchError(f"need a square link matrix, got {link_matrix.shape}")
+    n = link_matrix.n_rows
+    machine = machine or Machine()
+    meter = ExecutionMeter(machine=machine)
+    operator = (
+        FaultTolerantSpMV(link_matrix, block_size=block_size, machine=machine)
+        if protected
+        else None
+    )
+    ranks = np.full(n, 1.0 / n)
+    detections = 0
+    converged = False
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        if operator is not None:
+            result = operator.multiply(ranks, tamper=tamper, meter=meter)
+            detections += int(bool(result.detected[0]))
+            spread = result.value
+        else:
+            spread = plain_spmv(link_matrix, ranks, meter=meter, tamper=tamper)
+        with np.errstate(invalid="ignore", over="ignore"):
+            fresh = damping * spread + (1.0 - damping * float(spread.sum())) / n
+            total = float(fresh.sum())
+        if not np.isfinite(total) or total <= 0:
+            break
+        fresh /= total
+        movement = float(np.abs(fresh - ranks).sum())
+        ranks = fresh
+        if movement < tol:
+            converged = True
+            break
+    seconds, flops = meter.snapshot()
+    diagnostics = PowerIterationResult(
+        vector=ranks,
+        eigenvalue=1.0,
+        iterations=iterations,
+        converged=converged,
+        detections=detections,
+        seconds=seconds,
+        flops=flops,
+    )
+    return ranks, diagnostics

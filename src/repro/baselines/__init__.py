@@ -1,0 +1,36 @@
+"""Related-work fault-tolerance baselines the paper compares against.
+
+* :class:`DenseChecksum` — the dense ABFT check of [30], [31];
+* :class:`CompleteRecomputationSpMV` — dense check + full recomputation [31];
+* :class:`PartialRecomputationSpMV` — dense check + iterative bisection
+  localization (40 % early stop) + range recomputation [30];
+* :class:`CheckpointStore` — state snapshots for checkpoint/rollback.
+"""
+
+from repro.baselines.bisection import (
+    DEFAULT_EARLY_STOP,
+    BisectionLocalizer,
+    LocalizationOutcome,
+    PartialRecomputationSpMV,
+)
+from repro.baselines.checkpoint import DEFAULT_CHECKPOINT_INTERVAL, CheckpointStore
+from repro.baselines.complete import CompleteRecomputationSpMV
+from repro.baselines.dense_check import DenseCheckReport, DenseChecksum
+from repro.baselines.redundancy import DwcSpMV, TmrSpMV
+from repro.baselines.scheme import BaselineSpmvResult, SpmvScheme
+
+__all__ = [
+    "BaselineSpmvResult",
+    "SpmvScheme",
+    "DenseChecksum",
+    "DenseCheckReport",
+    "CompleteRecomputationSpMV",
+    "PartialRecomputationSpMV",
+    "BisectionLocalizer",
+    "LocalizationOutcome",
+    "DEFAULT_EARLY_STOP",
+    "CheckpointStore",
+    "DwcSpMV",
+    "TmrSpMV",
+    "DEFAULT_CHECKPOINT_INTERVAL",
+]

@@ -1,0 +1,59 @@
+"""Common result type and protocol for baseline fault-tolerance schemes.
+
+The baselines mirror :class:`repro.core.FaultTolerantSpMV`'s driver contract
+— ``multiply(b, tamper=None, meter=None)`` with the same tamper-hook stages
+— so campaigns can swap schemes freely.  Their result type differs in one
+way: related-work schemes do not know *blocks*; corrections are recorded as
+row ranges (complete recomputation reports the full range).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Tuple
+
+import numpy as np
+
+from repro.core.corrector import TamperHook
+from repro.machine import ExecutionMeter
+
+
+@dataclass(frozen=True)
+class BaselineSpmvResult:
+    """Outcome of one baseline protected multiply.
+
+    Attributes:
+        value: the (possibly corrected) result vector.
+        detections: per check, True if the dense check fired.
+        corrections: row ranges ``(start, stop)`` that were recomputed, in
+            order.
+        rounds: correction rounds performed.
+        seconds: simulated time charged.
+        flops: arithmetic operations charged.
+        exhausted: True if the check still failed when the round budget ran
+            out.
+    """
+
+    value: np.ndarray
+    detections: Tuple[bool, ...]
+    corrections: Tuple[Tuple[int, int], ...]
+    rounds: int
+    seconds: float
+    flops: float
+    exhausted: bool
+
+    @property
+    def clean(self) -> bool:
+        """True when the initial check passed."""
+        return not self.detections[0]
+
+
+class SpmvScheme(Protocol):
+    """Anything that can run one protected SpMV (ours or a baseline)."""
+
+    def multiply(
+        self,
+        b: np.ndarray,
+        tamper: TamperHook | None = None,
+        meter: ExecutionMeter | None = None,
+    ): ...

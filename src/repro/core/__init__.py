@@ -1,0 +1,68 @@
+"""Core contribution: block-ABFT for sparse matrix operations (DSN 2016).
+
+Public surface:
+
+* :class:`AbftConfig` — scheme parameters (block size, bound, weights);
+* :class:`ChecksumMatrix` — the sparse checksum encoding (Figures 2-3);
+* :class:`BlockAbftDetector` — detect *and locate* errors per block;
+* :class:`FaultTolerantSpMV` — the end-to-end protected multiply
+  (Figure 1) with partial recomputation and re-verification;
+* the rounding-error bounds of Section III-C.
+"""
+
+from repro.core.algebraic import AlgebraicSpmvResult, DualChecksumSpMV
+from repro.core.autotune import DEFAULT_CANDIDATES, TuningResult, choose_block_size
+from repro.core.blocking import BlockPartition
+from repro.core.calibration import EmpiricalBound
+from repro.core.bounds import (
+    DenseAnalyticalBound,
+    NormBound,
+    SparseBlockBound,
+    make_bound,
+)
+from repro.core.checksum import ChecksumMatrix, make_weights
+from repro.core.config import (
+    BOUND_KINDS,
+    DEFAULT_BLOCK_SIZE,
+    MACHINE_EPSILON,
+    WEIGHT_KINDS,
+    AbftConfig,
+)
+from repro.core.corrector import CorrectionOutcome, TamperHook, correct_blocks
+from repro.core.detector import BlockAbftDetector, DetectionReport
+from repro.core.multivector import ProtectedSpMM, SpmmResult
+from repro.core.triangular import ProtectedTriangularSolve, TriangularSolveResult
+from repro.core.protected import FaultTolerantSpMV, SpmvResult, plain_spmv
+
+__all__ = [
+    "AbftConfig",
+    "DualChecksumSpMV",
+    "AlgebraicSpmvResult",
+    "EmpiricalBound",
+    "choose_block_size",
+    "TuningResult",
+    "DEFAULT_CANDIDATES",
+    "ProtectedSpMM",
+    "SpmmResult",
+    "ProtectedTriangularSolve",
+    "TriangularSolveResult",
+    "MACHINE_EPSILON",
+    "DEFAULT_BLOCK_SIZE",
+    "BOUND_KINDS",
+    "WEIGHT_KINDS",
+    "BlockPartition",
+    "ChecksumMatrix",
+    "make_weights",
+    "SparseBlockBound",
+    "DenseAnalyticalBound",
+    "NormBound",
+    "make_bound",
+    "BlockAbftDetector",
+    "DetectionReport",
+    "CorrectionOutcome",
+    "TamperHook",
+    "correct_blocks",
+    "FaultTolerantSpMV",
+    "SpmvResult",
+    "plain_spmv",
+]

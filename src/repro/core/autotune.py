@@ -1,0 +1,113 @@
+"""Automatic block-size selection (turning Figure 4 into an API).
+
+The paper sweeps b_s over the whole suite and fixes 32 globally; per
+matrix the optimum varies (denser matrices prefer larger blocks — see
+``benchmarks/bench_ablation_blocksize_vs_rate.py``).  This module picks
+the block size that minimizes *modeled total overhead* for a given matrix,
+device, and expected error frequency:
+
+    overhead(b_s) = detection(b_s) + p_error * correction(b_s)
+
+where correction(b_s) is the cost of recomputing one average block plus
+its re-verification.  With ``p_error = 0`` this reduces to the paper's
+detection-only criterion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.core.config import AbftConfig
+from repro.core.detector import BlockAbftDetector
+from repro.errors import ConfigurationError
+from repro.machine import Machine, TaskGraph, blocked_checksum_cost, log2ceil, spmv_cost
+from repro.sparse.csr import CsrMatrix
+
+#: Candidate block sizes (the paper's Figure 4 grid).
+DEFAULT_CANDIDATES: Tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """Outcome of a block-size search.
+
+    Attributes:
+        block_size: the winning candidate.
+        overheads: modeled total overhead per candidate (same order as
+            ``candidates``).
+        candidates: the evaluated block sizes.
+        error_probability: the per-multiply error probability assumed.
+    """
+
+    block_size: int
+    overheads: Tuple[float, ...]
+    candidates: Tuple[int, ...]
+    error_probability: float
+
+
+def _correction_seconds(
+    matrix: CsrMatrix, block_size: int, machine: Machine
+) -> float:
+    """Modeled cost of one average-block correction round."""
+    n_blocks = -(-matrix.n_rows // block_size)
+    average_block_nnz = matrix.nnz / max(1, n_blocks)
+    max_row = int(matrix.row_lengths().max(initial=1))
+    graph = TaskGraph()
+    graph.add("recompute", 2.0 * average_block_nnz, log2ceil(max_row))
+    recheck = blocked_checksum_cost(block_size, block_size, 1)
+    graph.add("recheck", recheck.work, recheck.span, deps=["recompute"])
+    return machine.makespan(graph)
+
+
+def choose_block_size(
+    matrix: CsrMatrix,
+    machine: Machine | None = None,
+    candidates: Sequence[int] = DEFAULT_CANDIDATES,
+    error_probability: float = 0.0,
+) -> TuningResult:
+    """Pick the block size minimizing modeled total overhead.
+
+    Args:
+        matrix: the matrix to protect.
+        machine: simulated device (calibrated K80 model by default).
+        candidates: block sizes to evaluate.
+        error_probability: expected fraction of multiplies that trigger a
+            correction (0 = the paper's detection-only criterion).
+
+    Returns:
+        A :class:`TuningResult`; ``block_size`` is safe to pass to
+        :class:`repro.core.FaultTolerantSpMV`.
+
+    Raises:
+        ConfigurationError: for empty candidates or probabilities outside
+            [0, 1].
+    """
+    if not candidates:
+        raise ConfigurationError("need at least one candidate block size")
+    if not 0.0 <= error_probability <= 1.0:
+        raise ConfigurationError(
+            f"error_probability must be in [0, 1], got {error_probability}"
+        )
+    machine = machine or Machine()
+    plain_graph = TaskGraph()
+    cost = spmv_cost(matrix.nnz, int(matrix.row_lengths().max(initial=1)))
+    plain_graph.add("spmv", cost.work, cost.span)
+    plain_seconds = machine.makespan(plain_graph)
+
+    overheads = []
+    for block_size in candidates:
+        detector = BlockAbftDetector(matrix, AbftConfig(block_size=int(block_size)))
+        protected = machine.makespan(detector.detection_graph())
+        total = protected + error_probability * _correction_seconds(
+            matrix, int(block_size), machine
+        )
+        overheads.append(total / plain_seconds - 1.0)
+
+    best_index = min(range(len(candidates)), key=overheads.__getitem__)
+    return TuningResult(
+        block_size=int(candidates[best_index]),
+        overheads=tuple(overheads),
+        candidates=tuple(int(c) for c in candidates),
+        error_probability=error_probability,
+    )

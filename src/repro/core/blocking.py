@@ -1,0 +1,83 @@
+"""Row-block partitioning of a matrix (Section III-B).
+
+The input matrix is decomposed into row blocks ``A_k`` of at most
+``block_size`` rows; blocks both carry the checksums and delimit error
+locations — a flagged block is exactly the row range that gets recomputed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class BlockPartition:
+    """Uniform partition of ``n_rows`` rows into blocks of ``block_size``.
+
+    The last block may be smaller when ``block_size`` does not divide
+    ``n_rows``.
+    """
+
+    n_rows: int
+    block_size: int
+
+    def __post_init__(self) -> None:
+        if self.n_rows < 0:
+            raise ConfigurationError(f"n_rows must be >= 0, got {self.n_rows}")
+        if self.block_size < 1:
+            raise ConfigurationError(f"block_size must be >= 1, got {self.block_size}")
+
+    @property
+    def n_blocks(self) -> int:
+        """Number of blocks (zero for an empty matrix)."""
+        return -(-self.n_rows // self.block_size) if self.n_rows else 0
+
+    def bounds(self, block: int) -> Tuple[int, int]:
+        """Row range ``[start, stop)`` of block ``block``."""
+        if not 0 <= block < self.n_blocks:
+            raise ConfigurationError(
+                f"block {block} out of range for {self.n_blocks} blocks"
+            )
+        start = block * self.block_size
+        return start, min(start + self.block_size, self.n_rows)
+
+    def length(self, block: int) -> int:
+        """Number of rows in block ``block`` (== block_size except maybe last)."""
+        start, stop = self.bounds(block)
+        return stop - start
+
+    def block_of_row(self, row: int) -> int:
+        """Block index containing ``row``."""
+        if not 0 <= row < self.n_rows:
+            raise ConfigurationError(f"row {row} out of range for {self.n_rows} rows")
+        return row // self.block_size
+
+    def block_ids_of_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`block_of_row` (no bounds check)."""
+        return np.asarray(rows, dtype=np.int64) // self.block_size
+
+    def __iter__(self) -> Iterator[Tuple[int, int, int]]:
+        """Yield ``(block_index, start_row, stop_row)`` for every block."""
+        for block in range(self.n_blocks):
+            start, stop = self.bounds(block)
+            yield block, start, stop
+
+    def block_lengths(self) -> np.ndarray:
+        """Lengths of all blocks as an int64 array."""
+        if self.n_blocks == 0:
+            return np.empty(0, dtype=np.int64)
+        lengths = np.full(self.n_blocks, self.block_size, dtype=np.int64)
+        remainder = self.n_rows - (self.n_blocks - 1) * self.block_size
+        lengths[-1] = remainder
+        return lengths
+
+    def block_starts(self) -> np.ndarray:
+        """Start rows of all blocks (length ``n_blocks + 1``, ends with n_rows)."""
+        starts = np.arange(self.n_blocks + 1, dtype=np.int64) * self.block_size
+        starts[-1] = self.n_rows
+        return starts

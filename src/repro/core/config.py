@@ -1,0 +1,63 @@
+"""Configuration of the block-ABFT scheme."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Double-precision machine epsilon used by the rounding-error bounds
+#: (the paper's eps_M = 2^-53, Section III-C).
+MACHINE_EPSILON = 2.0**-53
+
+#: The paper's empirically optimal block size (Section V-A, Figure 4).
+DEFAULT_BLOCK_SIZE = 32
+
+#: Supported rounding-error bounds (see repro.core.bounds).
+BOUND_KINDS = ("sparse", "dense", "norm")
+
+#: Supported weight-vector schemes (see repro.core.checksum).
+WEIGHT_KINDS = ("ones", "linear", "random")
+
+
+@dataclass(frozen=True)
+class AbftConfig:
+    """Parameters of the fault-tolerant SpMV.
+
+    Attributes:
+        block_size: rows per checksum block (b_s); the paper sweeps 1..512
+            and settles on 32.
+        bound: rounding-error bound family — ``"sparse"`` is the paper's
+            per-block analytical bound, ``"dense"`` the Roy-Chowdhury &
+            Banerjee whole-matrix bound, ``"norm"`` the ||b||_2 bound of
+            Sloan et al. (the last two exist for ablation/baselines).
+        weights: weight-vector scheme; the paper uses all-ones.
+        bound_scale: multiplier on the bound (1.0 = as derived); exposed
+            for the bound-tightness ablation.
+        max_correction_rounds: verification/correction iterations before a
+            protected multiply gives up (errors can hit corrections too).
+    """
+
+    block_size: int = DEFAULT_BLOCK_SIZE
+    bound: str = "sparse"
+    weights: str = "ones"
+    bound_scale: float = 1.0
+    max_correction_rounds: int = 8
+
+    def __post_init__(self) -> None:
+        if self.block_size < 1:
+            raise ConfigurationError(f"block_size must be >= 1, got {self.block_size}")
+        if self.bound not in BOUND_KINDS:
+            raise ConfigurationError(
+                f"unknown bound {self.bound!r}; expected one of {BOUND_KINDS}"
+            )
+        if self.weights not in WEIGHT_KINDS:
+            raise ConfigurationError(
+                f"unknown weights {self.weights!r}; expected one of {WEIGHT_KINDS}"
+            )
+        if self.bound_scale <= 0:
+            raise ConfigurationError(f"bound_scale must be positive, got {self.bound_scale}")
+        if self.max_correction_rounds < 1:
+            raise ConfigurationError(
+                f"max_correction_rounds must be >= 1, got {self.max_correction_rounds}"
+            )

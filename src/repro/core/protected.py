@@ -1,0 +1,271 @@
+"""The fault-tolerant SpMV driver (the paper's Figure 1, end to end).
+
+:class:`FaultTolerantSpMV` executes one protected multiply: the SpMV and
+the operand checksum run as parallel streams, detection follows, and any
+flagged block is corrected by partial recomputation and re-verified.
+Numerics run eagerly (NumPy); simulated cost is charged per round to an
+:class:`repro.machine.ExecutionMeter`; fault campaigns corrupt intermediate
+data through a *tamper hook* invoked after every numeric stage.
+
+Beyond the paper's description, the driver handles two realities of
+injections into the detection path itself:
+
+* corrections are re-verified (a corrupted correction is caught in the
+  next round), and
+* a block that stays flagged after its first recomputation gets its
+  operand checksum ``t1_k`` refreshed — otherwise a corrupted ``t1`` would
+  trigger corrections forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import AbftConfig
+from repro.core.corrector import TamperHook, correct_blocks
+from repro.core.detector import BlockAbftDetector
+from repro.errors import ConfigurationError
+from repro.machine import (
+    ExecutionMeter,
+    Machine,
+    TaskGraph,
+    blocked_checksum_cost,
+    log2ceil,
+    spmv_cost,
+)
+from repro.sparse.csr import CsrMatrix
+
+
+def plain_spmv(
+    matrix: CsrMatrix,
+    b: np.ndarray,
+    meter: Optional[ExecutionMeter] = None,
+    tamper: Optional[TamperHook] = None,
+) -> np.ndarray:
+    """Unprotected SpMV: the baseline all overheads are measured against."""
+    meter = meter if meter is not None else ExecutionMeter()
+    graph = TaskGraph()
+    cost = spmv_cost(matrix.nnz, int(matrix.row_lengths().max(initial=1)))
+    graph.add("spmv", cost.work, cost.span)
+    meter.run_graph(graph)
+    r = matrix.matvec(b)
+    if tamper is not None:
+        tamper("result", r, cost.work)
+    return r
+
+
+@dataclass(frozen=True)
+class SpmvResult:
+    """Outcome of one protected multiply.
+
+    Attributes:
+        value: the (possibly corrected) result vector.
+        detected: per check, the tuple of flagged block indices — index 0
+            is the initial detection, later entries are re-verifications.
+        corrected_blocks: sorted distinct blocks that were recomputed.
+        rounds: number of correction rounds performed.
+        seconds: simulated time charged for this multiply.
+        flops: arithmetic operations charged for this multiply.
+        exhausted: True if blocks remained flagged when the round budget
+            ran out (the scheme reports failure rather than looping).
+    """
+
+    value: np.ndarray
+    detected: Tuple[Tuple[int, ...], ...]
+    corrected_blocks: Tuple[int, ...]
+    rounds: int
+    seconds: float
+    flops: float
+    exhausted: bool
+
+    @property
+    def clean(self) -> bool:
+        """True when the initial detection found nothing."""
+        return not self.detected[0]
+
+
+class FaultTolerantSpMV:
+    """Reusable protected-SpMV operator for one input matrix.
+
+    Args:
+        matrix: the sparse input matrix ``A``.
+        block_size: shorthand for ``AbftConfig(block_size=...)``.
+        config: full configuration; mutually exclusive with ``block_size``.
+        machine: simulated device (defaults to the calibrated K80 model).
+    """
+
+    def __init__(
+        self,
+        matrix: CsrMatrix,
+        block_size: Optional[int] = None,
+        config: Optional[AbftConfig] = None,
+        machine: Optional[Machine] = None,
+    ) -> None:
+        if config is not None and block_size is not None and config.block_size != block_size:
+            raise ConfigurationError(
+                f"conflicting block sizes: block_size={block_size} vs "
+                f"config.block_size={config.block_size}"
+            )
+        if config is None:
+            config = AbftConfig(block_size=block_size) if block_size else AbftConfig()
+        self.config = config
+        self.machine = machine or Machine()
+        self.detector = BlockAbftDetector(matrix, config)
+
+    @property
+    def matrix(self) -> CsrMatrix:
+        return self.detector.matrix
+
+    @property
+    def setup_cost(self):
+        """One-time preprocessing cost (checksum matrix construction)."""
+        return self.detector.setup_cost
+
+    # ------------------------------------------------------------------
+    # Protected multiply
+    # ------------------------------------------------------------------
+    def multiply(
+        self,
+        b: np.ndarray,
+        tamper: Optional[TamperHook] = None,
+        meter: Optional[ExecutionMeter] = None,
+    ) -> SpmvResult:
+        """Execute one fault-tolerant SpMV.
+
+        Args:
+            b: operand vector.
+            tamper: optional fault hook ``tamper(stage, data, work)`` called
+                after each numeric stage with stages ``"result"``, ``"t1"``,
+                ``"beta"``, ``"t2"``, ``"corrected"``; campaigns corrupt the
+                passed arrays in place.
+            meter: execution meter to charge; a fresh one is used if omitted.
+        """
+        detector = self.detector
+        matrix = detector.matrix
+        meter = meter if meter is not None else ExecutionMeter(machine=self.machine)
+        start_seconds, start_flops = meter.snapshot()
+
+        # --- Figure 1 steps 1-4: SpMV + detection -----------------------
+        meter.run_graph(detector.detection_graph())
+
+        r = matrix.matvec(b)
+        self._tamper(tamper, "result", r, 2.0 * matrix.nnz)
+        t1 = detector.operand_checksums(b)
+        self._tamper(tamper, "t1", t1, 2.0 * detector.checksum.nnz)
+        beta_box = np.array([detector.operand_norm(b)])
+        self._tamper(tamper, "beta", beta_box, 2.0 * matrix.n_cols)
+        beta = float(beta_box[0])
+        t2 = detector.result_checksums(r)
+        self._tamper(tamper, "t2", t2, 2.0 * matrix.n_rows)
+        report = detector.compare(t1, t2, beta)
+
+        detected = [tuple(int(x) for x in report.flagged)]
+        corrected: set[int] = set()
+        flagged = report.flagged
+        rounds = 0
+        exhausted = False
+
+        # --- Figure 1 step 5: correct + re-verify until clean -----------
+        while flagged.size:
+            if rounds >= self.config.max_correction_rounds:
+                exhausted = True
+                break
+            rounds += 1
+            outcome = correct_blocks(
+                matrix, detector.partition, b, r, flagged, tamper
+            )
+            corrected.update(int(x) for x in flagged)
+
+            refresh = rounds >= 2
+            refreshed_nnz = 0
+            if refresh:
+                refreshed_nnz = self._refresh_operand_checksums(b, t1, flagged, tamper)
+
+            recheck = detector.checksum.result_checksums_for_blocks(r, flagged)
+            self._tamper(tamper, "t2", recheck, 2.0 * outcome.rows_recomputed)
+            report = detector.compare(t1[flagged], recheck, beta, blocks=flagged)
+
+            meter.run_graph(
+                self._correction_graph(
+                    rounds, outcome.nnz_recomputed, outcome.rows_recomputed,
+                    len(flagged), refreshed_nnz,
+                )
+            )
+            flagged = report.flagged
+            detected.append(tuple(int(x) for x in flagged))
+
+        seconds, flops = meter.snapshot()
+        return SpmvResult(
+            value=r,
+            detected=tuple(detected),
+            corrected_blocks=tuple(sorted(corrected)),
+            rounds=rounds,
+            seconds=seconds - start_seconds,
+            flops=flops - start_flops,
+            exhausted=exhausted,
+        )
+
+    def plain_multiply(
+        self,
+        b: np.ndarray,
+        tamper: Optional[TamperHook] = None,
+        meter: Optional[ExecutionMeter] = None,
+    ) -> np.ndarray:
+        """Unprotected SpMV on the same machine (overhead baseline)."""
+        meter = meter if meter is not None else ExecutionMeter(machine=self.machine)
+        return plain_spmv(self.matrix, b, meter=meter, tamper=tamper)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _tamper(
+        tamper: Optional[TamperHook], stage: str, data: np.ndarray, work: float
+    ) -> None:
+        if tamper is not None:
+            tamper(stage, data, work)
+
+    def _refresh_operand_checksums(
+        self,
+        b: np.ndarray,
+        t1: np.ndarray,
+        flagged: np.ndarray,
+        tamper: Optional[TamperHook],
+    ) -> int:
+        """Recompute t1 entries of stubborn blocks; returns nnz touched."""
+        checksum = self.detector.checksum.matrix
+        fresh = np.empty(flagged.size, dtype=np.float64)
+        nnz = 0
+        for i, block in enumerate(flagged):
+            block = int(block)
+            fresh[i] = checksum.matvec_rows(block, block + 1, b)[0]
+            nnz += checksum.nnz_in_rows(block, block + 1)
+        self._tamper(tamper, "t1", fresh, 2.0 * nnz)
+        t1[flagged] = fresh
+        return nnz
+
+    def _correction_graph(
+        self,
+        round_index: int,
+        nnz_recomputed: int,
+        rows_recomputed: int,
+        n_flagged: int,
+        refreshed_nnz: int,
+    ) -> TaskGraph:
+        """Cost of one correction round (partial SpMV + re-verification)."""
+        matrix = self.matrix
+        max_row = int(matrix.row_lengths().max(initial=1))
+        graph = TaskGraph()
+        graph.add("recompute", 2.0 * nnz_recomputed, log2ceil(max_row))
+        recheck_deps = ["recompute"]
+        if refreshed_nnz:
+            graph.add("t1-refresh", 2.0 * refreshed_nnz, log2ceil(max_row))
+            recheck_deps.append("t1-refresh")
+        recheck = blocked_checksum_cost(
+            rows_recomputed, self.config.block_size, n_flagged
+        )
+        graph.add("recheck", recheck.work, recheck.span, deps=recheck_deps)
+        return graph

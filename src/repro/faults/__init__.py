@@ -1,0 +1,56 @@
+"""Fault-injection substrate: bit-flip bursts, significance, arrival process.
+
+Implements the paper's error model (Section IV-A): transient faults corrupt
+arithmetic outputs with bursts of bidirectional bit flips; error events
+arrive as a Poisson process in operation count (Section VI).
+"""
+
+from repro.faults.bitflip import (
+    BURST_MEAN_BITS,
+    BURST_VARIANCE_BITS,
+    Burst,
+    apply_bitmask,
+    bits_to_float,
+    corrupt_value,
+    float_to_bits,
+    sample_burst,
+)
+from repro.faults.injector import FaultInjector, Injection
+from repro.faults.models import (
+    BurstModel,
+    ExponentModel,
+    FaultModel,
+    MantissaModel,
+    ScaledNoiseModel,
+    SingleBitModel,
+    StuckSignModel,
+    make_fault_model,
+    model_names,
+)
+from repro.faults.process import ErrorProcess
+from repro.faults.significance import corrupt_significantly, is_significant
+
+__all__ = [
+    "BURST_MEAN_BITS",
+    "BURST_VARIANCE_BITS",
+    "Burst",
+    "float_to_bits",
+    "bits_to_float",
+    "apply_bitmask",
+    "sample_burst",
+    "corrupt_value",
+    "is_significant",
+    "corrupt_significantly",
+    "FaultInjector",
+    "FaultModel",
+    "BurstModel",
+    "SingleBitModel",
+    "ExponentModel",
+    "MantissaModel",
+    "ScaledNoiseModel",
+    "StuckSignModel",
+    "make_fault_model",
+    "model_names",
+    "Injection",
+    "ErrorProcess",
+]

@@ -1,0 +1,104 @@
+"""Bit-level fault model: bursts of bidirectional bit flips on float64.
+
+Implements the paper's error model (Section IV-A): a transient event
+corrupts the output of a floating-point instruction by XOR-ing a *burst* of
+consecutive bits.  The burst position is uniform over the 64 bits of the
+IEEE-754 double; the burst width is drawn from a normal distribution with
+mean 3 and variance 2 (rounded, clipped to [1, 64]); flips are bidirectional
+(XOR, so set bits clear and cleared bits set).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InjectionError
+
+#: Paper's burst-width distribution parameters (Section IV-A).
+BURST_MEAN_BITS = 3.0
+BURST_VARIANCE_BITS = 2.0
+
+
+def float_to_bits(value: float) -> int:
+    """Reinterpret a float64 as its 64-bit integer representation."""
+    return int(np.float64(value).view(np.uint64))
+
+
+def bits_to_float(bits: int) -> float:
+    """Reinterpret a 64-bit integer as a float64."""
+    if not 0 <= bits < 2**64:
+        raise InjectionError(f"bit pattern out of 64-bit range: {bits:#x}")
+    return float(np.uint64(bits).view(np.float64))
+
+
+def apply_bitmask(value: float, mask: int) -> float:
+    """XOR a float64's bit pattern with ``mask`` (bidirectional flips)."""
+    if not 0 <= mask < 2**64:
+        raise InjectionError(f"mask out of 64-bit range: {mask:#x}")
+    return bits_to_float(float_to_bits(value) ^ mask)
+
+
+@dataclass(frozen=True)
+class Burst:
+    """A contiguous burst of bit flips.
+
+    Attributes:
+        position: index of the least-significant flipped bit (0 = LSB of
+            the mantissa, 63 = sign bit).
+        width: number of consecutive flipped bits; the burst is clipped at
+            bit 63 rather than wrapping.
+    """
+
+    position: int
+    width: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.position < 64:
+            raise InjectionError(f"burst position must be in [0, 64), got {self.position}")
+        if self.width < 1:
+            raise InjectionError(f"burst width must be >= 1, got {self.width}")
+
+    @property
+    def mask(self) -> int:
+        """The 64-bit XOR mask of this burst."""
+        top = min(64, self.position + self.width)
+        return ((1 << top) - 1) ^ ((1 << self.position) - 1)
+
+    def apply(self, value: float) -> float:
+        """Corrupt a float64 with this burst."""
+        return apply_bitmask(value, self.mask)
+
+
+def sample_burst(
+    rng: np.random.Generator,
+    mean_bits: float = BURST_MEAN_BITS,
+    variance_bits: float = BURST_VARIANCE_BITS,
+) -> Burst:
+    """Draw a burst per the paper's distribution.
+
+    Position ~ U{0..63}; width ~ round(N(mean, sqrt(variance))) clipped to
+    [1, 64].
+    """
+    if variance_bits < 0:
+        raise InjectionError(f"variance must be >= 0, got {variance_bits}")
+    position = int(rng.integers(0, 64))
+    width = int(round(rng.normal(mean_bits, np.sqrt(variance_bits))))
+    width = max(1, min(64, width))
+    return Burst(position=position, width=width)
+
+
+def corrupt_value(
+    value: float,
+    rng: np.random.Generator,
+    mean_bits: float = BURST_MEAN_BITS,
+    variance_bits: float = BURST_VARIANCE_BITS,
+) -> tuple[float, Burst]:
+    """Corrupt one float64 with a sampled burst; returns (corrupted, burst).
+
+    The corrupted value may be non-finite (a burst through the exponent can
+    produce inf/NaN), exactly as on real hardware; detectors must cope.
+    """
+    burst = sample_burst(rng, mean_bits, variance_bits)
+    return burst.apply(value), burst

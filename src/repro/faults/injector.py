@@ -1,0 +1,151 @@
+"""Fault injector: applies the bit-flip model to vectors and scalars.
+
+The injector is the single gateway through which experiments corrupt data.
+It records every injection (target, index, original/corrupted values,
+burst) so campaigns can score detection outcomes, and it supports the two
+target classes the paper exercises:
+
+* result-vector elements of the SpMV (Section IV-A), and
+* the operations performed by the *error detection itself* ("Bit flips were
+  also injected into operations that perform error detection").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import InjectionError
+from repro.faults.bitflip import BURST_MEAN_BITS, BURST_VARIANCE_BITS, Burst, corrupt_value
+from repro.faults.significance import corrupt_significantly, is_significant
+
+
+@dataclass(frozen=True)
+class Injection:
+    """Record of one injected error.
+
+    ``burst`` is None when a non-burst fault model produced the error.
+    """
+
+    target: str
+    index: int
+    original: float
+    corrupted: float
+    burst: Optional[Burst]
+
+
+@dataclass
+class FaultInjector:
+    """Stateful injector shared by one experiment run.
+
+    Attributes:
+        rng: NumPy generator driving all randomness.
+        mean_bits / variance_bits: burst-width distribution.
+        log: chronological list of performed injections.
+    """
+
+    rng: np.random.Generator
+    mean_bits: float = BURST_MEAN_BITS
+    variance_bits: float = BURST_VARIANCE_BITS
+    #: Optional alternative fault model (see :mod:`repro.faults.models`);
+    #: None selects the paper's burst model.
+    model: Optional[object] = None
+    log: List[Injection] = field(default_factory=list)
+
+    @classmethod
+    def seeded(cls, seed: int) -> "FaultInjector":
+        """Convenience constructor with a fresh seeded generator."""
+        return cls(rng=np.random.default_rng(seed))
+
+    # ------------------------------------------------------------------
+    # Vector targets
+    # ------------------------------------------------------------------
+    def corrupt_element(
+        self,
+        vector: np.ndarray,
+        index: int,
+        target: str = "result",
+        sigma: Optional[float] = None,
+    ) -> Injection:
+        """Corrupt ``vector[index]`` in place; returns the injection record.
+
+        Args:
+            vector: float64 vector to corrupt (modified in place).
+            index: element to hit.
+            target: label stored in the record (e.g. ``"result"``).
+            sigma: if given, resample bursts until the corruption exceeds
+                the minimal error significance σ.
+        """
+        if vector.dtype != np.float64:
+            raise InjectionError(f"can only corrupt float64 vectors, got {vector.dtype}")
+        if not 0 <= index < vector.size:
+            raise InjectionError(f"index {index} out of range for size {vector.size}")
+        original = float(vector[index])
+        burst: Optional[Burst]
+        if self.model is not None:
+            corrupted, burst = self._corrupt_with_model(original, sigma)
+        elif sigma is None:
+            corrupted, burst = corrupt_value(
+                original, self.rng, self.mean_bits, self.variance_bits
+            )
+        else:
+            corrupted, burst = corrupt_significantly(original, self.rng, sigma)
+        vector[index] = corrupted
+        record = Injection(target, index, original, corrupted, burst)
+        self.log.append(record)
+        return record
+
+    def corrupt_random_element(
+        self, vector: np.ndarray, target: str = "result", sigma: Optional[float] = None
+    ) -> Injection:
+        """Corrupt a uniformly random element of ``vector`` in place."""
+        if vector.size == 0:
+            raise InjectionError("cannot corrupt an empty vector")
+        index = int(self.rng.integers(0, vector.size))
+        return self.corrupt_element(vector, index, target=target, sigma=sigma)
+
+    def _corrupt_with_model(
+        self, original: float, sigma: Optional[float], max_attempts: int = 10_000
+    ) -> tuple[float, None]:
+        """Corrupt via the configured fault model (σ-resampled if asked)."""
+        for _ in range(max_attempts):
+            corrupted = float(self.model.corrupt(original, self.rng))
+            if corrupted == original:
+                continue
+            if sigma is None or is_significant(original, corrupted, sigma):
+                return corrupted, None
+        raise InjectionError(
+            f"fault model {getattr(self.model, 'name', self.model)!r} produced no "
+            f"suitable corruption of {original!r} in {max_attempts} attempts"
+        )
+
+    # ------------------------------------------------------------------
+    # Scalar targets (detection-operation faults)
+    # ------------------------------------------------------------------
+    def corrupt_scalar(self, value: float, target: str = "detection") -> float:
+        """Corrupt a scalar produced by a detection operation; returns it.
+
+        The record's index is -1 (scalars have no position).
+        """
+        burst: Optional[Burst]
+        if self.model is not None:
+            corrupted, burst = self._corrupt_with_model(float(value), None)
+        else:
+            corrupted, burst = corrupt_value(
+                float(value), self.rng, self.mean_bits, self.variance_bits
+            )
+        self.log.append(Injection(target, -1, float(value), corrupted, burst))
+        return corrupted
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+    def injections_into(self, target: str) -> List[Injection]:
+        """All recorded injections whose target label matches."""
+        return [record for record in self.log if record.target == target]
+
+    def clear(self) -> None:
+        """Drop the injection log (the RNG state is preserved)."""
+        self.log.clear()

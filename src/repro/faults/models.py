@@ -1,0 +1,159 @@
+"""Alternative fault models for robustness studies (extension).
+
+The paper's evaluation uses one error model — bursts of bidirectional bit
+flips (Section IV-A).  Real FPUs, however, exhibit different propagation
+patterns ("different implementations of floating-point units ... may have
+different error propagation patterns", Section IV-A), so this module
+offers a family of models behind one protocol:
+
+* :class:`BurstModel` — the paper's model (position ~ U{0..63}, width ~
+  round(N(3, 2)));
+* :class:`SingleBitModel` — one uniformly chosen bit (the classic SEU);
+* :class:`ExponentModel` — flips confined to the exponent field: severe,
+  magnitude-changing errors;
+* :class:`MantissaModel` — flips confined to the mantissa: subtle errors
+  that stress the rounding-error bounds;
+* :class:`ScaledNoiseModel` — multiplicative Gaussian perturbation, an
+  idealized "approximate hardware" model (EnerJ-style, [12]).
+
+:class:`repro.faults.injector.FaultInjector` accepts any of these through
+its ``model`` field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from repro.errors import InjectionError
+from repro.faults.bitflip import (
+    BURST_MEAN_BITS,
+    BURST_VARIANCE_BITS,
+    Burst,
+    apply_bitmask,
+    corrupt_value,
+)
+
+#: Bit layout of an IEEE-754 double.
+MANTISSA_BITS = 52
+EXPONENT_BITS = 11
+
+
+class FaultModel(Protocol):
+    """Anything that can corrupt one float64."""
+
+    name: str
+
+    def corrupt(self, value: float, rng: np.random.Generator) -> float: ...
+
+
+@dataclass(frozen=True)
+class BurstModel:
+    """The paper's burst model (Section IV-A)."""
+
+    name: str = "burst"
+    mean_bits: float = BURST_MEAN_BITS
+    variance_bits: float = BURST_VARIANCE_BITS
+
+    def corrupt(self, value: float, rng: np.random.Generator) -> float:
+        corrupted, _ = corrupt_value(value, rng, self.mean_bits, self.variance_bits)
+        return corrupted
+
+
+@dataclass(frozen=True)
+class SingleBitModel:
+    """Exactly one flipped bit, position uniform over the word."""
+
+    name: str = "single-bit"
+
+    def corrupt(self, value: float, rng: np.random.Generator) -> float:
+        return Burst(position=int(rng.integers(0, 64)), width=1).apply(value)
+
+
+@dataclass(frozen=True)
+class ExponentModel:
+    """One flipped bit inside the exponent field (severe errors)."""
+
+    name: str = "exponent"
+
+    def corrupt(self, value: float, rng: np.random.Generator) -> float:
+        position = MANTISSA_BITS + int(rng.integers(0, EXPONENT_BITS))
+        return Burst(position=position, width=1).apply(value)
+
+
+@dataclass(frozen=True)
+class MantissaModel:
+    """A short burst inside the mantissa field (subtle errors)."""
+
+    name: str = "mantissa"
+    width: int = 2
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.width <= MANTISSA_BITS:
+            raise InjectionError(
+                f"mantissa burst width must be in [1, {MANTISSA_BITS}], got {self.width}"
+            )
+
+    def corrupt(self, value: float, rng: np.random.Generator) -> float:
+        position = int(rng.integers(0, MANTISSA_BITS - self.width + 1))
+        return Burst(position=position, width=self.width).apply(value)
+
+
+@dataclass(frozen=True)
+class ScaledNoiseModel:
+    """Multiplicative Gaussian noise: ``value * (1 + N(0, scale))``.
+
+    Unlike the bit-level models this never produces inf/NaN and is
+    magnitude-proportional — the idealized behaviour of voltage-scaled
+    approximate arithmetic.
+    """
+
+    name: str = "scaled-noise"
+    scale: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise InjectionError(f"noise scale must be positive, got {self.scale}")
+
+    def corrupt(self, value: float, rng: np.random.Generator) -> float:
+        if value == 0.0:
+            return float(rng.normal(0.0, self.scale))
+        return float(value * (1.0 + rng.normal(0.0, self.scale)))
+
+
+@dataclass(frozen=True)
+class StuckSignModel:
+    """Forces the sign bit set (a stuck-at fault on the sign line)."""
+
+    name: str = "stuck-sign"
+
+    def corrupt(self, value: float, rng: np.random.Generator) -> float:
+        # Forcing the sign bit to 1 is exactly -|value| (0.0 becomes -0.0).
+        return apply_bitmask(abs(value), 1 << 63)
+
+
+_MODELS = {
+    "burst": BurstModel,
+    "single-bit": SingleBitModel,
+    "exponent": ExponentModel,
+    "mantissa": MantissaModel,
+    "scaled-noise": ScaledNoiseModel,
+    "stuck-sign": StuckSignModel,
+}
+
+
+def make_fault_model(kind: str, **kwargs) -> FaultModel:
+    """Factory over the registered model names."""
+    try:
+        factory = _MODELS[kind]
+    except KeyError:
+        known = ", ".join(sorted(_MODELS))
+        raise InjectionError(f"unknown fault model {kind!r}; known: {known}") from None
+    return factory(**kwargs)
+
+
+def model_names() -> tuple[str, ...]:
+    """Registered model names, sorted."""
+    return tuple(sorted(_MODELS))

@@ -1,0 +1,62 @@
+"""Error-arrival process: exponential inter-arrival times in operation count.
+
+Section VI of the paper: "we determine the error events from an exponential
+distribution with an error rate λ.  We define 1/λ to be the expected number
+of arithmetic operations between two consecutive error events."  The process
+advances in *arithmetic operations* (the meter's flop count), not seconds,
+so a protected run with more recomputation also suffers more errors — the
+effect that makes checkpointing collapse at high λ.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import InjectionError
+
+
+class ErrorProcess:
+    """Poisson error process over an operation counter.
+
+    Args:
+        rate: λ, the per-operation error probability (0 disables errors).
+        rng: NumPy random generator (owned by the caller so campaigns can
+            seed everything centrally).
+    """
+
+    def __init__(self, rate: float, rng: np.random.Generator) -> None:
+        if rate < 0:
+            raise InjectionError(f"error rate must be >= 0, got {rate}")
+        self.rate = rate
+        self._rng = rng
+        self._position = 0.0
+        self._next_arrival = self._draw_gap() if rate > 0 else math.inf
+
+    def _draw_gap(self) -> float:
+        return float(self._rng.exponential(1.0 / self.rate))
+
+    @property
+    def position(self) -> float:
+        """Operations elapsed so far."""
+        return self._position
+
+    def events_in(self, n_ops: float) -> int:
+        """Advance the counter by ``n_ops`` operations; return arrivals inside.
+
+        Arrival state carries over between calls, so splitting an interval
+        across many kernels yields the same statistics as one big interval.
+        """
+        if n_ops < 0:
+            raise InjectionError(f"cannot advance by negative operations: {n_ops}")
+        self._position += n_ops
+        count = 0
+        while self._next_arrival <= self._position:
+            count += 1
+            self._next_arrival += self._draw_gap()
+        return count
+
+    def expected_events(self, n_ops: float) -> float:
+        """Mean number of arrivals in ``n_ops`` operations (λ · n_ops)."""
+        return self.rate * n_ops

@@ -1,0 +1,55 @@
+"""Minimal error significance σ (Section V-B of the paper).
+
+The coverage evaluation only injects errors that change a result element by
+more than a relative significance σ::
+
+    |r_err| > |r| (1 + σ)   or   |r_err| < |r| (1 - σ)
+
+Errors below this magnitude are indistinguishable from rounding noise and
+are excluded from the F1 statistics, for every compared method alike.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import InjectionError
+from repro.faults.bitflip import Burst, corrupt_value
+
+
+def is_significant(original: float, corrupted: float, sigma: float) -> bool:
+    """True if the corruption exceeds the minimal error significance σ."""
+    if sigma < 0:
+        raise InjectionError(f"significance must be >= 0, got {sigma}")
+    if math.isnan(corrupted) or math.isinf(corrupted):
+        return True
+    magnitude = abs(original)
+    return abs(corrupted) > magnitude * (1.0 + sigma) or abs(corrupted) < magnitude * (
+        1.0 - sigma
+    )
+
+
+def corrupt_significantly(
+    value: float,
+    rng: np.random.Generator,
+    sigma: float,
+    max_attempts: int = 10_000,
+) -> tuple[float, Burst]:
+    """Sample bursts until one produces a σ-significant corruption.
+
+    Mirrors the paper's campaign, which filters injections by significance.
+
+    Raises:
+        InjectionError: if no significant corruption is found within
+            ``max_attempts`` (pathologically tight σ on special values).
+    """
+    for _ in range(max_attempts):
+        corrupted, burst = corrupt_value(value, rng)
+        if corrupted != value and is_significant(value, corrupted, sigma):
+            return corrupted, burst
+    raise InjectionError(
+        f"no significant corruption of {value!r} found in {max_attempts} attempts "
+        f"(sigma={sigma})"
+    )

@@ -1,0 +1,72 @@
+"""Execution accounting: simulated time and arithmetic-operation counts.
+
+The fault-tolerance drivers execute numerics eagerly (NumPy) while charging
+their cost to an :class:`ExecutionMeter`.  The meter accumulates
+
+* ``seconds`` — simulated wall-clock from the machine model (makespans of
+  scheduled task graphs, or solo kernel durations), and
+* ``flops`` — arithmetic operations, the time base of the paper's error
+  process (λ is "the probability that an arbitrary arithmetic operation
+  will return an erroneous result", Section VI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.machine.costs import KernelCost
+from repro.machine.graph import TaskGraph
+from repro.machine.params import DeviceParams
+from repro.machine.scheduler import Machine
+
+
+@dataclass
+class ExecutionMeter:
+    """Accumulates simulated seconds and arithmetic operations.
+
+    Attributes:
+        machine: the simulated device used to time task graphs.
+        seconds: simulated elapsed time so far.
+        flops: arithmetic operations executed so far.
+    """
+
+    machine: Machine = field(default_factory=Machine)
+    seconds: float = 0.0
+    flops: float = 0.0
+
+    @property
+    def params(self) -> DeviceParams:
+        return self.machine.params
+
+    def advance(self, seconds: float, flops: float = 0.0) -> None:
+        """Charge raw time (and optionally operations)."""
+        if seconds < 0 or flops < 0:
+            raise ConfigurationError(
+                f"cannot advance by negative amounts ({seconds}s, {flops} flops)"
+            )
+        self.seconds += seconds
+        self.flops += flops
+
+    def run_graph(self, graph: TaskGraph) -> float:
+        """Schedule a task graph, charge its makespan and work; return makespan."""
+        makespan = self.machine.makespan(graph)
+        self.advance(makespan, graph.total_work())
+        return makespan
+
+    def run_kernel(self, cost: KernelCost) -> float:
+        """Charge one kernel executed alone on the device; return its duration."""
+        params = self.params
+        duration = params.launch_overhead + max(
+            cost.work / params.throughput, cost.span * params.sync_time
+        )
+        self.advance(duration, cost.work)
+        return duration
+
+    def fork(self) -> "ExecutionMeter":
+        """A fresh meter on the same machine (for what-if measurements)."""
+        return ExecutionMeter(machine=self.machine)
+
+    def snapshot(self) -> tuple[float, float]:
+        """Current ``(seconds, flops)`` pair."""
+        return self.seconds, self.flops

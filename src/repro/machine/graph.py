@@ -1,0 +1,130 @@
+"""Task graphs (DAGs of kernels) for the machine model.
+
+The fault-tolerant SpMV of the paper's Figure 1 is expressed as a task
+graph: the SpMV kernel and the ``Cb`` checksum kernel run in parallel
+streams, the norm and result-checksum kernels follow, then syndrome,
+comparison and (on error) partial recomputation.  The scheduler in
+:mod:`repro.machine.scheduler` turns such a graph into a makespan.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.errors import SchedulerError
+from repro.machine.task import Task
+
+
+class TaskGraph:
+    """A directed acyclic graph of :class:`Task` objects.
+
+    Tasks are added with :meth:`add`; dependencies must reference tasks
+    already in the graph, which makes cycles impossible by construction
+    and keeps insertion order a valid topological order.
+    """
+
+    def __init__(self) -> None:
+        self._tasks: Dict[str, Task] = {}
+
+    def add(
+        self,
+        name: str,
+        work: float = 0.0,
+        span: float = 0.0,
+        deps: Iterable[str] = (),
+    ) -> Task:
+        """Create a task and insert it into the graph.
+
+        Args:
+            name: unique task name.
+            work: FLOPs of the kernel.
+            span: sequential dependence steps of the kernel.
+            deps: names of already-inserted prerequisite tasks.
+
+        Returns:
+            The inserted :class:`Task`.
+
+        Raises:
+            SchedulerError: on duplicate names or unknown dependencies.
+        """
+        if name in self._tasks:
+            raise SchedulerError(f"duplicate task name {name!r}")
+        deps = tuple(deps)
+        for dep in deps:
+            if dep not in self._tasks:
+                raise SchedulerError(
+                    f"task {name!r} depends on unknown task {dep!r} "
+                    "(dependencies must be inserted first)"
+                )
+        task = Task(name=name, work=work, span=span, deps=deps)
+        self._tasks[name] = task
+        return task
+
+    def add_task(self, task: Task) -> Task:
+        """Insert an existing :class:`Task` (same rules as :meth:`add`)."""
+        if task.name in self._tasks:
+            raise SchedulerError(f"duplicate task name {task.name!r}")
+        for dep in task.deps:
+            if dep not in self._tasks:
+                raise SchedulerError(
+                    f"task {task.name!r} depends on unknown task {dep!r}"
+                )
+        self._tasks[task.name] = task
+        return task
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tasks
+
+    def __getitem__(self, name: str) -> Task:
+        return self._tasks[name]
+
+    def tasks(self) -> List[Task]:
+        """Tasks in insertion (= topological) order."""
+        return list(self._tasks.values())
+
+    def total_work(self) -> float:
+        """Sum of task work — the ``W`` of the work-span model."""
+        return sum(task.work for task in self._tasks.values())
+
+    def successors(self) -> Dict[str, List[str]]:
+        """Map from task name to the names of tasks depending on it."""
+        out: Dict[str, List[str]] = {name: [] for name in self._tasks}
+        for task in self._tasks.values():
+            for dep in task.deps:
+                out[dep].append(task.name)
+        return out
+
+    def critical_path(
+        self, throughput: float, launch: float, sync: float
+    ) -> Tuple[float, List[str]]:
+        """Longest chain of solo task durations — the ``D`` of work-span.
+
+        Returns:
+            ``(length_seconds, path)`` where ``path`` lists task names from
+            source to sink along the critical chain.
+        """
+        finish: Dict[str, float] = {}
+        predecessor: Dict[str, str | None] = {}
+        for task in self._tasks.values():  # insertion order is topological
+            best_dep, best_time = None, 0.0
+            for dep in task.deps:
+                if finish[dep] > best_time:
+                    best_dep, best_time = dep, finish[dep]
+            finish[task.name] = best_time + task.solo_duration(throughput, launch, sync)
+            predecessor[task.name] = best_dep
+        if not finish:
+            return 0.0, []
+        sink = max(finish, key=finish.__getitem__)
+        path: List[str] = []
+        cursor: str | None = sink
+        while cursor is not None:
+            path.append(cursor)
+            cursor = predecessor[cursor]
+        path.reverse()
+        return finish[sink], path

@@ -1,0 +1,79 @@
+"""Device parameters for the simulated heterogeneous machine.
+
+The paper measures runtime on a dual-Xeon host with Tesla K80 GPUs; every
+experiment uses one CPU core plus one GPU (Section IV-B).  We replace that
+testbed with a deterministic performance model whose three constants capture
+the effects that shape the paper's overhead curves:
+
+* ``throughput`` — effective device throughput in FLOP/s.  Sparse kernels
+  are memory-bound, so this is calibrated to a K80's *effective* SpMV rate
+  (tens of GFLOP/s), not its peak.
+* ``launch_overhead`` — fixed cost per kernel launch.  This is what makes
+  small matrices show large relative overheads (Figures 5-6: overhead
+  shrinks as NNZ grows).
+* ``sync_time`` — cost of one sequential dependence step at kernel
+  granularity (a reduction level / barrier).  This is what penalizes large
+  block sizes in Figure 4: an inner product over ``b_s`` elements needs
+  ``ceil(log2(b_s))`` sequential reduction levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DeviceParams:
+    """Performance constants of one simulated accelerator.
+
+    Attributes:
+        name: human-readable device label.
+        throughput: sustained FLOP/s shared by all concurrently running
+            kernels (work-conserving).
+        launch_overhead: seconds of fixed cost before a kernel makes
+            progress.
+        sync_time: seconds per sequential dependence step (reduction level,
+            device-wide barrier).
+        streams: number of kernels that may execute concurrently; extra
+            ready kernels wait (the paper overlaps ``Ab`` with ``Cb`` on
+            separate streams, so the default allows that).
+        concurrency_boost: throughput gained per extra concurrent kernel —
+            ``k`` co-scheduled kernels share ``throughput * (1 + boost*(k-1))``.
+            Memory-bound kernels hide each other's latency, so co-running
+            two SpMV-class kernels costs less than 2x (this is what puts
+            the paper's block-size-1 overhead at ~84 %, not ~100 %).
+    """
+
+    name: str = "tesla-k80-model"
+    throughput: float = 6.0e9
+    launch_overhead: float = 6.0e-6
+    sync_time: float = 0.5e-6
+    streams: int = 4
+    concurrency_boost: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.throughput <= 0:
+            raise ConfigurationError(f"throughput must be positive, got {self.throughput}")
+        if self.launch_overhead < 0:
+            raise ConfigurationError(
+                f"launch_overhead must be non-negative, got {self.launch_overhead}"
+            )
+        if self.sync_time < 0:
+            raise ConfigurationError(f"sync_time must be non-negative, got {self.sync_time}")
+        if self.streams < 1:
+            raise ConfigurationError(f"streams must be >= 1, got {self.streams}")
+        if self.concurrency_boost < 0:
+            raise ConfigurationError(
+                f"concurrency_boost must be >= 0, got {self.concurrency_boost}"
+            )
+
+
+#: Default calibration: effective memory-bound K80 throughput with
+#: microsecond-scale launch/sync costs (CUDA 7.5 era).
+TESLA_K80 = DeviceParams()
+
+#: A serializing device: one stream, so nothing overlaps.  Used by the
+#: overlap ablation (DESIGN.md, decision 4).
+TESLA_K80_NO_OVERLAP = DeviceParams(name="tesla-k80-serial", streams=1)

@@ -1,0 +1,53 @@
+"""Malleable-task abstraction for the machine model.
+
+A :class:`Task` is one GPU kernel (or CPU routine) characterized by its
+total *work* (FLOPs) and its *span* (length of the longest chain of
+sequential dependence steps at kernel granularity — e.g. reduction levels).
+With an allocated throughput ``r`` the task runs for::
+
+    launch_overhead + max(work / r, span * sync_time)
+
+seconds, the classic work-span (Brent) execution-time model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.errors import SchedulerError
+
+
+@dataclass(frozen=True)
+class Task:
+    """One schedulable kernel.
+
+    Attributes:
+        name: unique name within its graph.
+        work: total floating-point operations (>= 0).
+        span: sequential dependence steps at kernel granularity (>= 0).
+        deps: names of tasks that must finish before this one starts.
+    """
+
+    name: str
+    work: float = 0.0
+    span: float = 0.0
+    deps: Tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchedulerError("task name must be non-empty")
+        if self.work < 0:
+            raise SchedulerError(f"task {self.name!r}: work must be >= 0, got {self.work}")
+        if self.span < 0:
+            raise SchedulerError(f"task {self.name!r}: span must be >= 0, got {self.span}")
+        object.__setattr__(self, "deps", tuple(self.deps))
+
+    def solo_duration(self, throughput: float, launch: float, sync: float) -> float:
+        """Execution time when the task owns the whole device."""
+        compute = self.work / throughput if self.work > 0 else 0.0
+        return launch + max(compute, self.span * sync)
+
+    def min_duration(self, sync: float) -> float:
+        """Lower bound on compute time regardless of allocated throughput."""
+        return self.span * sync

@@ -1,0 +1,72 @@
+"""Schedule tracing: render a simulated schedule as a text Gantt chart.
+
+Useful for eyeballing why a protected multiply costs what it costs — which
+kernels overlapped, which serialized behind a host sync — directly in a
+terminal or a test failure message.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.machine.scheduler import Schedule
+
+
+def render_gantt(schedule: Schedule, width: int = 60) -> str:
+    """ASCII Gantt chart of a schedule.
+
+    Args:
+        schedule: a schedule produced by :meth:`repro.machine.Machine.schedule`.
+        width: number of character cells the makespan maps onto.
+
+    Returns:
+        One line per task: name, ``[``launch``|``compute``]`` bar, timing.
+        Launch phases render as ``.``, compute phases as ``#``.
+    """
+    if width < 10:
+        raise ConfigurationError(f"width must be >= 10, got {width}")
+    if not schedule.timings:
+        return "(empty schedule)"
+    makespan = schedule.makespan
+    if makespan <= 0:
+        return "\n".join(f"{name:<16s} (instant)" for name in schedule.timings)
+
+    name_width = max(len(name) for name in schedule.timings)
+    scale = width / makespan
+    lines = []
+    for name, timing in sorted(schedule.timings.items(), key=lambda kv: kv[1].start):
+        start_cell = int(round(timing.start * scale))
+        compute_cell = int(round(timing.compute_start * scale))
+        finish_cell = max(int(round(timing.finish * scale)), compute_cell, start_cell + 1)
+        bar = (
+            " " * start_cell
+            + "." * (compute_cell - start_cell)
+            + "#" * (finish_cell - compute_cell)
+        )
+        bar = bar.ljust(width)[: width + 2]
+        lines.append(
+            f"{name:<{name_width}s} |{bar}| "
+            f"{timing.start * 1e6:8.1f}us -> {timing.finish * 1e6:8.1f}us"
+        )
+    lines.append(f"{'':<{name_width}s}  makespan {makespan * 1e6:.1f}us")
+    return "\n".join(lines)
+
+
+def utilization(schedule: Schedule) -> float:
+    """Fraction of the makespan during which at least one task computes.
+
+    1.0 means no idle gaps at kernel granularity; launch-only time counts
+    as idle.
+    """
+    if not schedule.timings or schedule.makespan <= 0:
+        return 0.0
+    intervals = sorted(
+        (timing.compute_start, timing.finish) for timing in schedule.timings.values()
+    )
+    covered = 0.0
+    cursor = 0.0
+    for start, finish in intervals:
+        start = max(start, cursor)
+        if finish > start:
+            covered += finish - start
+            cursor = finish
+    return covered / schedule.makespan

@@ -1,0 +1,139 @@
+"""Preconditioned Conjugate Gradient solver (paper Section VI-A).
+
+A plain, fault-free PCG for SPD systems ``A x = b``.  The fault-tolerant
+drivers in :mod:`repro.solvers.ft_pcg` reimplement the same loop around
+protected SpMV operators; this module is the clean reference (and is what
+examples use when fault tolerance is not the point).
+
+Convergence follows the paper: iterate until the residual norm falls below
+``tol`` (relative to ``||b||``), up to ``10 * N`` iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.errors import ShapeMismatchError
+from repro.solvers.preconditioners import IdentityPreconditioner, Preconditioner
+from repro.sparse.csr import CsrMatrix
+
+#: The paper's error tolerance (Section VI-A, as proposed in [30]).
+DEFAULT_TOLERANCE = 1e-6
+
+#: The paper's iteration cap is 10 * N (Section VI).
+MAX_ITERATION_FACTOR = 10
+
+
+@dataclass(frozen=True)
+class PcgResult:
+    """Outcome of a PCG solve.
+
+    Attributes:
+        x: final iterate.
+        iterations: iterations performed.
+        converged: True if the residual criterion was met within the cap.
+        residual_norm: final relative residual ``||b - A x|| / ||b||``
+            (recomputed from scratch, not the recurrence value).
+        residual_history: relative recurrence-residual norm per iteration.
+    """
+
+    x: np.ndarray
+    iterations: int
+    converged: bool
+    residual_norm: float
+    residual_history: tuple
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PcgResult(iterations={self.iterations}, converged={self.converged}, "
+            f"residual_norm={self.residual_norm:.3e})"
+        )
+
+
+def pcg(
+    matrix: CsrMatrix,
+    b: np.ndarray,
+    preconditioner: Optional[Preconditioner] = None,
+    x0: Optional[np.ndarray] = None,
+    tol: float = DEFAULT_TOLERANCE,
+    max_iterations: Optional[int] = None,
+    callback: Optional[Callable[[int, np.ndarray, float], None]] = None,
+) -> PcgResult:
+    """Solve ``A x = b`` for SPD ``A`` with preconditioned CG.
+
+    Args:
+        matrix: SPD system matrix.
+        b: right-hand side.
+        preconditioner: ``M^{-1}`` applicator; identity if omitted.
+        x0: initial guess (zeros if omitted).
+        tol: relative residual tolerance.
+        max_iterations: iteration cap; defaults to ``10 * N``.
+        callback: invoked as ``callback(iteration, x, relative_residual)``
+            after every iteration.
+
+    Returns:
+        A :class:`PcgResult`; ``converged`` is False if the cap was hit.
+    """
+    n = matrix.n_rows
+    if matrix.shape[0] != matrix.shape[1]:
+        raise ShapeMismatchError(f"PCG needs a square matrix, got {matrix.shape}")
+    b = np.asarray(b, dtype=np.float64)
+    if b.shape != (n,):
+        raise ShapeMismatchError(f"rhs has shape {b.shape}, expected ({n},)")
+    if preconditioner is None:
+        preconditioner = IdentityPreconditioner(matrix)
+    if max_iterations is None:
+        max_iterations = MAX_ITERATION_FACTOR * n
+
+    x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64, copy=True)
+    if x.shape != (n,):
+        raise ShapeMismatchError(f"x0 has shape {x.shape}, expected ({n},)")
+
+    b_norm = float(np.linalg.norm(b))
+    if b_norm == 0.0:
+        return PcgResult(
+            x=np.zeros(n), iterations=0, converged=True,
+            residual_norm=0.0, residual_history=(),
+        )
+
+    r = b - matrix.matvec(x)
+    z = preconditioner.apply(r)
+    p = z.copy()
+    rz = float(np.dot(r, z))
+    history: List[float] = []
+
+    iterations = 0
+    converged = float(np.linalg.norm(r)) / b_norm < tol
+    while not converged and iterations < max_iterations:
+        iterations += 1
+        q = matrix.matvec(p)
+        pq = float(np.dot(p, q))
+        if pq == 0.0 or not np.isfinite(pq):
+            break  # breakdown: direction became degenerate
+        alpha = rz / pq
+        x += alpha * p
+        r -= alpha * q
+        relative = float(np.linalg.norm(r)) / b_norm
+        history.append(relative)
+        if callback is not None:
+            callback(iterations, x, relative)
+        if relative < tol:
+            converged = True
+            break
+        z = preconditioner.apply(r)
+        rz_next = float(np.dot(r, z))
+        beta = rz_next / rz
+        p = z + beta * p
+        rz = rz_next
+
+    true_residual = float(np.linalg.norm(b - matrix.matvec(x))) / b_norm
+    return PcgResult(
+        x=x,
+        iterations=iterations,
+        converged=converged and true_residual < 10 * tol,
+        residual_norm=true_residual,
+        residual_history=tuple(history),
+    )

@@ -1,0 +1,62 @@
+"""Sparse-matrix constructors and binary operations.
+
+Completes the substrate with the small algebra the solvers and examples
+want: identity/diagonal constructors and entrywise addition (used e.g. to
+shift a matrix, build preconditioner splittings, or assemble ``A + sigma I``
+regularized systems).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeMismatchError
+from repro.sparse.coo import CooMatrix
+from repro.sparse.csr import CsrMatrix
+
+
+def identity(n: int) -> CsrMatrix:
+    """The ``n x n`` identity matrix."""
+    if n < 0:
+        raise ConfigurationError(f"dimension must be >= 0, got {n}")
+    idx = np.arange(n, dtype=np.int64)
+    return CsrMatrix((n, n), np.arange(n + 1, dtype=np.int64), idx, np.ones(n))
+
+
+def diags(values: np.ndarray) -> CsrMatrix:
+    """A diagonal matrix with the given diagonal values.
+
+    Exact zeros on the diagonal are stored structurally (so the matrix
+    keeps shape ``(n, n)`` with one entry per row).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 1:
+        raise ShapeMismatchError(f"expected a 1-D diagonal, got ndim={values.ndim}")
+    n = values.size
+    idx = np.arange(n, dtype=np.int64)
+    return CsrMatrix((n, n), np.arange(n + 1, dtype=np.int64), idx, values.copy())
+
+
+def add(a: CsrMatrix, b: CsrMatrix) -> CsrMatrix:
+    """Entrywise sum ``A + B`` (duplicate positions merge; exact-zero sums
+    are kept structurally, matching COO deduplication semantics)."""
+    if a.shape != b.shape:
+        raise ShapeMismatchError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return CooMatrix(
+        a.shape,
+        np.concatenate([a.entry_rows(), b.entry_rows()]),
+        np.concatenate([a.indices, b.indices]),
+        np.concatenate([a.data, b.data]),
+    ).to_csr()
+
+
+def subtract(a: CsrMatrix, b: CsrMatrix) -> CsrMatrix:
+    """Entrywise difference ``A - B``."""
+    return add(a, b.scaled(-1.0))
+
+
+def shift(a: CsrMatrix, sigma: float) -> CsrMatrix:
+    """``A + sigma * I`` (square matrices only)."""
+    if a.shape[0] != a.shape[1]:
+        raise ShapeMismatchError(f"shift needs a square matrix, got {a.shape}")
+    return add(a, identity(a.shape[0]).scaled(sigma))

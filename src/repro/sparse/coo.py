@@ -1,0 +1,141 @@
+"""Coordinate-format (COO) sparse matrices.
+
+COO is the construction format of the library: generators and I/O produce
+COO triplets, which are then converted once to :class:`~repro.sparse.csr.CsrMatrix`
+for all computational kernels.  The class is intentionally small — it exists
+to make matrix assembly simple and explicit, not to compete with CSR on
+arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from repro.errors import ShapeMismatchError, SparseFormatError
+
+
+@dataclass(frozen=True)
+class CooMatrix:
+    """An immutable sparse matrix in coordinate (triplet) format.
+
+    Attributes:
+        shape: ``(n_rows, n_cols)`` of the logical matrix.
+        row: int64 array of row indices, one per stored entry.
+        col: int64 array of column indices, one per stored entry.
+        data: float64 array of values, one per stored entry.
+
+    Duplicate ``(row, col)`` pairs are permitted and are summed when the
+    matrix is converted to CSR, matching the usual finite-element assembly
+    convention.
+    """
+
+    shape: Tuple[int, int]
+    row: np.ndarray
+    col: np.ndarray
+    data: np.ndarray
+
+    def __post_init__(self) -> None:
+        n_rows, n_cols = self.shape
+        if n_rows < 0 or n_cols < 0:
+            raise SparseFormatError(f"negative dimension in shape {self.shape}")
+        row = np.ascontiguousarray(self.row, dtype=np.int64)
+        col = np.ascontiguousarray(self.col, dtype=np.int64)
+        data = np.ascontiguousarray(self.data, dtype=np.float64)
+        if not (row.shape == col.shape == data.shape) or row.ndim != 1:
+            raise SparseFormatError(
+                "row, col and data must be 1-D arrays of equal length; got "
+                f"{row.shape}, {col.shape}, {data.shape}"
+            )
+        if row.size:
+            if row.min(initial=0) < 0 or (n_rows and row.max(initial=0) >= n_rows):
+                raise SparseFormatError("row index out of range")
+            if col.min(initial=0) < 0 or (n_cols and col.max(initial=0) >= n_cols):
+                raise SparseFormatError("column index out of range")
+        object.__setattr__(self, "row", row)
+        object.__setattr__(self, "col", col)
+        object.__setattr__(self, "data", data)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_entries(
+        cls,
+        shape: Tuple[int, int],
+        entries: Iterable[Tuple[int, int, float]],
+    ) -> "CooMatrix":
+        """Build a COO matrix from an iterable of ``(i, j, value)`` triplets."""
+        triplets = list(entries)
+        if not triplets:
+            empty = np.empty(0)
+            return cls(shape, empty.astype(np.int64), empty.astype(np.int64), empty)
+        rows, cols, vals = zip(*triplets)
+        return cls(
+            shape,
+            np.asarray(rows, dtype=np.int64),
+            np.asarray(cols, dtype=np.int64),
+            np.asarray(vals, dtype=np.float64),
+        )
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CooMatrix":
+        """Build a COO matrix holding every non-zero of a dense 2-D array."""
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 2:
+            raise ShapeMismatchError(f"expected a 2-D array, got ndim={dense.ndim}")
+        row, col = np.nonzero(dense)
+        return cls(dense.shape, row, col, dense[row, col])
+
+    # ------------------------------------------------------------------
+    # Properties and conversions
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries (duplicates counted separately)."""
+        return int(self.data.size)
+
+    def transpose(self) -> "CooMatrix":
+        """Return the transpose (swaps row/col index arrays; O(1) copies)."""
+        return CooMatrix(
+            (self.shape[1], self.shape[0]), self.col.copy(), self.row.copy(), self.data.copy()
+        )
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize as a dense float64 array, summing duplicates."""
+        out = np.zeros(self.shape, dtype=np.float64)
+        np.add.at(out, (self.row, self.col), self.data)
+        return out
+
+    def deduplicated(self) -> "CooMatrix":
+        """Return an equivalent COO matrix with duplicates summed and sorted.
+
+        Entries come back in row-major (row, then column) order, with exact
+        zeros produced by cancellation retained (they are structural).
+        """
+        if self.nnz == 0:
+            return self
+        order = np.lexsort((self.col, self.row))
+        row, col, data = self.row[order], self.col[order], self.data[order]
+        first = np.ones(row.size, dtype=bool)
+        first[1:] = (row[1:] != row[:-1]) | (col[1:] != col[:-1])
+        group = np.cumsum(first) - 1
+        summed = np.zeros(int(group[-1]) + 1, dtype=np.float64)
+        np.add.at(summed, group, data)
+        return CooMatrix(self.shape, row[first], col[first], summed)
+
+    def to_csr(self):
+        """Convert to :class:`repro.sparse.csr.CsrMatrix`, summing duplicates."""
+        from repro.sparse.csr import CsrMatrix
+
+        dedup = self.deduplicated()
+        n_rows = self.shape[0]
+        counts = np.bincount(dedup.row, minlength=n_rows)
+        indptr = np.zeros(n_rows + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return CsrMatrix(self.shape, indptr, dedup.col, dedup.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CooMatrix(shape={self.shape}, nnz={self.nnz})"

@@ -1,0 +1,334 @@
+"""Compressed Sparse Row (CSR) matrices and their computational kernels.
+
+This is the storage format used throughout the library, matching the paper's
+experimental setup (Section IV-B: "the evaluated matrices were stored in the
+compressed sparse row storage format").  All kernels are vectorized with
+NumPy; none delegate to SciPy — the substrate is built from scratch.
+
+The two kernels the ABFT scheme cares about are:
+
+* :meth:`CsrMatrix.matvec` — the full SpMV ``r = A b``;
+* :meth:`CsrMatrix.matvec_rows` — the *partial* SpMV over a row range,
+  which is what error correction recomputes for an erroneous block.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ShapeMismatchError, SparseFormatError
+
+
+def _segment_sums(values: np.ndarray, indptr: np.ndarray, n_segments: int) -> np.ndarray:
+    """Sum ``values`` over the segments delimited by ``indptr``.
+
+    Segment ``i`` covers ``values[indptr[i]:indptr[i+1]]``; empty segments
+    yield 0.  This is the reduction at the heart of every CSR row operation
+    (SpMV row sums, row norms, row counts).
+    """
+    out = np.zeros(n_segments, dtype=np.float64)
+    if values.size == 0:
+        return out
+    lengths = np.diff(indptr)
+    nonempty = lengths > 0
+    if not nonempty.any():
+        return out
+    starts = indptr[:-1][nonempty]
+    # np.add.reduceat sums values[starts[k]:starts[k+1]]; because segments of
+    # empty rows contribute no entries, consecutive non-empty starts delimit
+    # exactly one logical row each.
+    out[nonempty] = np.add.reduceat(values, starts)
+    return out
+
+
+class CsrMatrix:
+    """An immutable sparse matrix in compressed sparse row format.
+
+    Attributes:
+        shape: ``(n_rows, n_cols)``.
+        indptr: int64 array of length ``n_rows + 1``; row ``i`` owns the
+            entry range ``[indptr[i], indptr[i+1])``.
+        indices: int64 array of column indices, sorted within each row.
+        data: float64 array of values aligned with ``indices``.
+    """
+
+    __slots__ = ("shape", "indptr", "indices", "data", "_entry_rows")
+
+    def __init__(
+        self,
+        shape: Tuple[int, int],
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+    ) -> None:
+        self.shape = (int(shape[0]), int(shape[1]))
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        self.data = np.ascontiguousarray(data, dtype=np.float64)
+        self._entry_rows: np.ndarray | None = None
+        self._validate()
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        n_rows, n_cols = self.shape
+        if n_rows < 0 or n_cols < 0:
+            raise SparseFormatError(f"negative dimension in shape {self.shape}")
+        if self.indptr.shape != (n_rows + 1,):
+            raise SparseFormatError(
+                f"indptr must have length n_rows+1={n_rows + 1}, got {self.indptr.shape}"
+            )
+        if self.indptr[0] != 0:
+            raise SparseFormatError("indptr[0] must be 0")
+        if self.indptr[-1] != self.indices.size:
+            raise SparseFormatError(
+                f"indptr[-1]={self.indptr[-1]} does not match nnz={self.indices.size}"
+            )
+        if np.any(np.diff(self.indptr) < 0):
+            raise SparseFormatError("indptr must be non-decreasing")
+        if self.indices.shape != self.data.shape:
+            raise SparseFormatError("indices and data must have equal length")
+        if self.indices.size:
+            if self.indices.min() < 0 or self.indices.max() >= n_cols:
+                raise SparseFormatError("column index out of range")
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries."""
+        return int(self.data.size)
+
+    @property
+    def n_rows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def n_cols(self) -> int:
+        return self.shape[1]
+
+    @property
+    def density(self) -> float:
+        """Fraction of stored entries relative to the full ``m * n`` grid."""
+        cells = self.shape[0] * self.shape[1]
+        return self.nnz / cells if cells else 0.0
+
+    def row_lengths(self) -> np.ndarray:
+        """Number of stored entries per row."""
+        return np.diff(self.indptr)
+
+    def entry_rows(self) -> np.ndarray:
+        """Row index of every stored entry (cached; used by scatter kernels)."""
+        if self._entry_rows is None:
+            self._entry_rows = np.repeat(
+                np.arange(self.n_rows, dtype=np.int64), self.row_lengths()
+            )
+        return self._entry_rows
+
+    # ------------------------------------------------------------------
+    # Kernels
+    # ------------------------------------------------------------------
+    def matvec(self, b: np.ndarray) -> np.ndarray:
+        """Sparse matrix-vector product ``r = A b``."""
+        b = np.asarray(b, dtype=np.float64)
+        if b.shape != (self.n_cols,):
+            raise ShapeMismatchError(
+                f"operand has shape {b.shape}, expected ({self.n_cols},)"
+            )
+        products = self.data * b[self.indices]
+        return _segment_sums(products, self.indptr, self.n_rows)
+
+    def __matmul__(self, b: np.ndarray) -> np.ndarray:
+        return self.matvec(b)
+
+    def matvec_rows(self, row_start: int, row_stop: int, b: np.ndarray) -> np.ndarray:
+        """Partial SpMV over rows ``[row_start, row_stop)``.
+
+        This is the correction kernel: an erroneous result block is repaired
+        by recomputing exactly these rows.  Cost is proportional to the nnz
+        of the selected rows only.
+        """
+        row_start, row_stop = self._check_row_range(row_start, row_stop)
+        b = np.asarray(b, dtype=np.float64)
+        if b.shape != (self.n_cols,):
+            raise ShapeMismatchError(
+                f"operand has shape {b.shape}, expected ({self.n_cols},)"
+            )
+        lo, hi = self.indptr[row_start], self.indptr[row_stop]
+        products = self.data[lo:hi] * b[self.indices[lo:hi]]
+        local_indptr = self.indptr[row_start : row_stop + 1] - lo
+        return _segment_sums(products, local_indptr, row_stop - row_start)
+
+    def matmat(self, b: np.ndarray) -> np.ndarray:
+        """Sparse-matrix × dense-block product ``R = A B`` (SpMM).
+
+        Args:
+            b: dense operand block of shape ``(n_cols, k)``.
+
+        Returns:
+            Dense result of shape ``(n_rows, k)``.
+        """
+        b = np.asarray(b, dtype=np.float64)
+        if b.ndim != 2 or b.shape[0] != self.n_cols:
+            raise ShapeMismatchError(
+                f"operand block has shape {b.shape}, expected ({self.n_cols}, k)"
+            )
+        products = self.data[:, None] * b[self.indices]
+        out = np.zeros((self.n_rows, b.shape[1]), dtype=np.float64)
+        if products.size == 0:
+            return out
+        lengths = np.diff(self.indptr)
+        nonempty = lengths > 0
+        if nonempty.any():
+            starts = self.indptr[:-1][nonempty]
+            out[nonempty] = np.add.reduceat(products, starts, axis=0)
+        return out
+
+    def matmat_rows(self, row_start: int, row_stop: int, b: np.ndarray) -> np.ndarray:
+        """Partial SpMM over rows ``[row_start, row_stop)`` (correction kernel)."""
+        row_start, row_stop = self._check_row_range(row_start, row_stop)
+        b = np.asarray(b, dtype=np.float64)
+        if b.ndim != 2 or b.shape[0] != self.n_cols:
+            raise ShapeMismatchError(
+                f"operand block has shape {b.shape}, expected ({self.n_cols}, k)"
+            )
+        lo, hi = self.indptr[row_start], self.indptr[row_stop]
+        products = self.data[lo:hi, None] * b[self.indices[lo:hi]]
+        n_rows = row_stop - row_start
+        out = np.zeros((n_rows, b.shape[1]), dtype=np.float64)
+        if products.size == 0:
+            return out
+        local_indptr = self.indptr[row_start : row_stop + 1] - lo
+        lengths = np.diff(local_indptr)
+        nonempty = lengths > 0
+        if nonempty.any():
+            starts = local_indptr[:-1][nonempty]
+            out[nonempty] = np.add.reduceat(products, starts, axis=0)
+        return out
+
+    def rmatvec(self, w: np.ndarray) -> np.ndarray:
+        """Transposed product ``A^T w`` (used to build dense checksum vectors)."""
+        w = np.asarray(w, dtype=np.float64)
+        if w.shape != (self.n_rows,):
+            raise ShapeMismatchError(
+                f"operand has shape {w.shape}, expected ({self.n_rows},)"
+            )
+        weighted = self.data * w[self.entry_rows()]
+        return np.bincount(self.indices, weights=weighted, minlength=self.n_cols)
+
+    def row_norms(self) -> np.ndarray:
+        """Euclidean norm of every row (the ``||a_i||_2`` of the error bound)."""
+        return np.sqrt(_segment_sums(self.data**2, self.indptr, self.n_rows))
+
+    def diagonal(self) -> np.ndarray:
+        """Main-diagonal entries as a dense vector (zeros where unstored)."""
+        n = min(self.shape)
+        diag = np.zeros(n, dtype=np.float64)
+        rows = self.entry_rows()
+        on_diag = rows == self.indices
+        diag_rows = rows[on_diag]
+        keep = diag_rows < n
+        diag[diag_rows[keep]] = self.data[on_diag][keep]
+        return diag
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+    def _check_row_range(self, row_start: int, row_stop: int) -> Tuple[int, int]:
+        row_start, row_stop = int(row_start), int(row_stop)
+        if not (0 <= row_start <= row_stop <= self.n_rows):
+            raise ShapeMismatchError(
+                f"row range [{row_start}, {row_stop}) invalid for {self.n_rows} rows"
+            )
+        return row_start, row_stop
+
+    def nnz_in_rows(self, row_start: int, row_stop: int) -> int:
+        """Stored-entry count of the row range ``[row_start, row_stop)``."""
+        row_start, row_stop = self._check_row_range(row_start, row_stop)
+        return int(self.indptr[row_stop] - self.indptr[row_start])
+
+    def nonempty_columns(self, row_start: int, row_stop: int) -> np.ndarray:
+        """Sorted unique column indices with at least one entry in the rows.
+
+        This is the structural analysis of Figure 2 of the paper: the
+        checksum matrix stores an element for block ``k`` and column ``j``
+        only if some row of block ``k`` has an entry in column ``j``.
+        """
+        row_start, row_stop = self._check_row_range(row_start, row_stop)
+        lo, hi = self.indptr[row_start], self.indptr[row_stop]
+        return np.unique(self.indices[lo:hi])
+
+    def row_slice(self, row_start: int, row_stop: int) -> "CsrMatrix":
+        """Extract rows ``[row_start, row_stop)`` as a new CSR matrix."""
+        row_start, row_stop = self._check_row_range(row_start, row_stop)
+        lo, hi = self.indptr[row_start], self.indptr[row_stop]
+        return CsrMatrix(
+            (row_stop - row_start, self.n_cols),
+            self.indptr[row_start : row_stop + 1] - lo,
+            self.indices[lo:hi].copy(),
+            self.data[lo:hi].copy(),
+        )
+
+    # ------------------------------------------------------------------
+    # Conversions and algebra
+    # ------------------------------------------------------------------
+    def to_coo(self):
+        """Convert to :class:`repro.sparse.coo.CooMatrix`."""
+        from repro.sparse.coo import CooMatrix
+
+        return CooMatrix(self.shape, self.entry_rows().copy(), self.indices.copy(), self.data.copy())
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize as a dense float64 array."""
+        out = np.zeros(self.shape, dtype=np.float64)
+        out[self.entry_rows(), self.indices] = self.data
+        return out
+
+    def transpose(self) -> "CsrMatrix":
+        """Return ``A^T`` as a new CSR matrix."""
+        return self.to_coo().transpose().to_csr()
+
+    def scaled(self, factor: float) -> "CsrMatrix":
+        """Return ``factor * A`` with the same sparsity structure."""
+        return CsrMatrix(self.shape, self.indptr.copy(), self.indices.copy(), self.data * factor)
+
+    def with_data(self, data: np.ndarray) -> "CsrMatrix":
+        """Return a matrix with this structure but new entry values."""
+        data = np.asarray(data, dtype=np.float64)
+        if data.shape != self.data.shape:
+            raise ShapeMismatchError(
+                f"data length {data.shape} does not match nnz {self.data.shape}"
+            )
+        return CsrMatrix(self.shape, self.indptr.copy(), self.indices.copy(), data)
+
+    def is_symmetric(self, rtol: float = 1e-12) -> bool:
+        """True if ``A`` equals ``A^T`` within a relative tolerance."""
+        if self.shape[0] != self.shape[1]:
+            return False
+        at = self.transpose()
+        if not np.array_equal(at.indptr, self.indptr) or not np.array_equal(
+            at.indices, self.indices
+        ):
+            return False
+        scale = np.abs(self.data).max(initial=0.0)
+        return bool(np.allclose(at.data, self.data, rtol=rtol, atol=rtol * scale))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CsrMatrix):
+            return NotImplemented
+        return (
+            self.shape == other.shape
+            and np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.indices, other.indices)
+            and np.array_equal(self.data, other.data)
+        )
+
+    def __hash__(self) -> None:  # type: ignore[override]
+        raise TypeError("CsrMatrix is not hashable")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CsrMatrix(shape={self.shape}, nnz={self.nnz})"

@@ -1,0 +1,136 @@
+"""ELLPACK (ELL) sparse format: fixed-width padded rows.
+
+The GPU-friendly counterpart to CSR: every row stores exactly ``width``
+(column, value) slots, padding short rows, so threads across rows access
+memory with perfect coalescing.  The cost is padding waste on irregular
+matrices — quantified by :meth:`EllMatrix.padding_ratio`, and the reason
+CSR remains the paper's (and this library's) primary format.
+
+Provided for substrate completeness and for the measured-time kernel
+benchmarks; the ABFT layer itself is format-agnostic at the math level but
+implemented against CSR.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ShapeMismatchError, SparseFormatError
+from repro.sparse.coo import CooMatrix
+from repro.sparse.csr import CsrMatrix
+
+
+class EllMatrix:
+    """An immutable ELLPACK matrix.
+
+    Attributes:
+        shape: ``(n_rows, n_cols)``.
+        indices: ``(n_rows, width)`` int64 column indices; padded slots
+            hold 0 and are marked in ``mask``.
+        data: ``(n_rows, width)`` float64 values; padded slots hold 0.0.
+        mask: ``(n_rows, width)`` bool; True for real entries.
+    """
+
+    __slots__ = ("shape", "indices", "data", "mask")
+
+    def __init__(
+        self,
+        shape: Tuple[int, int],
+        indices: np.ndarray,
+        data: np.ndarray,
+        mask: np.ndarray,
+    ) -> None:
+        self.shape = (int(shape[0]), int(shape[1]))
+        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        self.data = np.ascontiguousarray(data, dtype=np.float64)
+        self.mask = np.ascontiguousarray(mask, dtype=bool)
+        self._validate()
+
+    def _validate(self) -> None:
+        n_rows, n_cols = self.shape
+        if n_rows < 0 or n_cols < 0:
+            raise SparseFormatError(f"negative dimension in shape {self.shape}")
+        if not (self.indices.shape == self.data.shape == self.mask.shape):
+            raise SparseFormatError(
+                "indices, data and mask must share one (n_rows, width) shape"
+            )
+        if self.indices.ndim != 2 or self.indices.shape[0] != n_rows:
+            raise SparseFormatError(
+                f"expected ({n_rows}, width) arrays, got {self.indices.shape}"
+            )
+        if self.indices.size:
+            if self.indices.min() < 0 or (n_cols and self.indices.max() >= n_cols):
+                raise SparseFormatError("column index out of range")
+            if (self.data[~self.mask] != 0.0).any():
+                raise SparseFormatError("padded slots must hold 0.0")
+
+    # ------------------------------------------------------------------
+    # Construction / conversion
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_csr(cls, csr: CsrMatrix) -> "EllMatrix":
+        """Convert a CSR matrix, padding every row to the maximum length."""
+        n_rows, n_cols = csr.shape
+        lengths = csr.row_lengths()
+        width = int(lengths.max(initial=0))
+        indices = np.zeros((n_rows, width), dtype=np.int64)
+        data = np.zeros((n_rows, width), dtype=np.float64)
+        mask = np.zeros((n_rows, width), dtype=bool)
+        for row in range(n_rows):
+            lo, hi = csr.indptr[row], csr.indptr[row + 1]
+            count = hi - lo
+            indices[row, :count] = csr.indices[lo:hi]
+            data[row, :count] = csr.data[lo:hi]
+            mask[row, :count] = True
+        return cls(csr.shape, indices, data, mask)
+
+    def to_csr(self) -> CsrMatrix:
+        """Convert back to CSR (padding dropped)."""
+        rows, slots = np.nonzero(self.mask)
+        return CooMatrix(
+            self.shape, rows, self.indices[rows, slots], self.data[rows, slots]
+        ).to_csr()
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> int:
+        """Stored slots per row (the maximum row length of the source)."""
+        return int(self.indices.shape[1])
+
+    @property
+    def nnz(self) -> int:
+        """Real (non-padding) entries."""
+        return int(self.mask.sum())
+
+    @property
+    def padding_ratio(self) -> float:
+        """Fraction of stored slots that are padding (0 = perfectly regular)."""
+        slots = self.mask.size
+        return 1.0 - self.nnz / slots if slots else 0.0
+
+    # ------------------------------------------------------------------
+    # Kernels
+    # ------------------------------------------------------------------
+    def matvec(self, b: np.ndarray) -> np.ndarray:
+        """SpMV; padded slots contribute exactly zero."""
+        b = np.asarray(b, dtype=np.float64)
+        if b.shape != (self.shape[1],):
+            raise ShapeMismatchError(
+                f"operand has shape {b.shape}, expected ({self.shape[1]},)"
+            )
+        if self.indices.size == 0:
+            return np.zeros(self.shape[0])
+        return (self.data * b[self.indices]).sum(axis=1)
+
+    def __matmul__(self, b: np.ndarray) -> np.ndarray:
+        return self.matvec(b)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EllMatrix(shape={self.shape}, width={self.width}, nnz={self.nnz}, "
+            f"padding={self.padding_ratio:.1%})"
+        )

@@ -1,0 +1,229 @@
+"""Synthetic sparse-matrix generators.
+
+The paper evaluates on 25 symmetric positive-definite matrices from the
+Florida (SuiteSparse) collection.  This environment has no network access, so
+:mod:`repro.sparse.suite` substitutes synthetic analogues built from the
+generators in this module.  All generators return SPD matrices in CSR form:
+
+* :func:`poisson2d` / :func:`poisson3d` — classic finite-difference
+  Laplacians (the canonical PCG model problems);
+* :func:`banded_spd` — random banded SPD matrices with controllable
+  bandwidth and in-band density;
+* :func:`random_spd` — random SPD matrices with a target nnz and a
+  locality parameter that mimics the clustered structure of FEM meshes.
+
+SPD-ness is obtained by making every matrix strictly diagonally dominant
+with a positive diagonal, which is sufficient (Gershgorin) and keeps the
+generators simple and robust.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sparse.coo import CooMatrix
+from repro.sparse.csr import CsrMatrix
+
+
+def _spd_from_offdiag(
+    n: int, rows: np.ndarray, cols: np.ndarray, vals: np.ndarray, dominance: float
+) -> CsrMatrix:
+    """Assemble an SPD CSR matrix from off-diagonal triplets.
+
+    The triplets are symmetrized (both ``(i, j)`` and ``(j, i)`` are stored)
+    and a diagonal is added so that every row satisfies
+    ``a_ii = sum_j |a_ij| + dominance``.
+    """
+    keep = rows != cols
+    rows, cols, vals = rows[keep], cols[keep], vals[keep]
+    sym_rows = np.concatenate([rows, cols])
+    sym_cols = np.concatenate([cols, rows])
+    sym_vals = np.concatenate([vals, vals])
+    off = CooMatrix((n, n), sym_rows, sym_cols, sym_vals).deduplicated()
+    row_abs = np.zeros(n, dtype=np.float64)
+    np.add.at(row_abs, off.row, np.abs(off.data))
+    diag = row_abs + dominance
+    all_rows = np.concatenate([off.row, np.arange(n, dtype=np.int64)])
+    all_cols = np.concatenate([off.col, np.arange(n, dtype=np.int64)])
+    all_vals = np.concatenate([off.data, diag])
+    return CooMatrix((n, n), all_rows, all_cols, all_vals).to_csr()
+
+
+def poisson2d(nx: int, ny: int | None = None) -> CsrMatrix:
+    """Five-point finite-difference Laplacian on an ``nx`` x ``ny`` grid.
+
+    Returns the standard SPD matrix with 4 on the diagonal and -1 for each
+    of the (up to four) grid neighbours.  ``n = nx * ny``.
+    """
+    if nx <= 0:
+        raise ConfigurationError(f"grid dimension must be positive, got nx={nx}")
+    ny = nx if ny is None else ny
+    if ny <= 0:
+        raise ConfigurationError(f"grid dimension must be positive, got ny={ny}")
+    idx = np.arange(nx * ny, dtype=np.int64).reshape(ny, nx)
+    right = np.stack([idx[:, :-1].ravel(), idx[:, 1:].ravel()])
+    down = np.stack([idx[:-1, :].ravel(), idx[1:, :].ravel()])
+    pairs = np.concatenate([right, down], axis=1)
+    vals = np.full(pairs.shape[1], -1.0)
+    n = nx * ny
+    # Dominance of 0 would give the singular Neumann Laplacian; the classic
+    # Dirichlet matrix keeps the diagonal at 4 everywhere, so boundary rows
+    # are strictly dominant and the matrix is SPD.
+    keep = pairs[0] != pairs[1]
+    rows, cols, v = pairs[0][keep], pairs[1][keep], vals[keep]
+    sym_rows = np.concatenate([rows, cols])
+    sym_cols = np.concatenate([cols, rows])
+    sym_vals = np.concatenate([v, v])
+    diag_rows = np.arange(n, dtype=np.int64)
+    diag_vals = np.full(n, 4.0)
+    all_rows = np.concatenate([sym_rows, diag_rows])
+    all_cols = np.concatenate([sym_cols, diag_rows])
+    all_vals = np.concatenate([sym_vals, diag_vals])
+    return CooMatrix((n, n), all_rows, all_cols, all_vals).to_csr()
+
+
+def poisson3d(nx: int, ny: int | None = None, nz: int | None = None) -> CsrMatrix:
+    """Seven-point finite-difference Laplacian on an ``nx*ny*nz`` grid."""
+    if nx <= 0:
+        raise ConfigurationError(f"grid dimension must be positive, got nx={nx}")
+    ny = nx if ny is None else ny
+    nz = nx if nz is None else nz
+    if ny <= 0 or nz <= 0:
+        raise ConfigurationError("grid dimensions must be positive")
+    idx = np.arange(nx * ny * nz, dtype=np.int64).reshape(nz, ny, nx)
+    pairs = [
+        np.stack([idx[:, :, :-1].ravel(), idx[:, :, 1:].ravel()]),
+        np.stack([idx[:, :-1, :].ravel(), idx[:, 1:, :].ravel()]),
+        np.stack([idx[:-1, :, :].ravel(), idx[1:, :, :].ravel()]),
+    ]
+    pairs = np.concatenate(pairs, axis=1)
+    n = nx * ny * nz
+    rows, cols = pairs[0], pairs[1]
+    sym_rows = np.concatenate([rows, cols])
+    sym_cols = np.concatenate([cols, rows])
+    sym_vals = np.full(sym_rows.size, -1.0)
+    diag_rows = np.arange(n, dtype=np.int64)
+    all_rows = np.concatenate([sym_rows, diag_rows])
+    all_cols = np.concatenate([sym_cols, diag_rows])
+    all_vals = np.concatenate([sym_vals, np.full(n, 6.0)])
+    return CooMatrix((n, n), all_rows, all_cols, all_vals).to_csr()
+
+
+def banded_spd(
+    n: int,
+    half_bandwidth: int,
+    in_band_density: float = 1.0,
+    seed: int | np.random.Generator = 0,
+    dominance: float = 1.0,
+) -> CsrMatrix:
+    """Random SPD matrix whose entries live within a diagonal band.
+
+    Args:
+        n: matrix dimension.
+        half_bandwidth: maximum ``|i - j|`` of stored off-diagonal entries.
+        in_band_density: probability that an in-band position is non-zero.
+        seed: RNG seed or generator.
+        dominance: additive diagonal slack (larger means better conditioned).
+    """
+    if n <= 0:
+        raise ConfigurationError(f"dimension must be positive, got n={n}")
+    if half_bandwidth < 0 or half_bandwidth >= n:
+        raise ConfigurationError(
+            f"half_bandwidth must be in [0, n), got {half_bandwidth} for n={n}"
+        )
+    if not 0.0 <= in_band_density <= 1.0:
+        raise ConfigurationError(f"in_band_density must be in [0, 1], got {in_band_density}")
+    rng = np.random.default_rng(seed)
+    rows_list = []
+    cols_list = []
+    for offset in range(1, half_bandwidth + 1):
+        count = n - offset
+        mask = rng.random(count) < in_band_density
+        i = np.nonzero(mask)[0].astype(np.int64)
+        rows_list.append(i + offset)
+        cols_list.append(i)
+    if rows_list:
+        rows = np.concatenate(rows_list)
+        cols = np.concatenate(cols_list)
+    else:
+        rows = np.empty(0, dtype=np.int64)
+        cols = np.empty(0, dtype=np.int64)
+    vals = -rng.random(rows.size)  # negative off-diagonals, Laplacian-like
+    return _spd_from_offdiag(n, rows, cols, vals, dominance)
+
+
+def random_spd(
+    n: int,
+    nnz_target: int,
+    locality: float = 0.05,
+    seed: int | np.random.Generator = 0,
+    dominance: float = 1.0,
+) -> CsrMatrix:
+    """Random SPD matrix with approximately ``nnz_target`` stored entries.
+
+    Off-diagonal positions are drawn with column offsets from a folded
+    normal distribution of scale ``locality * n``, which clusters entries
+    near the diagonal the way FEM discretizations do.  The realized nnz is
+    close to (but, because duplicates are merged, not exactly) the target.
+
+    Args:
+        n: matrix dimension.
+        nnz_target: desired total stored entries, including the diagonal.
+        locality: off-diagonal spread as a fraction of ``n`` (smaller is
+            more banded).
+        seed: RNG seed or generator.
+        dominance: additive diagonal slack.
+    """
+    if n <= 0:
+        raise ConfigurationError(f"dimension must be positive, got n={n}")
+    if nnz_target < n:
+        raise ConfigurationError(
+            f"nnz_target must cover at least the diagonal (n={n}), got {nnz_target}"
+        )
+    if locality <= 0:
+        raise ConfigurationError(f"locality must be positive, got {locality}")
+    rng = np.random.default_rng(seed)
+    # Each sampled pair is stored twice (symmetrization); diagonal adds n.
+    n_pairs = max(0, (nnz_target - n) // 2)
+    spread = max(1.0, locality * n)
+    # Tight bands collide heavily, so sample in rounds until the deduplicated
+    # pair count reaches the target (or the band saturates).
+    pair_ids = np.empty(0, dtype=np.int64)
+    for _ in range(12):
+        deficit = n_pairs - pair_ids.size
+        if deficit <= 0:
+            break
+        n_draw = int(deficit * 1.3) + 8
+        draw_rows = rng.integers(0, n, size=n_draw).astype(np.int64)
+        offsets = np.rint(rng.normal(0.0, spread, size=n_draw)).astype(np.int64)
+        offsets[offsets == 0] = 1
+        draw_cols = np.clip(draw_rows + offsets, 0, n - 1)
+        keep = draw_rows != draw_cols
+        draw_rows, draw_cols = draw_rows[keep], draw_cols[keep]
+        # Canonicalize to the lower triangle so symmetric duplicates merge.
+        lo = np.minimum(draw_rows, draw_cols)
+        hi = np.maximum(draw_rows, draw_cols)
+        pair_ids = np.unique(np.concatenate([pair_ids, hi * n + lo]))
+    if pair_ids.size > n_pairs:
+        pick = rng.permutation(pair_ids.size)[:n_pairs]
+        pair_ids = pair_ids[pick]
+    rows = pair_ids // n
+    cols = pair_ids % n
+    vals = -rng.random(rows.size)
+    return _spd_from_offdiag(n, rows, cols, vals, dominance)
+
+
+def arrowhead_spd(n: int, seed: int | np.random.Generator = 0) -> CsrMatrix:
+    """SPD arrowhead matrix (dense first row/column plus diagonal).
+
+    A pathological pattern for block checksum schemes: one block sees every
+    column.  Used by tests and ablations as a structural corner case.
+    """
+    if n <= 1:
+        raise ConfigurationError(f"arrowhead needs n >= 2, got n={n}")
+    rng = np.random.default_rng(seed)
+    rows = np.arange(1, n, dtype=np.int64)
+    cols = np.zeros(n - 1, dtype=np.int64)
+    vals = -rng.random(n - 1)
+    return _spd_from_offdiag(n, rows, cols, vals, dominance=1.0)

@@ -1,0 +1,133 @@
+"""Minimal MatrixMarket I/O for sparse matrices.
+
+Supports the ``matrix coordinate real {general,symmetric}`` flavour used by
+the SuiteSparse / University of Florida collection from which the paper draws
+its benchmark set.  Reading a symmetric file expands the stored lower (or
+upper) triangle to the full matrix, which is the convention the collection
+uses.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO, Union
+
+import numpy as np
+
+from repro.errors import SparseFormatError
+from repro.sparse.coo import CooMatrix
+from repro.sparse.csr import CsrMatrix
+
+_HEADER_PREFIX = "%%MatrixMarket"
+
+
+def read_matrix_market(source: Union[str, Path, TextIO]) -> CsrMatrix:
+    """Read a MatrixMarket coordinate-real file into a CSR matrix.
+
+    Args:
+        source: path to a ``.mtx`` file or an open text stream.
+
+    Returns:
+        The matrix in CSR form, with symmetric storage expanded.
+
+    Raises:
+        SparseFormatError: on malformed headers, unsupported qualifiers,
+            or entry counts that disagree with the header.
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="ascii") as handle:
+            return read_matrix_market(handle)
+
+    header = source.readline()
+    if not header.startswith(_HEADER_PREFIX):
+        raise SparseFormatError(f"not a MatrixMarket file: {header!r}")
+    fields = header.strip().split()
+    if len(fields) != 5:
+        raise SparseFormatError(f"malformed MatrixMarket header: {header!r}")
+    _, obj, fmt, field, symmetry = (f.lower() for f in fields)
+    if obj != "matrix" or fmt != "coordinate":
+        raise SparseFormatError(f"unsupported MatrixMarket object/format: {header!r}")
+    if field not in ("real", "integer"):
+        raise SparseFormatError(f"unsupported field type {field!r} (only real/integer)")
+    if symmetry not in ("general", "symmetric"):
+        raise SparseFormatError(f"unsupported symmetry {symmetry!r}")
+
+    size_line = ""
+    for line in source:
+        stripped = line.strip()
+        if stripped and not stripped.startswith("%"):
+            size_line = stripped
+            break
+    if not size_line:
+        raise SparseFormatError("missing size line")
+    try:
+        n_rows, n_cols, n_entries = (int(tok) for tok in size_line.split())
+    except ValueError as exc:
+        raise SparseFormatError(f"malformed size line: {size_line!r}") from exc
+
+    rows = np.empty(n_entries, dtype=np.int64)
+    cols = np.empty(n_entries, dtype=np.int64)
+    vals = np.empty(n_entries, dtype=np.float64)
+    count = 0
+    for line in source:
+        stripped = line.strip()
+        if not stripped or stripped.startswith("%"):
+            continue
+        tokens = stripped.split()
+        if len(tokens) != 3:
+            raise SparseFormatError(f"malformed entry line: {stripped!r}")
+        if count >= n_entries:
+            raise SparseFormatError("more entries than declared in the size line")
+        rows[count] = int(tokens[0]) - 1
+        cols[count] = int(tokens[1]) - 1
+        vals[count] = float(tokens[2])
+        count += 1
+    if count != n_entries:
+        raise SparseFormatError(
+            f"expected {n_entries} entries, found {count}"
+        )
+
+    if symmetry == "symmetric":
+        off_diag = rows != cols
+        rows = np.concatenate([rows, cols[off_diag]])
+        cols = np.concatenate([cols, rows[: count][off_diag]])
+        vals = np.concatenate([vals, vals[off_diag]])
+
+    return CooMatrix((n_rows, n_cols), rows, cols, vals).to_csr()
+
+
+def write_matrix_market(
+    matrix: CsrMatrix, target: Union[str, Path, TextIO], symmetric: bool = False
+) -> None:
+    """Write a CSR matrix as a MatrixMarket coordinate-real file.
+
+    Args:
+        matrix: the matrix to serialize.
+        target: path or open text stream.
+        symmetric: if True, store only the lower triangle with a
+            ``symmetric`` qualifier (the matrix must actually be symmetric;
+            this is not verified here for speed).
+    """
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="ascii") as handle:
+            write_matrix_market(matrix, handle, symmetric=symmetric)
+        return
+
+    coo = matrix.to_coo()
+    rows, cols, vals = coo.row, coo.col, coo.data
+    if symmetric:
+        keep = rows >= cols
+        rows, cols, vals = rows[keep], cols[keep], vals[keep]
+    qualifier = "symmetric" if symmetric else "general"
+    target.write(f"%%MatrixMarket matrix coordinate real {qualifier}\n")
+    target.write(f"{matrix.n_rows} {matrix.n_cols} {vals.size}\n")
+    for i, j, v in zip(rows, cols, vals):
+        target.write(f"{i + 1} {j + 1} {float(v)!r}\n")
+
+
+def matrix_market_string(matrix: CsrMatrix, symmetric: bool = False) -> str:
+    """Serialize a matrix to a MatrixMarket string (round-trip helper)."""
+    buffer = io.StringIO()
+    write_matrix_market(matrix, buffer, symmetric=symmetric)
+    return buffer.getvalue()

@@ -1,0 +1,175 @@
+"""Synthetic analogues of the paper's Table I benchmark suite.
+
+The paper evaluates 25 square, symmetric, real, positive-definite matrices
+from the Florida (SuiteSparse) collection.  Without network access the
+originals cannot be fetched, so this module generates synthetic SPD
+stand-ins that match each matrix's dimension ``N`` and nonzero count ``NNZ``
+(and therefore its density and average row degree), using the locality-aware
+generator :func:`repro.sparse.generators.random_spd`.
+
+The four largest matrices are also offered at a *reduced scale* (same
+average row degree, smaller ``N``) so that injection campaigns complete in
+reasonable wall-clock time on a laptop; pass ``full_scale=True`` to get the
+paper's dimensions.  DESIGN.md documents this substitution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.errors import ConfigurationError
+from repro.sparse.csr import CsrMatrix
+from repro.sparse.generators import random_spd
+
+
+@dataclass(frozen=True)
+class MatrixSpec:
+    """Metadata for one Table I matrix.
+
+    Attributes:
+        name: SuiteSparse matrix name as printed in Table I.
+        n: paper dimension (matrices are ``n`` x ``n``).
+        nnz: paper nonzero count.
+        reduced_n: dimension used when ``full_scale=False``; equals ``n``
+            for all but the largest matrices.
+        locality: off-diagonal spread passed to the generator as a fraction
+            of ``n``; ``None`` (the default) derives it from the row degree
+            so that rows within a checksum block share most of their
+            columns, the way locally-numbered FEM meshes do.
+    """
+
+    name: str
+    n: int
+    nnz: int
+    reduced_n: int
+    locality: float | None = None
+
+    def locality_at(self, n: int) -> float:
+        """Band spread (fraction of ``n``) for a matrix of dimension ``n``.
+
+        Defaults to a band of about 0.4 row degrees (minimum 6 columns) —
+        dense rows then overlap heavily inside a 32-row block, keeping the
+        checksum matrix small exactly where the paper's FEM matrices do.
+        """
+        if self.locality is not None:
+            return self.locality
+        spread = max(6.0, 0.4 * self.row_degree)
+        return min(0.25, spread / n)
+
+    @property
+    def row_degree(self) -> float:
+        """Average stored entries per row in the paper's matrix."""
+        return self.nnz / self.n
+
+    def nnz_at(self, n: int) -> int:
+        """Target nnz preserving the paper's average row degree at size n."""
+        return max(n, int(round(self.row_degree * n)))
+
+    @property
+    def zero_fraction(self) -> float:
+        """Portion of zeros, as printed in Table I."""
+        return 1.0 - self.nnz / (self.n * self.n)
+
+
+#: Table I of the paper, ordered by increasing NNZ (the order used by
+#: Figures 5-7).  ``reduced_n`` shrinks only the last six entries.
+SUITE_SPECS: Sequence[MatrixSpec] = (
+    MatrixSpec("nos3", 960, 15844, 960),
+    MatrixSpec("bcsstk21", 3600, 26600, 3600),
+    MatrixSpec("bcsstk11", 1473, 34241, 1473),
+    MatrixSpec("ex3", 2410, 54840, 2410),
+    MatrixSpec("ex10hs", 2548, 57308, 2548),
+    MatrixSpec("nasa2146", 2146, 72250, 2146),
+    MatrixSpec("sts4098", 4098, 72356, 4098),
+    MatrixSpec("bcsstk13", 2003, 83883, 2003),
+    MatrixSpec("msc04515", 4515, 97707, 4515),
+    MatrixSpec("ex9", 3363, 99471, 3363),
+    MatrixSpec("aft01", 8205, 125567, 8205),
+    MatrixSpec("bodyy6", 19366, 134208, 9683),
+    MatrixSpec("Muu", 7102, 170134, 7102),
+    MatrixSpec("s3rmt3m3", 5357, 207123, 5357),
+    MatrixSpec("s3rmt3m1", 5489, 217669, 5489),
+    MatrixSpec("bcsstk28", 4410, 219024, 4410),
+    MatrixSpec("s3rmq4m1", 5489, 262943, 5489),
+    MatrixSpec("bcsstk16", 4884, 290378, 4884),
+    MatrixSpec("bcsstk38", 8032, 355460, 8032),
+    MatrixSpec("msc23052", 23052, 1142686, 7684),
+    MatrixSpec("msc10848", 10848, 1229776, 5424),
+    MatrixSpec("nd3k", 9000, 3279690, 3000),
+    MatrixSpec("ship_001", 34920, 3896496, 8730),
+    MatrixSpec("hood", 220542, 9895422, 13784),
+    MatrixSpec("crankseg_1", 52804, 10614210, 6600),
+)
+
+_SPECS_BY_NAME = {spec.name: spec for spec in SUITE_SPECS}
+
+
+def spec_for(name: str) -> MatrixSpec:
+    """Look up a Table I spec by matrix name.
+
+    Raises:
+        ConfigurationError: if the name is not part of the suite.
+    """
+    try:
+        return _SPECS_BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(_SPECS_BY_NAME))
+        raise ConfigurationError(f"unknown suite matrix {name!r}; known: {known}") from None
+
+
+def suite_matrix(
+    name: str, full_scale: bool = False, seed: int | None = None
+) -> CsrMatrix:
+    """Generate the synthetic analogue of a Table I matrix.
+
+    Args:
+        name: matrix name from Table I (e.g. ``"bcsstk13"``).
+        full_scale: use the paper's ``N`` even for the largest matrices.
+        seed: RNG seed; defaults to a stable hash of the name so repeated
+            calls return an identical matrix.
+
+    Returns:
+        A symmetric positive-definite CSR matrix matching the spec's
+        dimension and (approximately) its nonzero count.
+    """
+    spec = spec_for(name)
+    n = spec.n if full_scale else spec.reduced_n
+    if seed is None:
+        seed = _stable_seed(name)
+    return random_spd(n, spec.nnz_at(n), locality=spec.locality_at(n), seed=seed)
+
+
+def _stable_seed(name: str) -> int:
+    """Deterministic, platform-independent seed derived from the name."""
+    value = 2166136261
+    for char in name.encode("ascii"):
+        value = ((value ^ char) * 16777619) % (2**32)
+    return value
+
+
+def iter_suite(
+    full_scale: bool = False,
+    names: Sequence[str] | None = None,
+) -> Iterator[tuple[MatrixSpec, CsrMatrix]]:
+    """Yield ``(spec, matrix)`` pairs for the suite in Table I order.
+
+    Args:
+        full_scale: use the paper's dimensions everywhere.
+        names: optional subset of matrix names to generate (any order given
+            is ignored; Table I order is preserved).
+    """
+    selected = set(names) if names is not None else None
+    if selected is not None:
+        unknown = selected - set(_SPECS_BY_NAME)
+        if unknown:
+            raise ConfigurationError(f"unknown suite matrices: {sorted(unknown)}")
+    for spec in SUITE_SPECS:
+        if selected is not None and spec.name not in selected:
+            continue
+        yield spec, suite_matrix(spec.name, full_scale=full_scale)
+
+
+#: A small, fast subset covering small / medium / large / dense corners of
+#: the suite; used by tests and quick benchmark runs.
+QUICK_SUITE: Sequence[str] = ("nos3", "bcsstk13", "s3rmt3m3", "msc10848")

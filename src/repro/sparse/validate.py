@@ -1,0 +1,113 @@
+"""Matrix inspection and validation utilities.
+
+The PCG case study, the preconditioners and the generators all carry
+structural preconditions (symmetry, positive diagonals, dominance).  This
+module centralizes checking them and produces a human-readable structure
+report — useful before pointing a solver at a matrix loaded from disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SingularMatrixError, SparseFormatError
+from repro.sparse.csr import CsrMatrix
+from repro.sparse.reordering import bandwidth as matrix_bandwidth
+from repro.sparse.reordering import profile as matrix_profile
+
+
+@dataclass(frozen=True)
+class MatrixReport:
+    """Structural summary of a sparse matrix."""
+
+    shape: tuple
+    nnz: int
+    density: float
+    symmetric: bool
+    positive_diagonal: bool
+    weakly_diagonally_dominant: bool
+    bandwidth: int
+    profile: int
+    min_row_degree: int
+    mean_row_degree: float
+    max_row_degree: int
+    empty_rows: int
+
+
+def inspect_matrix(matrix: CsrMatrix) -> MatrixReport:
+    """Compute the structural summary (square matrices only for symmetry).
+
+    ``symmetric`` / dominance fields are False for rectangular matrices
+    rather than raising, so the report is universally applicable.
+    """
+    lengths = matrix.row_lengths()
+    square = matrix.shape[0] == matrix.shape[1]
+    diag = matrix.diagonal() if min(matrix.shape) else np.empty(0)
+    positive_diag = bool(square and diag.size and (diag > 0).all())
+    dominant = False
+    if square and matrix.n_rows:
+        abs_row_sums = matrix.with_data(np.abs(matrix.data)).matvec(
+            np.ones(matrix.n_cols)
+        )
+        dominant = bool((2 * np.abs(diag) >= abs_row_sums - 1e-12).all())
+    return MatrixReport(
+        shape=matrix.shape,
+        nnz=matrix.nnz,
+        density=matrix.density,
+        symmetric=bool(square and matrix.is_symmetric()),
+        positive_diagonal=positive_diag,
+        weakly_diagonally_dominant=dominant,
+        bandwidth=matrix_bandwidth(matrix),
+        profile=matrix_profile(matrix),
+        min_row_degree=int(lengths.min()) if lengths.size else 0,
+        mean_row_degree=float(lengths.mean()) if lengths.size else 0.0,
+        max_row_degree=int(lengths.max()) if lengths.size else 0,
+        empty_rows=int((lengths == 0).sum()),
+    )
+
+
+def assert_spd_like(matrix: CsrMatrix) -> None:
+    """Validate the properties the PCG case study relies on.
+
+    Checks square shape, symmetry, a strictly positive diagonal and weak
+    diagonal dominance (a practical sufficient condition for SPD used by
+    the generators).
+
+    Raises:
+        SparseFormatError: non-square or non-symmetric.
+        SingularMatrixError: diagonal or dominance violations.
+    """
+    if matrix.shape[0] != matrix.shape[1]:
+        raise SparseFormatError(f"matrix is not square: {matrix.shape}")
+    report = inspect_matrix(matrix)
+    if not report.symmetric:
+        raise SparseFormatError("matrix is not symmetric")
+    if not report.positive_diagonal:
+        raise SingularMatrixError("matrix diagonal is not strictly positive")
+    if not report.weakly_diagonally_dominant:
+        raise SingularMatrixError(
+            "matrix is not weakly diagonally dominant; SPD not guaranteed"
+        )
+
+
+def render_report(report: MatrixReport) -> str:
+    """Human-readable multi-line rendering of a :class:`MatrixReport`."""
+    yes_no = {True: "yes", False: "no"}
+    return "\n".join(
+        [
+            f"shape                {report.shape[0]} x {report.shape[1]}",
+            f"nnz                  {report.nnz} (density {report.density:.3%})",
+            f"symmetric            {yes_no[report.symmetric]}",
+            f"positive diagonal    {yes_no[report.positive_diagonal]}",
+            f"diagonally dominant  {yes_no[report.weakly_diagonally_dominant]}",
+            f"bandwidth            {report.bandwidth}",
+            f"profile              {report.profile}",
+            (
+                f"row degree           min {report.min_row_degree} / "
+                f"mean {report.mean_row_degree:.1f} / max {report.max_row_degree}"
+            ),
+            f"empty rows           {report.empty_rows}",
+        ]
+    )

@@ -1,0 +1,78 @@
+"""Unit tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.analysis.charts import bar_chart, column_curve, grouped_bar_chart
+from repro.errors import ConfigurationError
+
+
+def test_bar_chart_basic():
+    chart = bar_chart(["alpha", "b"], [2.0, 1.0], width=10, title="T")
+    lines = chart.splitlines()
+    assert lines[0] == "T"
+    assert lines[1].startswith("alpha")
+    # The larger value gets the full-width bar.
+    assert lines[1].count("█") == 10
+    assert lines[2].count("█") == 5
+
+
+def test_bar_chart_formatter():
+    chart = bar_chart(["x"], [0.437], formatter=lambda v: f"{v:.1%}")
+    assert "43.7%" in chart
+
+
+def test_bar_chart_empty_and_validation():
+    assert bar_chart([], []) == "(empty chart)"
+    with pytest.raises(ConfigurationError):
+        bar_chart(["a"], [1.0, 2.0])
+    with pytest.raises(ConfigurationError):
+        bar_chart(["a"], [1.0], width=2)
+
+
+def test_bar_chart_zero_values():
+    chart = bar_chart(["a", "b"], [0.0, 0.0], width=8)
+    assert "█" not in chart
+
+
+def test_grouped_bar_chart():
+    chart = grouped_bar_chart(
+        ["m1", "m2"],
+        {"ours": [1.0, 2.0], "dense": [3.0, 4.0]},
+        width=8,
+    )
+    assert "m1:" in chart and "m2:" in chart
+    assert chart.count("ours") == 2
+    assert chart.count("dense") == 2
+
+
+def test_grouped_bar_chart_validation():
+    with pytest.raises(ConfigurationError):
+        grouped_bar_chart(["a"], {"s": [1.0, 2.0]})
+    assert grouped_bar_chart([], {}) == "(empty chart)"
+
+
+def test_column_curve_marks_minimum():
+    chart = column_curve([1, 2, 4, 8], [5.0, 2.0, 3.0, 6.0], height=4)
+    lines = chart.splitlines()
+    # Marker row has the arrow above the x=2 column.
+    marker_row = lines[0]
+    x_row = lines[-2]
+    assert "▼" in marker_row
+    assert marker_row.index("▼") // (len(x_row) // 4) == 1
+    assert "min 2 at 2" in lines[-1]
+
+
+def test_column_curve_validation():
+    with pytest.raises(ConfigurationError):
+        column_curve([1], [1.0, 2.0])
+    with pytest.raises(ConfigurationError):
+        column_curve([1], [1.0], height=1)
+    assert column_curve([], []) == "(empty chart)"
+
+
+def test_column_curve_peak_column_full_height():
+    chart = column_curve(["a", "b"], [1.0, 4.0], height=4)
+    body = chart.splitlines()[1:-2]
+    # The peak column contains a block at every level.
+    peak_cells = sum("█" in line for line in body)
+    assert peak_cells == 4

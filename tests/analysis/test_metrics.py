@@ -1,0 +1,80 @@
+"""Unit tests for evaluation metrics."""
+
+import pytest
+
+from repro.analysis import (
+    ConfusionCounts,
+    improvement_factor,
+    mean,
+    relative_reduction,
+    runtime_overhead,
+    success_rate,
+)
+from repro.errors import ConfigurationError
+
+
+def test_f1_paper_formula():
+    counts = ConfusionCounts(true_positives=80, false_negatives=10, false_positives=10)
+    assert counts.f1 == pytest.approx(2 * 80 / (2 * 80 + 10 + 10))
+
+
+def test_f1_perfect_detector():
+    assert ConfusionCounts(true_positives=10).f1 == 1.0
+
+
+def test_f1_empty_tally_is_zero():
+    assert ConfusionCounts().f1 == 0.0
+
+
+def test_f1_all_missed():
+    assert ConfusionCounts(false_negatives=5).f1 == 0.0
+
+
+def test_precision_recall():
+    counts = ConfusionCounts(true_positives=6, false_negatives=2, false_positives=2)
+    assert counts.precision == pytest.approx(0.75)
+    assert counts.recall == pytest.approx(0.75)
+    assert ConfusionCounts().precision == 0.0
+    assert ConfusionCounts().recall == 0.0
+
+
+def test_merge_adds_fields():
+    a = ConfusionCounts(1, 2, 3, 4)
+    b = ConfusionCounts(10, 20, 30, 40)
+    merged = a.merge(b)
+    assert merged == ConfusionCounts(11, 22, 33, 44)
+    assert merged.trials == 110
+
+
+def test_runtime_overhead_definition():
+    assert runtime_overhead(1.5, 1.0) == pytest.approx(0.5)
+    assert runtime_overhead(1.0, 1.0) == 0.0
+
+
+def test_runtime_overhead_rejects_zero_baseline():
+    with pytest.raises(ConfigurationError):
+        runtime_overhead(1.0, 0.0)
+
+
+def test_mean():
+    assert mean([1.0, 2.0, 3.0]) == 2.0
+    with pytest.raises(ConfigurationError):
+        mean([])
+
+
+def test_success_rate():
+    assert success_rate([True, True, False, False]) == 0.5
+    with pytest.raises(ConfigurationError):
+        success_rate([])
+
+
+def test_relative_reduction():
+    assert relative_reduction(0.5, 1.0) == pytest.approx(0.5)
+    with pytest.raises(ConfigurationError):
+        relative_reduction(1.0, 0.0)
+
+
+def test_improvement_factor():
+    assert improvement_factor(3.6, 1.0) == pytest.approx(3.6)
+    with pytest.raises(ConfigurationError):
+        improvement_factor(1.0, 0.0)

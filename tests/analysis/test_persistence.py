@@ -1,0 +1,89 @@
+"""Unit tests for experiment-result persistence."""
+
+import pytest
+
+from repro.analysis.persistence import SCHEMA_VERSION, ExperimentRecord, ResultStore
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "records")
+
+
+def test_save_load_round_trip(store):
+    saved = store.save("fig5", {"reduction": 0.525}, {"trials": 12})
+    loaded = store.load("fig5")
+    assert loaded == saved
+    assert loaded.values["reduction"] == 0.525
+    assert loaded.parameters["trials"] == 12
+    assert loaded.schema == SCHEMA_VERSION
+
+
+def test_save_overwrites_atomically(store):
+    store.save("fig5", {"reduction": 0.5})
+    store.save("fig5", {"reduction": 0.6})
+    assert store.load("fig5").values["reduction"] == 0.6
+    # No stray temp files left behind.
+    assert store.list_experiments() == ["fig5"]
+
+
+def test_list_experiments(store):
+    assert store.list_experiments() == []
+    store.save("fig4", {"best": 32})
+    store.save("fig7", {"f1": 0.94})
+    assert store.list_experiments() == ["fig4", "fig7"]
+
+
+def test_load_missing_raises(store):
+    with pytest.raises(ConfigurationError):
+        store.load("nope")
+
+
+def test_invalid_experiment_names(store):
+    for name in ("", "a/b", ".hidden"):
+        with pytest.raises(ConfigurationError):
+            store.save(name, {})
+
+
+def test_json_round_trip_is_deterministic():
+    record = ExperimentRecord("x", {"b": 1, "a": 2}, {"z": 3.0, "y": [1, 2]})
+    text = record.to_json()
+    assert ExperimentRecord.from_json(text).to_json() == text
+
+
+def test_from_json_validation():
+    with pytest.raises(ConfigurationError):
+        ExperimentRecord.from_json("not json")
+    with pytest.raises(ConfigurationError):
+        ExperimentRecord.from_json("[1, 2]")
+    with pytest.raises(ConfigurationError):
+        ExperimentRecord.from_json('{"schema": 1}')
+    with pytest.raises(ConfigurationError):
+        ExperimentRecord.from_json(
+            '{"schema": 999, "experiment": "x", "parameters": {}, "values": {}}'
+        )
+
+
+def test_compare_flags_drift(store):
+    store.save("fig5", {"reduction": 0.50, "best": 32, "label": "a"})
+    drift = store.compare("fig5", {"reduction": 0.50, "best": 32, "label": "a"})
+    assert drift == {}
+    drift = store.compare("fig5", {"reduction": 0.60, "best": 32, "label": "a"})
+    assert drift == {"reduction": (0.50, 0.60)}
+
+
+def test_compare_tolerates_small_drift(store):
+    store.save("fig5", {"reduction": 0.500})
+    assert store.compare("fig5", {"reduction": 0.51}, rel_tol=0.05) == {}
+
+
+def test_compare_flags_missing_keys(store):
+    store.save("fig5", {"reduction": 0.5})
+    drift = store.compare("fig5", {"best": 32})
+    assert drift == {"reduction": (0.5, None), "best": (None, 32)}
+
+
+def test_compare_flags_changed_non_numeric(store):
+    store.save("fig5", {"label": "a"})
+    assert store.compare("fig5", {"label": "b"}) == {"label": ("a", "b")}

@@ -1,0 +1,92 @@
+"""Unit tests for the statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.statistics import (
+    bootstrap_mean_interval,
+    summarize,
+    wilson_interval,
+)
+from repro.errors import ConfigurationError
+
+
+def test_wilson_interval_contains_point_estimate():
+    low, high = wilson_interval(80, 100)
+    assert low < 0.8 < high
+    assert 0.0 <= low and high <= 1.0
+
+
+def test_wilson_interval_edge_cases():
+    low, high = wilson_interval(0, 50)
+    assert low == pytest.approx(0.0, abs=1e-12)
+    assert high > 0.01  # zero successes still admit a nonzero true rate
+    low, high = wilson_interval(50, 50)
+    assert high == pytest.approx(1.0, abs=1e-12)
+    assert low < 0.99
+
+
+def test_wilson_narrows_with_more_trials():
+    narrow = wilson_interval(800, 1000)
+    wide = wilson_interval(8, 10)
+    assert narrow[1] - narrow[0] < wide[1] - wide[0]
+
+
+def test_wilson_confidence_levels_ordered():
+    i90 = wilson_interval(40, 100, confidence=0.90)
+    i99 = wilson_interval(40, 100, confidence=0.99)
+    assert i99[0] < i90[0] and i90[1] < i99[1]
+
+
+def test_wilson_validation():
+    with pytest.raises(ConfigurationError):
+        wilson_interval(1, 0)
+    with pytest.raises(ConfigurationError):
+        wilson_interval(5, 3)
+    with pytest.raises(ConfigurationError):
+        wilson_interval(1, 10, confidence=0.8)
+
+
+def test_bootstrap_interval_contains_true_mean():
+    rng = np.random.default_rng(0)
+    sample = rng.normal(10.0, 2.0, size=200)
+    low, high = bootstrap_mean_interval(sample, seed=1)
+    assert low < sample.mean() < high
+    assert low < 10.3 and high > 9.7
+
+
+def test_bootstrap_deterministic_for_seed():
+    sample = [1.0, 2.0, 3.0, 4.0, 5.0]
+    assert bootstrap_mean_interval(sample, seed=7) == bootstrap_mean_interval(
+        sample, seed=7
+    )
+
+
+def test_bootstrap_validation():
+    with pytest.raises(ConfigurationError):
+        bootstrap_mean_interval([])
+    with pytest.raises(ConfigurationError):
+        bootstrap_mean_interval([1.0], confidence=1.0)
+    with pytest.raises(ConfigurationError):
+        bootstrap_mean_interval([1.0], resamples=0)
+
+
+def test_summarize():
+    summary = summarize([4.0, 1.0, 3.0, 2.0])
+    assert summary.count == 4
+    assert summary.mean == 2.5
+    assert summary.minimum == 1.0
+    assert summary.maximum == 4.0
+    assert summary.median == 2.5
+    assert summary.q25 == pytest.approx(1.75)
+    assert summary.q75 == pytest.approx(3.25)
+
+
+def test_summarize_single_value_has_zero_std():
+    summary = summarize([3.0])
+    assert summary.std == 0.0
+
+
+def test_summarize_empty_rejected():
+    with pytest.raises(ConfigurationError):
+        summarize([])

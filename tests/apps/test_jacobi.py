@@ -1,0 +1,91 @@
+"""Unit tests for the protected Jacobi solver."""
+
+import numpy as np
+import pytest
+
+from repro.apps import jacobi_solve
+from repro.errors import ConfigurationError, ShapeMismatchError, SingularMatrixError
+from repro.faults import ErrorProcess, FaultInjector
+from repro.sparse import CooMatrix, random_spd
+
+
+@pytest.fixture(scope="module")
+def system():
+    # Strictly diagonally dominant -> Jacobi converges.
+    a = random_spd(200, 2000, seed=161, dominance=2.0)
+    x_true = np.random.default_rng(161).standard_normal(200)
+    return a, x_true, a.matvec(x_true)
+
+
+def test_converges_to_solution(system):
+    a, x_true, b = system
+    result = jacobi_solve(a, b, tol=1e-10, protected=False)
+    assert result.converged
+    np.testing.assert_allclose(result.x, x_true, rtol=1e-6)
+
+
+def test_protected_matches_plain_fault_free(system):
+    a, _, b = system
+    plain = jacobi_solve(a, b, protected=False)
+    protected = jacobi_solve(a, b, protected=True)
+    np.testing.assert_array_equal(protected.x, plain.x)
+    assert protected.detections == 0
+    assert protected.seconds > plain.seconds
+
+
+def test_protected_survives_injected_errors(system):
+    a, x_true, b = system
+    injector = FaultInjector.seeded(1)
+    process = ErrorProcess(5e-5, injector.rng)
+
+    def tamper(stage, data, work):
+        for _ in range(process.events_in(work)):
+            if data.size:
+                injector.corrupt_random_element(data, target=stage)
+
+    result = jacobi_solve(a, b, tol=1e-10, protected=True, tamper=tamper)
+    assert result.converged
+    np.testing.assert_allclose(result.x, x_true, rtol=1e-5, atol=1e-7)
+    assert len(injector.log) > 0
+
+
+def test_unprotected_can_be_poisoned(system):
+    """A NaN-producing burst ends an unprotected solve unconverged."""
+    a, _, b = system
+
+    def tamper(stage, data, work):
+        if stage == "result":
+            data[0] = np.nan
+
+    result = jacobi_solve(a, b, protected=False, tamper=tamper, max_iterations=50)
+    assert not result.converged
+
+
+def test_zero_rhs(system):
+    a, _, _ = system
+    result = jacobi_solve(a, np.zeros(200), protected=False)
+    assert result.converged
+    np.testing.assert_allclose(result.x, np.zeros(200), atol=1e-12)
+
+
+def test_validation(system):
+    a, _, b = system
+    rect = CooMatrix.from_entries((2, 3), [(0, 0, 1.0)]).to_csr()
+    with pytest.raises(ShapeMismatchError):
+        jacobi_solve(rect, np.zeros(2))
+    with pytest.raises(ShapeMismatchError):
+        jacobi_solve(a, b[:-1])
+    with pytest.raises(ConfigurationError):
+        jacobi_solve(a, b, tol=0.0)
+    with pytest.raises(ConfigurationError):
+        jacobi_solve(a, b, max_iterations=0)
+    no_diag = CooMatrix.from_entries((2, 2), [(0, 1, 1.0), (1, 0, 1.0)]).to_csr()
+    with pytest.raises(SingularMatrixError):
+        jacobi_solve(no_diag, np.ones(2))
+
+
+def test_iteration_budget_respected(system):
+    a, _, b = system
+    result = jacobi_solve(a, b, tol=1e-300, max_iterations=7, protected=False)
+    assert not result.converged
+    assert result.iterations == 7

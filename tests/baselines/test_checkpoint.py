@@ -1,0 +1,62 @@
+"""Unit tests for the checkpoint store."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DEFAULT_CHECKPOINT_INTERVAL, CheckpointStore
+from repro.errors import ConfigurationError
+
+
+def test_default_interval_matches_paper():
+    assert DEFAULT_CHECKPOINT_INTERVAL == 20
+
+
+def test_save_restore_round_trip():
+    store = CheckpointStore()
+    x = np.arange(5.0)
+    cost = store.save(7, {"x": x}, {"rho": 2.5})
+    assert cost.work == pytest.approx(2.0 * 6)  # 5 array elements + 1 scalar
+    iteration, arrays, scalars, _ = store.restore()
+    assert iteration == 7
+    np.testing.assert_array_equal(arrays["x"], x)
+    assert scalars == {"rho": 2.5}
+
+
+def test_snapshot_is_isolated_from_caller_mutation():
+    store = CheckpointStore()
+    x = np.ones(3)
+    store.save(0, {"x": x})
+    x[0] = 99.0  # mutate after save
+    _, arrays, _, _ = store.restore()
+    assert arrays["x"][0] == 1.0
+    arrays["x"][1] = 42.0  # mutate the restored copy
+    _, arrays2, _, _ = store.restore()
+    assert arrays2["x"][1] == 1.0
+
+
+def test_restore_without_checkpoint_raises():
+    with pytest.raises(ConfigurationError):
+        CheckpointStore().restore()
+
+
+def test_save_rejects_negative_iteration():
+    with pytest.raises(ConfigurationError):
+        CheckpointStore().save(-1, {"x": np.ones(1)})
+
+
+def test_counters_and_overwrite():
+    store = CheckpointStore()
+    store.save(0, {"x": np.zeros(2)})
+    store.save(20, {"x": np.ones(2)})
+    assert store.saves == 2
+    assert store.iteration == 20
+    _, arrays, _, _ = store.restore()
+    np.testing.assert_array_equal(arrays["x"], np.ones(2))
+    assert store.restores == 1
+
+
+def test_restore_cost_matches_store_cost():
+    store = CheckpointStore()
+    save_cost = store.save(0, {"x": np.zeros(10)})
+    _, _, _, restore_cost = store.restore()
+    assert save_cost == restore_cost

@@ -1,0 +1,95 @@
+"""Unit tests for the dense-check baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DenseChecksum
+from repro.sparse import random_spd
+
+
+@pytest.fixture
+def setup():
+    a = random_spd(200, 2000, seed=31)
+    rng = np.random.default_rng(31)
+    return a, DenseChecksum(a), rng.standard_normal(200)
+
+
+def test_checksum_vector_is_column_sums(setup):
+    a, checker, _ = setup
+    np.testing.assert_allclose(
+        checker.checksum_vector, a.to_dense().sum(axis=0), rtol=1e-12
+    )
+
+
+def test_clean_multiply_passes(setup):
+    a, checker, b = setup
+    report = checker.check(b, a.matvec(b))
+    assert not report.detected
+    assert abs(report.syndrome) < report.threshold
+
+
+def test_large_error_detected_without_location(setup):
+    a, checker, b = setup
+    r = a.matvec(b)
+    r[77] += 10.0 * checker.threshold(b)
+    report = checker.check(b, r)
+    assert report.detected  # but nothing in the report says *where*
+
+
+def test_small_error_missed_by_norm_bound(setup):
+    """The ||b||_2 bound is loose: errors below it pass silently — the
+    coverage weakness Figure 7 quantifies."""
+    a, checker, b = setup
+    r = a.matvec(b)
+    r[10] += 0.01  # far above rounding error, far below ||b||_2
+    report = checker.check(b, r)
+    assert not report.detected
+
+
+def test_nonfinite_result_detected(setup):
+    a, checker, b = setup
+    r = a.matvec(b)
+    r[0] = np.nan
+    assert checker.check(b, r).detected
+
+
+def test_tamper_hooks_fire_in_order(setup):
+    a, checker, b = setup
+    stages = []
+    checker.check(b, a.matvec(b), tamper=lambda s, d, w: stages.append(s))
+    assert stages == ["t1", "t2", "beta"]
+
+
+def test_corrupted_threshold_can_mask(setup):
+    a, checker, b = setup
+    r = a.matvec(b)
+    r[0] += 10.0 * checker.threshold(b)
+
+    def hook(stage, data, work):
+        if stage == "beta":
+            data[0] = np.inf
+
+    assert not checker.check(b, r, tamper=hook).detected
+
+
+def test_detection_graph_structure(setup):
+    _, checker, _ = setup
+    graph = checker.detection_graph()
+    names = {t.name for t in graph.tasks()}
+    assert names == {"spmv", "cb", "beta", "wr"}
+    assert set(graph["wr"].deps) == {"spmv", "cb", "beta"}
+    assert "spmv" not in checker.detection_graph(include_spmv=False)
+
+
+def test_dense_check_costlier_than_block_check(setup):
+    """On the simulated device the dense check's blocking reductions make
+    detection slower than the proposed fused block check — the Figure 5
+    relationship."""
+    from repro.core import BlockAbftDetector
+    from repro.machine import Machine
+
+    a, checker, _ = setup
+    machine = Machine()
+    dense_time = machine.makespan(checker.detection_graph())
+    block_time = machine.makespan(BlockAbftDetector(a).detection_graph())
+    assert block_time < dense_time

@@ -1,0 +1,180 @@
+"""Unit tests for the complete- and partial-recomputation baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BisectionLocalizer,
+    CompleteRecomputationSpMV,
+    PartialRecomputationSpMV,
+)
+from repro.core import FaultTolerantSpMV
+from repro.errors import ConfigurationError
+from repro.machine import ExecutionMeter
+from repro.sparse import random_spd
+
+
+@pytest.fixture
+def matrix():
+    return random_spd(256, 2500, seed=41)
+
+
+@pytest.fixture
+def b():
+    return np.random.default_rng(41).standard_normal(256)
+
+
+def one_shot(stage_name, mutate):
+    state = {"done": False}
+
+    def hook(stage, data, work):
+        if stage == stage_name and not state["done"]:
+            mutate(data)
+            state["done"] = True
+
+    return hook
+
+
+def big_error(threshold_scale=1e3):
+    return lambda d: d.__setitem__(100, d[100] + threshold_scale)
+
+
+# ----------------------------------------------------------------------
+# Complete recomputation
+# ----------------------------------------------------------------------
+def test_complete_clean_passes(matrix, b):
+    scheme = CompleteRecomputationSpMV(matrix)
+    result = scheme.multiply(b)
+    assert result.clean
+    assert result.rounds == 0
+    np.testing.assert_array_equal(result.value, matrix.matvec(b))
+
+
+def test_complete_recomputes_everything(matrix, b):
+    scheme = CompleteRecomputationSpMV(matrix)
+    result = scheme.multiply(b, tamper=one_shot("result", big_error()))
+    assert result.detections[0] is True
+    assert result.corrections == ((0, 256),)
+    assert result.rounds == 1
+    np.testing.assert_array_equal(result.value, matrix.matvec(b))
+
+
+def test_complete_exhausts_on_persistent_fault(matrix, b):
+    def hook(stage, data, work):
+        if stage in ("result", "corrected"):
+            data[0] = np.inf
+
+    scheme = CompleteRecomputationSpMV(matrix, max_rounds=2)
+    result = scheme.multiply(b, tamper=hook)
+    assert result.exhausted
+    assert result.rounds == 2
+
+
+# ----------------------------------------------------------------------
+# Bisection localization
+# ----------------------------------------------------------------------
+def test_localizer_depths(matrix):
+    localizer = BisectionLocalizer(matrix)  # 256 rows -> full depth 8
+    assert localizer.full_depth == 8
+    assert localizer.stop_depth == 4  # ceil(0.4 * 8)
+
+
+def test_localizer_rejects_bad_fraction(matrix):
+    with pytest.raises(ConfigurationError):
+        BisectionLocalizer(matrix, early_stop_fraction=0.0)
+    with pytest.raises(ConfigurationError):
+        BisectionLocalizer(matrix, early_stop_fraction=1.5)
+
+
+def test_localizer_narrows_to_range_containing_error(matrix, b):
+    localizer = BisectionLocalizer(matrix)
+    r = matrix.matvec(b)
+    r[100] += 1e4
+    root_syndrome = float(
+        np.dot(matrix.to_dense().sum(axis=0), b) - np.sum(r)
+    )
+    outcome = localizer.localize(b, r, root_syndrome, tau=float(np.linalg.norm(b)))
+    assert len(outcome.ranges) == 1
+    start, stop = outcome.ranges[0]
+    assert start <= 100 < stop
+    assert stop - start == 256 // 2**4  # early stop: 16-row range
+    assert outcome.probes == 4
+
+
+def test_localizer_full_traversal_reaches_single_row(matrix, b):
+    localizer = BisectionLocalizer(matrix, early_stop_fraction=1.0)
+    r = matrix.matvec(b)
+    r[37] += 1e4
+    root = float(np.dot(matrix.to_dense().sum(axis=0), b) - np.sum(r))
+    outcome = localizer.localize(b, r, root, tau=float(np.linalg.norm(b)))
+    assert outcome.ranges == ((37, 38),)
+
+
+def test_localization_graph_is_a_chain(matrix):
+    localizer = BisectionLocalizer(matrix)
+    graph = localizer.localization_graph(3)
+    assert len(graph) == 3
+    assert graph["probe1"].deps == ("probe0",)
+    assert graph["probe2"].deps == ("probe1",)
+
+
+# ----------------------------------------------------------------------
+# Partial recomputation scheme
+# ----------------------------------------------------------------------
+def test_partial_clean_passes(matrix, b):
+    scheme = PartialRecomputationSpMV(matrix)
+    result = scheme.multiply(b)
+    assert result.clean
+    np.testing.assert_array_equal(result.value, matrix.matvec(b))
+
+
+def test_partial_corrects_only_delimited_range(matrix, b):
+    scheme = PartialRecomputationSpMV(matrix)
+    result = scheme.multiply(b, tamper=one_shot("result", big_error()))
+    assert result.rounds == 1
+    assert len(result.corrections) == 1
+    start, stop = result.corrections[0]
+    assert start <= 100 < stop
+    assert stop - start < 256
+    np.testing.assert_array_equal(result.value, matrix.matvec(b))
+
+
+def test_ours_cheaper_than_both_baselines(matrix, b):
+    """Ours beats both baselines even on a small matrix (Figure 6)."""
+    hook = lambda: one_shot("result", big_error())  # noqa: E731
+    ours = FaultTolerantSpMV(matrix, block_size=32).multiply(b, tamper=hook())
+    partial = PartialRecomputationSpMV(matrix).multiply(b, tamper=hook())
+    complete = CompleteRecomputationSpMV(matrix).multiply(b, tamper=hook())
+    assert ours.seconds < partial.seconds
+    assert ours.seconds < complete.seconds
+
+
+def test_figure6_ordering_at_scale():
+    """At the nnz scales the paper evaluates, localization beats full
+    recomputation: ours < partial < complete."""
+    big = random_spd(3000, 1_000_000, locality=0.05, seed=43)
+    b = np.random.default_rng(43).standard_normal(3000)
+    hook = lambda: one_shot("result", big_error(1e6))  # noqa: E731
+    ours = FaultTolerantSpMV(big, block_size=32).multiply(b, tamper=hook())
+    partial = PartialRecomputationSpMV(big).multiply(b, tamper=hook())
+    complete = CompleteRecomputationSpMV(big).multiply(b, tamper=hook())
+    assert ours.rounds == partial.rounds == complete.rounds == 1
+    assert ours.seconds < partial.seconds < complete.seconds
+
+
+def test_partial_exhausts_on_persistent_fault(matrix, b):
+    def hook(stage, data, work):
+        if stage in ("result", "corrected"):
+            data[0] = np.inf
+
+    scheme = PartialRecomputationSpMV(matrix, max_rounds=2)
+    result = scheme.multiply(b, tamper=hook)
+    assert result.exhausted
+
+
+def test_partial_meter_accumulates(matrix, b):
+    meter = ExecutionMeter()
+    scheme = PartialRecomputationSpMV(matrix)
+    r1 = scheme.multiply(b, meter=meter)
+    r2 = scheme.multiply(b, meter=meter)
+    assert meter.seconds == pytest.approx(r1.seconds + r2.seconds)

@@ -1,0 +1,123 @@
+"""Unit tests for the DWC and TMR redundancy baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DwcSpMV, TmrSpMV
+from repro.baselines.redundancy import _contiguous_ranges
+from repro.core import FaultTolerantSpMV
+from repro.machine import ExecutionMeter
+from repro.sparse import random_spd
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return random_spd(256, 2500, seed=181)
+
+
+@pytest.fixture()
+def b():
+    return np.random.default_rng(181).standard_normal(256)
+
+
+def strike_nth_execution(n, index, delta):
+    """Corrupt only the n-th 'result' stage call (1-based)."""
+    state = {"calls": 0}
+
+    def hook(stage, data, work):
+        if stage == "result":
+            state["calls"] += 1
+            if state["calls"] == n:
+                data[index] += delta
+
+    return hook
+
+
+def test_contiguous_ranges():
+    assert _contiguous_ranges(np.array([], dtype=np.int64)) == []
+    assert _contiguous_ranges(np.array([3])) == [(3, 4)]
+    assert _contiguous_ranges(np.array([1, 2, 3, 7, 9, 10])) == [
+        (1, 4), (7, 8), (9, 11)
+    ]
+
+
+def test_dwc_clean(matrix, b):
+    result = DwcSpMV(matrix).multiply(b)
+    assert result.clean
+    np.testing.assert_array_equal(result.value, matrix.matvec(b))
+
+
+def test_dwc_detects_and_corrects_single_copy_error(matrix, b):
+    result = DwcSpMV(matrix).multiply(b, tamper=strike_nth_execution(1, 40, 3.0))
+    assert result.detections[0]
+    assert result.corrections == ((40, 41),)
+    np.testing.assert_array_equal(result.value, matrix.matvec(b))
+
+
+def test_dwc_error_in_second_copy_also_fixed(matrix, b):
+    result = DwcSpMV(matrix).multiply(b, tamper=strike_nth_execution(2, 99, -2.0))
+    assert result.detections[0]
+    np.testing.assert_array_equal(result.value, matrix.matvec(b))
+
+
+def test_dwc_nan_detected(matrix, b):
+    result = DwcSpMV(matrix).multiply(
+        b, tamper=strike_nth_execution(1, 7, np.nan)
+    )
+    assert result.detections[0]
+    np.testing.assert_array_equal(result.value, matrix.matvec(b))
+
+
+def test_dwc_misses_identical_errors_in_both_copies(matrix, b):
+    """The known DWC blind spot: correlated identical corruption."""
+
+    def hook(stage, data, work):
+        if stage == "result":
+            data[5] += 1.0  # both copies corrupted identically
+
+    result = DwcSpMV(matrix).multiply(b, tamper=hook)
+    assert not result.detections[0]
+    assert result.value[5] != matrix.matvec(b)[5]
+
+
+def test_tmr_clean(matrix, b):
+    result = TmrSpMV(matrix).multiply(b)
+    assert result.clean
+    np.testing.assert_array_equal(result.value, matrix.matvec(b))
+
+
+def test_tmr_outvotes_single_copy_error(matrix, b):
+    for n in (1, 2, 3):
+        result = TmrSpMV(matrix).multiply(
+            b, tamper=strike_nth_execution(n, 123, 9.0)
+        )
+        assert result.detections[0]
+        np.testing.assert_array_equal(result.value, matrix.matvec(b))
+
+
+def test_redundancy_costs_dominate_abft_at_scale(matrix, b):
+    """Section II's point: duplication/triplication is the expensive way.
+
+    Caveat the model makes visible: on a *tiny* matrix an idle device
+    absorbs the duplicate execution almost for free while ABFT pays its
+    fixed check latency — redundancy only loses once real work dominates.
+    """
+    big = random_spd(4000, 500_000, locality=0.05, seed=182)
+    rhs = np.random.default_rng(182).standard_normal(4000)
+    meter = ExecutionMeter()
+    FaultTolerantSpMV(big, block_size=32).plain_multiply(rhs, meter=meter)
+    plain = meter.seconds
+
+    ours = FaultTolerantSpMV(big, block_size=32).multiply(rhs).seconds
+    dwc = DwcSpMV(big).multiply(rhs).seconds
+    tmr = TmrSpMV(big).multiply(rhs).seconds
+    assert ours < dwc < tmr
+    assert tmr > 1.5 * plain  # triplication is at least ~2x and then some
+
+
+def test_dwc_meter_accumulates(matrix, b):
+    meter = ExecutionMeter()
+    scheme = DwcSpMV(matrix)
+    r1 = scheme.multiply(b, meter=meter)
+    r2 = scheme.multiply(b, meter=meter)
+    assert meter.seconds == pytest.approx(r1.seconds + r2.seconds)

@@ -1,0 +1,63 @@
+"""Unit tests for automatic block-size selection."""
+
+import pytest
+
+from repro.core import FaultTolerantSpMV
+from repro.core.autotune import DEFAULT_CANDIDATES, choose_block_size
+from repro.errors import ConfigurationError
+from repro.sparse import suite_matrix
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return suite_matrix("bcsstk13")
+
+
+def test_returns_candidate(matrix):
+    result = choose_block_size(matrix)
+    assert result.block_size in DEFAULT_CANDIDATES
+    assert len(result.overheads) == len(DEFAULT_CANDIDATES)
+
+
+def test_detection_only_matches_figure4_region(matrix):
+    result = choose_block_size(matrix, error_probability=0.0)
+    assert 16 <= result.block_size <= 128
+
+
+def test_minimum_is_consistent(matrix):
+    result = choose_block_size(matrix)
+    best_overhead = result.overheads[result.candidates.index(result.block_size)]
+    assert best_overhead == min(result.overheads)
+
+
+def test_errors_shift_optimum_toward_smaller_blocks(matrix):
+    clean = choose_block_size(matrix, error_probability=0.0)
+    noisy = choose_block_size(matrix, error_probability=1.0)
+    assert noisy.block_size <= clean.block_size
+
+
+def test_chosen_size_feeds_the_scheme(matrix):
+    import numpy as np
+
+    result = choose_block_size(matrix)
+    ft = FaultTolerantSpMV(matrix, block_size=result.block_size)
+    b = np.random.default_rng(0).standard_normal(matrix.n_cols)
+    assert ft.multiply(b).clean
+
+
+def test_custom_candidates(matrix):
+    result = choose_block_size(matrix, candidates=(8, 64))
+    assert result.block_size in (8, 64)
+    assert result.candidates == (8, 64)
+
+
+def test_validation(matrix):
+    with pytest.raises(ConfigurationError):
+        choose_block_size(matrix, candidates=())
+    with pytest.raises(ConfigurationError):
+        choose_block_size(matrix, error_probability=1.5)
+
+
+def test_overheads_positive(matrix):
+    result = choose_block_size(matrix)
+    assert all(overhead > 0 for overhead in result.overheads)

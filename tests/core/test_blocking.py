@@ -1,0 +1,82 @@
+"""Unit tests for the row-block partition."""
+
+import numpy as np
+import pytest
+
+from repro.core import BlockPartition
+from repro.errors import ConfigurationError
+
+
+def test_even_partition():
+    p = BlockPartition(n_rows=6, block_size=2)
+    assert p.n_blocks == 3
+    assert [p.bounds(k) for k in range(3)] == [(0, 2), (2, 4), (4, 6)]
+    assert all(p.length(k) == 2 for k in range(3))
+
+
+def test_ragged_last_block():
+    p = BlockPartition(n_rows=7, block_size=3)
+    assert p.n_blocks == 3
+    assert p.bounds(2) == (6, 7)
+    assert p.length(2) == 1
+    np.testing.assert_array_equal(p.block_lengths(), [3, 3, 1])
+
+
+def test_block_size_larger_than_rows():
+    p = BlockPartition(n_rows=5, block_size=100)
+    assert p.n_blocks == 1
+    assert p.bounds(0) == (0, 5)
+
+
+def test_block_size_one():
+    p = BlockPartition(n_rows=4, block_size=1)
+    assert p.n_blocks == 4
+    assert [p.block_of_row(i) for i in range(4)] == [0, 1, 2, 3]
+
+
+def test_empty_matrix():
+    p = BlockPartition(n_rows=0, block_size=8)
+    assert p.n_blocks == 0
+    assert p.block_lengths().size == 0
+    np.testing.assert_array_equal(p.block_starts(), [0])
+
+
+def test_block_of_row():
+    p = BlockPartition(n_rows=10, block_size=4)
+    assert p.block_of_row(0) == 0
+    assert p.block_of_row(3) == 0
+    assert p.block_of_row(4) == 1
+    assert p.block_of_row(9) == 2
+
+
+def test_block_ids_of_rows_vectorized():
+    p = BlockPartition(n_rows=10, block_size=4)
+    np.testing.assert_array_equal(
+        p.block_ids_of_rows(np.array([0, 5, 9])), [0, 1, 2]
+    )
+
+
+def test_iteration_covers_all_rows_disjointly():
+    p = BlockPartition(n_rows=23, block_size=5)
+    seen = []
+    for block, start, stop in p:
+        assert p.bounds(block) == (start, stop)
+        seen.extend(range(start, stop))
+    assert seen == list(range(23))
+
+
+def test_block_starts_sentinel():
+    p = BlockPartition(n_rows=10, block_size=4)
+    np.testing.assert_array_equal(p.block_starts(), [0, 4, 8, 10])
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        BlockPartition(n_rows=-1, block_size=2)
+    with pytest.raises(ConfigurationError):
+        BlockPartition(n_rows=5, block_size=0)
+    p = BlockPartition(n_rows=5, block_size=2)
+    with pytest.raises(ConfigurationError):
+        p.bounds(3)
+    with pytest.raises(ConfigurationError):
+        p.block_of_row(5)

@@ -1,0 +1,89 @@
+"""Unit tests for empirical bound calibration."""
+
+import numpy as np
+import pytest
+
+from repro.core import AbftConfig, BlockAbftDetector, EmpiricalBound, SparseBlockBound
+from repro.core.checksum import ChecksumMatrix
+from repro.errors import ConfigurationError
+from repro.sparse import random_spd
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return random_spd(400, 4500, seed=111)
+
+
+def test_calibration_produces_positive_constants(matrix):
+    bound = EmpiricalBound.calibrate(matrix, samples=30, seed=1)
+    assert (bound.constants > 0).all()
+    assert bound.samples == 30
+
+
+def test_thresholds_scale_with_beta(matrix):
+    bound = EmpiricalBound.calibrate(matrix, samples=20, seed=2)
+    np.testing.assert_allclose(bound.thresholds(4.0), 2.0 * bound.thresholds(2.0))
+
+
+def test_thresholds_subset_selection(matrix):
+    bound = EmpiricalBound.calibrate(matrix, samples=20, seed=3)
+    full = bound.thresholds(1.0)
+    np.testing.assert_array_equal(
+        bound.thresholds(1.0, blocks=np.array([3, 0])), full[[3, 0]]
+    )
+
+
+def test_no_false_positives_on_fresh_operands(matrix):
+    detector = BlockAbftDetector(
+        matrix,
+        AbftConfig(block_size=32),
+        bound_override=EmpiricalBound.calibrate(matrix, samples=50, seed=4),
+    )
+    rng = np.random.default_rng(5)
+    for _ in range(50):
+        b = rng.standard_normal(matrix.n_cols) * 10.0 ** rng.integers(-3, 4)
+        assert detector.detect(b, matrix.matvec(b)).clean
+
+
+def test_detects_injected_errors(matrix):
+    detector = BlockAbftDetector(
+        matrix,
+        AbftConfig(block_size=32),
+        bound_override=EmpiricalBound.calibrate(matrix, samples=50, seed=6),
+    )
+    rng = np.random.default_rng(7)
+    b = rng.standard_normal(matrix.n_cols)
+    r = matrix.matvec(b)
+    r[77] *= 1.0001
+    assert 77 // 32 in detector.detect(b, r).flagged
+
+
+def test_empirical_tighter_than_analytical(matrix):
+    """Measured rounding error sits well below the worst-case bound."""
+    checksum = ChecksumMatrix.build(matrix, 32)
+    analytical = SparseBlockBound.from_checksum(checksum)
+    empirical = EmpiricalBound.calibrate(matrix, samples=50, seed=8)
+    # On average (and for most blocks) the empirical bound is tighter.
+    assert empirical.thresholds(1.0).mean() < analytical.thresholds(1.0).mean()
+    tighter = (empirical.thresholds(1.0) < analytical.thresholds(1.0)).mean()
+    assert tighter > 0.8
+
+
+def test_safety_factor_multiplies(matrix):
+    tight = EmpiricalBound.calibrate(matrix, samples=20, seed=9, safety=2.0)
+    loose = EmpiricalBound.calibrate(matrix, samples=20, seed=9, safety=4.0)
+    np.testing.assert_allclose(loose.constants, 2.0 * tight.constants)
+
+
+def test_validation(matrix):
+    with pytest.raises(ConfigurationError):
+        EmpiricalBound.calibrate(matrix, samples=0)
+    with pytest.raises(ConfigurationError):
+        EmpiricalBound.calibrate(matrix, safety=0.0)
+
+
+def test_more_samples_never_lower_peaks(matrix):
+    few = EmpiricalBound.calibrate(matrix, samples=5, seed=10, safety=1.0)
+    # Same seed: the first 5 operands repeat, so peaks can only grow.
+    many = EmpiricalBound.calibrate(matrix, samples=40, seed=10, safety=1.0)
+    assert (many.constants >= few.constants - 1e-30).all()

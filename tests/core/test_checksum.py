@@ -1,0 +1,145 @@
+"""Unit tests for the sparse checksum matrix (paper Sections III-B, III-D)."""
+
+import numpy as np
+import pytest
+
+from repro.core import BlockPartition, ChecksumMatrix, make_weights
+from repro.errors import ConfigurationError
+from repro.sparse import CooMatrix
+
+
+@pytest.fixture
+def paper_matrix():
+    """The 6x6 example of Section III-B."""
+    dense = np.array(
+        [
+            [5.0, 0.0, 0.0, 4.0, 0.0, 0.0],
+            [0.0, 3.0, 0.0, 0.0, 0.0, 2.0],
+            [0.0, 0.0, 1.0, 0.0, 0.0, 0.0],
+            [4.0, 0.0, 0.0, 6.0, 0.0, 0.0],
+            [0.0, 0.0, 0.0, 0.0, 8.0, 0.0],
+            [0.0, 2.0, 0.0, 0.0, 0.0, 7.0],
+        ]
+    )
+    return CooMatrix.from_dense(dense).to_csr()
+
+
+def test_weights_ones():
+    p = BlockPartition(6, 2)
+    np.testing.assert_array_equal(make_weights("ones", p), np.ones(6))
+
+
+def test_weights_linear_restart_per_block():
+    p = BlockPartition(7, 3)
+    np.testing.assert_array_equal(
+        make_weights("linear", p), [1, 2, 3, 1, 2, 3, 1]
+    )
+
+
+def test_weights_unknown_kind():
+    with pytest.raises(ConfigurationError):
+        make_weights("bogus", BlockPartition(4, 2))
+
+
+def test_checksum_matrix_matches_paper_example(paper_matrix):
+    """With weights (1,1) and b_s=2, each C row holds the block column sums."""
+    cs = ChecksumMatrix.build(paper_matrix, block_size=2)
+    assert cs.matrix.shape == (3, 6)
+    dense_c = cs.matrix.to_dense()
+    np.testing.assert_array_equal(dense_c[0], [5, 3, 0, 4, 0, 2])
+    np.testing.assert_array_equal(dense_c[1], [4, 0, 1, 6, 0, 0])
+    np.testing.assert_array_equal(dense_c[2], [0, 2, 0, 0, 8, 7])
+
+
+def test_checksum_matrix_inherits_sparsity(paper_matrix):
+    cs = ChecksumMatrix.build(paper_matrix, block_size=2)
+    # Stored entries = non-empty (block, column) pairs: 4 + 3 + 3.
+    assert cs.nnz == 10
+    np.testing.assert_array_equal(cs.nonempty_columns, [4, 3, 3])
+
+
+def test_block_size_one_reproduces_input(paper_matrix):
+    cs = ChecksumMatrix.build(paper_matrix, block_size=1)
+    np.testing.assert_array_equal(cs.matrix.to_dense(), paper_matrix.to_dense())
+    assert cs.sparsity_gain == pytest.approx(1.0)
+
+
+def test_single_block_gives_dense_column_sums(paper_matrix):
+    cs = ChecksumMatrix.build(paper_matrix, block_size=6)
+    np.testing.assert_array_equal(
+        cs.matrix.to_dense()[0], paper_matrix.to_dense().sum(axis=0)
+    )
+
+
+def test_checksum_invariant_holds_error_free(paper_matrix):
+    cs = ChecksumMatrix.build(paper_matrix, block_size=2)
+    b = np.array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+    r = paper_matrix.matvec(b)
+    t1 = cs.operand_checksums(b)
+    t2 = cs.result_checksums(r)
+    np.testing.assert_allclose(t1, t2, rtol=1e-13)
+
+
+def test_checksum_invariant_with_linear_weights(paper_matrix):
+    cs = ChecksumMatrix.build(paper_matrix, block_size=2, weight_kind="linear")
+    b = np.array([1.0, -2.0, 0.5, 4.0, -5.0, 6.0])
+    r = paper_matrix.matvec(b)
+    np.testing.assert_allclose(
+        cs.operand_checksums(b), cs.result_checksums(r), rtol=1e-12
+    )
+
+
+def test_corruption_shows_in_exactly_one_block(paper_matrix):
+    """The paper's worked example: corrupting r[3] flags only block 2."""
+    cs = ChecksumMatrix.build(paper_matrix, block_size=2)
+    b = np.arange(1.0, 7.0)
+    r = paper_matrix.matvec(b)
+    r[3] += 2.0  # offset of 2 in the fourth element, as in the paper
+    syndrome = cs.operand_checksums(b) - cs.result_checksums(r)
+    assert syndrome[0] == 0.0
+    assert syndrome[1] == pytest.approx(-2.0)
+    assert syndrome[2] == 0.0
+
+
+def test_result_checksums_for_blocks_matches_full(paper_matrix):
+    cs = ChecksumMatrix.build(paper_matrix, block_size=2)
+    r = np.linspace(-1, 1, 6)
+    full = cs.result_checksums(r)
+    subset = cs.result_checksums_for_blocks(r, np.array([2, 0]))
+    np.testing.assert_allclose(subset, full[[2, 0]])
+
+
+def test_ragged_last_block():
+    dense = np.diag([1.0, 2.0, 3.0, 4.0, 5.0])
+    csr = CooMatrix.from_dense(dense).to_csr()
+    cs = ChecksumMatrix.build(csr, block_size=2)
+    assert cs.n_blocks == 3
+    np.testing.assert_array_equal(cs.matrix.to_dense()[2], [0, 0, 0, 0, 5.0])
+    b = np.ones(5)
+    np.testing.assert_allclose(
+        cs.operand_checksums(b), cs.result_checksums(csr.matvec(b))
+    )
+
+
+def test_row_norm_sums_and_checksum_norms(paper_matrix):
+    cs = ChecksumMatrix.build(paper_matrix, block_size=2)
+    dense = paper_matrix.to_dense()
+    expected_first = np.linalg.norm(dense[0]) + np.linalg.norm(dense[1])
+    assert cs.row_norm_sums[0] == pytest.approx(expected_first)
+    assert cs.checksum_norms[0] == pytest.approx(
+        np.linalg.norm([5, 3, 4, 2])
+    )
+
+
+def test_setup_cost_scales_with_nnz(paper_matrix):
+    cs = ChecksumMatrix.build(paper_matrix, block_size=2)
+    assert cs.setup_cost.work == pytest.approx(3.0 * paper_matrix.nnz)
+
+
+def test_sparsity_gain_decreases_with_block_size(paper_matrix):
+    gains = [
+        ChecksumMatrix.build(paper_matrix, block_size=bs).sparsity_gain
+        for bs in (1, 2, 3, 6)
+    ]
+    assert gains[0] == 1.0
+    assert all(a >= b for a, b in zip(gains, gains[1:]))

@@ -1,0 +1,83 @@
+"""Property-based tests for the ABFT core.
+
+Invariants pinned here:
+
+* the checksum invariant holds (within the sparse bound) on error-free
+  SpMV for arbitrary SPD matrices, operands and block sizes;
+* any single σ-significant corruption of the result is localized to the
+  block containing it, and correction restores the exact bitwise result;
+* the checksum matrix always inherits sparsity (nnz(C) <= nnz(A)).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AbftConfig, BlockAbftDetector, FaultTolerantSpMV
+from repro.faults import FaultInjector
+from repro.sparse import random_spd
+
+
+@st.composite
+def abft_cases(draw):
+    n = draw(st.integers(8, 120))
+    nnz = draw(st.integers(n, 6 * n))
+    seed = draw(st.integers(0, 2**16))
+    block_size = draw(st.sampled_from([1, 2, 4, 8, 16, 32, 64]))
+    matrix = random_spd(n, nnz, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    scale = 10.0 ** draw(st.integers(-3, 3))
+    b = rng.standard_normal(n) * scale
+    return matrix, b, block_size, seed
+
+
+@settings(max_examples=50, deadline=None)
+@given(abft_cases())
+def test_invariant_holds_error_free(case):
+    matrix, b, block_size, _ = case
+    detector = BlockAbftDetector(matrix, AbftConfig(block_size=block_size))
+    report = detector.detect(b, matrix.matvec(b))
+    assert report.clean
+
+
+@settings(max_examples=50, deadline=None)
+@given(abft_cases())
+def test_significant_error_localized_and_corrected(case):
+    matrix, b, block_size, seed = case
+    ft = FaultTolerantSpMV(matrix, config=AbftConfig(block_size=block_size))
+    reference = matrix.matvec(b)
+    injector = FaultInjector.seeded(seed + 2)
+    state = {"index": None}
+
+    def tamper(stage, data, work):
+        if stage == "result" and state["index"] is None:
+            record = injector.corrupt_random_element(data, sigma=1e-6)
+            state["index"] = record.index
+
+    result = ft.multiply(b, tamper=tamper)
+    target_block = state["index"] // block_size
+    assert target_block in result.detected[0]
+    assert target_block in result.corrected_blocks
+    np.testing.assert_array_equal(result.value, reference)
+
+
+@settings(max_examples=50, deadline=None)
+@given(abft_cases())
+def test_checksum_matrix_never_denser_than_source(case):
+    matrix, _, block_size, _ = case
+    detector = BlockAbftDetector(matrix, AbftConfig(block_size=block_size))
+    assert detector.checksum.nnz <= matrix.nnz
+    assert detector.checksum.matrix.shape == (
+        detector.partition.n_blocks,
+        matrix.n_cols,
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(abft_cases())
+def test_thresholds_positive_for_nonzero_operand(case):
+    matrix, b, block_size, _ = case
+    detector = BlockAbftDetector(matrix, AbftConfig(block_size=block_size))
+    beta = float(np.linalg.norm(b))
+    if beta > 0:
+        assert (detector.bound.thresholds(beta) > 0).all()

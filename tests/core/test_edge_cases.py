@@ -1,0 +1,125 @@
+"""Edge-case tests for the ABFT core: degenerate shapes and extremes."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AbftConfig,
+    BlockAbftDetector,
+    ChecksumMatrix,
+    FaultTolerantSpMV,
+)
+from repro.sparse import CooMatrix, random_spd
+
+
+def test_one_by_one_matrix():
+    matrix = CooMatrix.from_entries((1, 1), [(0, 0, 3.0)]).to_csr()
+    ft = FaultTolerantSpMV(matrix, block_size=32)
+    result = ft.multiply(np.array([2.0]))
+    assert result.clean
+    np.testing.assert_array_equal(result.value, [6.0])
+
+
+def test_empty_square_matrix():
+    matrix = CooMatrix.from_entries((0, 0), []).to_csr()
+    detector = BlockAbftDetector(matrix)
+    assert detector.n_blocks == 0
+    report = detector.detect(np.empty(0), np.empty(0))
+    assert report.clean
+
+
+def test_all_zero_matrix_detects_injected_error():
+    matrix = CooMatrix.from_entries((8, 8), []).to_csr()
+    detector = BlockAbftDetector(matrix, AbftConfig(block_size=4))
+    b = np.ones(8)
+    r = matrix.matvec(b)
+    assert detector.detect(b, r).clean
+    r[2] = 1.0  # any non-zero result is an error for the zero matrix
+    assert 0 in detector.detect(b, r).flagged
+
+
+def test_zero_operand_vector():
+    matrix = random_spd(64, 600, seed=171)
+    ft = FaultTolerantSpMV(matrix, block_size=16)
+    result = ft.multiply(np.zeros(64))
+    assert result.clean
+    np.testing.assert_array_equal(result.value, np.zeros(64))
+
+
+def test_zero_operand_flags_any_corruption():
+    """beta = 0 makes every threshold 0: any non-zero syndrome flags."""
+    matrix = random_spd(64, 600, seed=172)
+    detector = BlockAbftDetector(matrix, AbftConfig(block_size=16))
+    b = np.zeros(64)
+    r = matrix.matvec(b)
+    r[5] = 1e-300
+    assert 0 in detector.detect(b, r).flagged
+
+
+def test_rectangular_matrix_protection():
+    """The scheme never requires squareness — protect a 20x50 operator."""
+    rng = np.random.default_rng(173)
+    dense = np.zeros((20, 50))
+    for _ in range(100):
+        dense[rng.integers(0, 20), rng.integers(0, 50)] = rng.standard_normal()
+    matrix = CooMatrix.from_dense(dense).to_csr()
+    ft = FaultTolerantSpMV(matrix, block_size=8)
+    b = rng.standard_normal(50)
+    reference = matrix.matvec(b)
+    state = {"armed": True}
+
+    def tamper(stage, data, work):
+        if stage == "result" and state["armed"]:
+            data[13] += 5.0
+            state["armed"] = False
+
+    result = ft.multiply(b, tamper=tamper)
+    assert 13 // 8 in result.corrected_blocks
+    np.testing.assert_array_equal(result.value, reference)
+
+
+def test_block_size_larger_than_matrix():
+    matrix = random_spd(10, 60, seed=174)
+    ft = FaultTolerantSpMV(matrix, block_size=512)
+    assert ft.detector.n_blocks == 1
+    b = np.ones(10)
+    result = ft.multiply(b)
+    assert result.clean
+
+
+def test_huge_value_operand_no_false_positive():
+    matrix = random_spd(128, 1200, seed=175)
+    detector = BlockAbftDetector(matrix)
+    b = np.full(128, 1e150)
+    assert detector.detect(b, matrix.matvec(b)).clean
+
+
+def test_tiny_value_operand_no_false_positive():
+    matrix = random_spd(128, 1200, seed=176)
+    detector = BlockAbftDetector(matrix)
+    b = np.full(128, 1e-150)
+    assert detector.detect(b, matrix.matvec(b)).clean
+
+
+def test_checksum_matrix_of_empty_rows_block():
+    """A block whose rows are all empty contributes an empty C row."""
+    entries = [(0, 0, 1.0), (7, 7, 2.0)]  # rows 1..6 empty
+    matrix = CooMatrix.from_entries((8, 8), entries).to_csr()
+    checksum = ChecksumMatrix.build(matrix, block_size=2)
+    assert checksum.nonempty_columns[1] == 0  # block of rows 2-3
+    b = np.ones(8)
+    np.testing.assert_allclose(
+        checksum.operand_checksums(b),
+        checksum.result_checksums(matrix.matvec(b)),
+    )
+
+
+def test_duplicate_heavy_matrix_round_trips_through_protection():
+    coo = CooMatrix.from_entries(
+        (4, 4), [(0, 0, 1.0)] * 10 + [(3, 3, -2.0)] * 5
+    )
+    matrix = coo.to_csr()
+    assert matrix.nnz == 2
+    ft = FaultTolerantSpMV(matrix, block_size=2)
+    result = ft.multiply(np.array([1.0, 2.0, 3.0, 4.0]))
+    np.testing.assert_array_equal(result.value, [10.0, 0.0, 0.0, -40.0])

@@ -1,0 +1,160 @@
+"""Unit tests for the protected SpMM (multi-vector) extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.multivector import ProtectedSpMM
+from repro.errors import ConfigurationError, ShapeMismatchError
+from repro.sparse import random_spd
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return random_spd(256, 2600, seed=121)
+
+
+@pytest.fixture()
+def operands():
+    return np.random.default_rng(121).standard_normal((256, 5))
+
+
+def one_shot(stage_name, mutate):
+    state = {"done": False}
+
+    def hook(stage, data, work):
+        if stage == stage_name and not state["done"]:
+            mutate(data)
+            state["done"] = True
+
+    return hook
+
+
+def test_clean_multiply(matrix, operands):
+    scheme = ProtectedSpMM(matrix, block_size=32)
+    result = scheme.multiply(operands)
+    assert result.clean
+    assert result.rounds == 0
+    np.testing.assert_array_equal(result.value, matrix.matmat(operands))
+
+
+def test_single_cell_error_localized(matrix, operands):
+    scheme = ProtectedSpMM(matrix, block_size=32)
+    result = scheme.multiply(
+        operands, tamper=one_shot("result", lambda d: d.__setitem__((70, 3), d[70, 3] + 5.0))
+    )
+    assert result.detected == ((2, 3),)
+    assert result.corrected == ((2, 3),)
+    np.testing.assert_array_equal(result.value, matrix.matmat(operands))
+
+
+def test_correction_touches_only_flagged_column(matrix, operands):
+    """Other columns of the same row block must not be recomputed."""
+    scheme = ProtectedSpMM(matrix, block_size=32)
+    recomputed_work = []
+
+    def hook(stage, data, work):
+        if stage == "result" and not recomputed_work:
+            data[70, 3] += 5.0
+            recomputed_work.append(0.0)  # marker
+        elif stage == "corrected":
+            recomputed_work.append(work)
+
+    scheme.multiply(operands, tamper=hook)
+    # One correction call only (one cell), not one per column.
+    assert len(recomputed_work) == 2
+
+
+def test_errors_across_columns_and_blocks(matrix, operands):
+    scheme = ProtectedSpMM(matrix, block_size=32)
+
+    def mutate(d):
+        d[0, 0] += 1.0
+        d[100, 2] -= 2.0
+        d[255, 4] *= 1.5
+
+    result = scheme.multiply(operands, tamper=one_shot("result", mutate))
+    assert set(result.detected) == {(0, 0), (3, 2), (7, 4)}
+    np.testing.assert_array_equal(result.value, matrix.matmat(operands))
+
+
+def test_nan_cell_detected_and_fixed(matrix, operands):
+    scheme = ProtectedSpMM(matrix, block_size=32)
+    result = scheme.multiply(
+        operands, tamper=one_shot("result", lambda d: d.__setitem__((10, 1), np.nan))
+    )
+    assert (0, 1) in result.detected
+    np.testing.assert_array_equal(result.value, matrix.matmat(operands))
+
+
+def test_no_false_positives_across_column_scales(matrix):
+    """Columns with wildly different norms get per-column thresholds."""
+    rng = np.random.default_rng(122)
+    b = rng.standard_normal((256, 4))
+    b[:, 0] *= 1e-6
+    b[:, 3] *= 1e6
+    scheme = ProtectedSpMM(matrix, block_size=32)
+    assert scheme.multiply(b).clean
+
+
+def test_cost_scales_with_column_count(matrix):
+    rng = np.random.default_rng(123)
+    scheme = ProtectedSpMM(matrix, block_size=32)
+    narrow = scheme.multiply(rng.standard_normal((256, 2)))
+    wide = scheme.multiply(rng.standard_normal((256, 16)))
+    assert wide.seconds > narrow.seconds
+    assert wide.flops > 4 * narrow.flops
+
+
+def test_corrupted_correction_reverified(matrix, operands):
+    scheme = ProtectedSpMM(matrix, block_size=32)
+    state = {"result": False, "corrected": False}
+
+    def hook(stage, data, work):
+        if stage == "result" and not state["result"]:
+            data[70, 3] += 5.0
+            state["result"] = True
+        elif stage == "corrected" and not state["corrected"]:
+            data[0] += 9.0
+            state["corrected"] = True
+
+    result = scheme.multiply(operands, tamper=hook)
+    assert result.rounds == 2
+    np.testing.assert_array_equal(result.value, matrix.matmat(operands))
+
+
+def test_persistent_fault_exhausts(matrix, operands):
+    def hook(stage, data, work):
+        if stage in ("result", "corrected"):
+            if data.ndim == 2:
+                data[0, 0] = np.inf
+            else:
+                data[0] = np.inf
+
+    scheme = ProtectedSpMM(matrix, block_size=32, max_rounds=2)
+    result = scheme.multiply(operands, tamper=hook)
+    assert result.exhausted
+
+
+def test_validation(matrix, operands):
+    with pytest.raises(ConfigurationError):
+        ProtectedSpMM(matrix, block_size=0)
+    with pytest.raises(ConfigurationError):
+        ProtectedSpMM(matrix, max_rounds=0)
+    scheme = ProtectedSpMM(matrix)
+    with pytest.raises(ShapeMismatchError):
+        scheme.multiply(np.ones(256))  # 1-D operand
+    with pytest.raises(ShapeMismatchError):
+        scheme.multiply(np.ones((255, 3)))
+
+
+def test_single_column_matches_spmv_scheme(matrix):
+    """k=1 SpMM agrees with the single-vector scheme's corrected value."""
+    from repro.core import FaultTolerantSpMV
+
+    rng = np.random.default_rng(124)
+    b = rng.standard_normal(256)
+    hook2d = one_shot("result", lambda d: d.__setitem__((40, 0), d[40, 0] + 3.0))
+    hook1d = one_shot("result", lambda d: d.__setitem__(40, d[40] + 3.0))
+    spmm = ProtectedSpMM(matrix).multiply(b[:, None], tamper=hook2d)
+    spmv = FaultTolerantSpMV(matrix).multiply(b, tamper=hook1d)
+    np.testing.assert_array_equal(spmm.value[:, 0], spmv.value)

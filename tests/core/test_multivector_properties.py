@@ -1,0 +1,52 @@
+"""Property-based tests for the protected SpMM extension."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.multivector import ProtectedSpMM
+from repro.sparse import random_spd
+
+
+@st.composite
+def spmm_cases(draw):
+    n = draw(st.integers(8, 96))
+    k = draw(st.integers(1, 6))
+    seed = draw(st.integers(0, 2**16))
+    block_size = draw(st.sampled_from([1, 4, 8, 16, 32]))
+    matrix = random_spd(n, draw(st.integers(n, 5 * n)), seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    operands = rng.standard_normal((n, k)) * 10.0 ** draw(st.integers(-2, 2))
+    return matrix, operands, block_size, seed
+
+
+@settings(max_examples=40, deadline=None)
+@given(spmm_cases())
+def test_clean_spmm_never_flags(case):
+    matrix, operands, block_size, _ = case
+    scheme = ProtectedSpMM(matrix, block_size=block_size)
+    result = scheme.multiply(operands)
+    assert result.clean
+    np.testing.assert_array_equal(result.value, matrix.matmat(operands))
+
+
+@settings(max_examples=40, deadline=None)
+@given(spmm_cases(), st.integers(0, 10_000), st.floats(0.5, 50.0))
+def test_single_cell_error_repaired(case, position, magnitude):
+    matrix, operands, block_size, seed = case
+    n, k = operands.shape
+    row = position % n
+    col = (position // n) % k
+    scheme = ProtectedSpMM(matrix, block_size=block_size)
+    reference = matrix.matmat(operands)
+    state = {"armed": True}
+
+    def tamper(stage, data, work):
+        if stage == "result" and state["armed"]:
+            data[row, col] += magnitude * (1.0 + abs(data[row, col]))
+            state["armed"] = False
+
+    result = scheme.multiply(operands, tamper=tamper)
+    assert (row // block_size, col) in result.detected
+    assert not result.exhausted
+    np.testing.assert_array_equal(result.value, reference)

@@ -1,0 +1,73 @@
+"""Tests for the random-weight extension (anti-cancellation)."""
+
+import numpy as np
+import pytest
+
+from repro.core import AbftConfig, BlockAbftDetector, make_weights
+from repro.core.blocking import BlockPartition
+from repro.sparse import random_spd
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return random_spd(200, 2000, seed=211)
+
+
+def test_random_weights_deterministic():
+    p = BlockPartition(64, 8)
+    np.testing.assert_array_equal(make_weights("random", p), make_weights("random", p))
+    w = make_weights("random", p)
+    assert (w >= 0.5).all() and (w <= 1.5).all()
+
+
+def test_random_weights_invariant_holds_clean(matrix):
+    detector = BlockAbftDetector(matrix, AbftConfig(block_size=32, weights="random"))
+    rng = np.random.default_rng(212)
+    for _ in range(15):
+        b = rng.standard_normal(200) * 10.0 ** rng.integers(-2, 3)
+        assert detector.detect(b, matrix.matvec(b)).clean
+
+
+def test_random_weights_catch_cancelling_errors(matrix):
+    """Exactly-cancelling corruptions defeat ones-weights but not random
+    weights — the blind spot this extension closes."""
+    ones = BlockAbftDetector(matrix, AbftConfig(block_size=32, weights="ones"))
+    randomized = BlockAbftDetector(
+        matrix, AbftConfig(block_size=32, weights="random")
+    )
+    rng = np.random.default_rng(213)
+    b = rng.standard_normal(200)
+    r = matrix.matvec(b)
+    r[64] += 1.0
+    r[65] -= 1.0  # sums to zero inside block 2
+    assert ones.detect(b, r).clean  # missed
+    assert 2 in randomized.detect(b, r).flagged  # caught
+
+
+def test_random_weights_detect_single_errors(matrix):
+    detector = BlockAbftDetector(matrix, AbftConfig(block_size=32, weights="random"))
+    rng = np.random.default_rng(214)
+    b = rng.standard_normal(200)
+    r = matrix.matvec(b)
+    r[100] *= 1.001
+    assert 100 // 32 in detector.detect(b, r).flagged
+
+
+def test_full_scheme_with_random_weights(matrix):
+    from repro.core import FaultTolerantSpMV
+
+    ft = FaultTolerantSpMV(
+        matrix, config=AbftConfig(block_size=32, weights="random")
+    )
+    b = np.random.default_rng(215).standard_normal(200)
+    state = {"armed": True}
+
+    def tamper(stage, data, work):
+        if stage == "result" and state["armed"]:
+            data[64] += 1.0
+            data[65] -= 1.0
+            state["armed"] = False
+
+    result = ft.multiply(b, tamper=tamper)
+    assert 2 in result.corrected_blocks
+    np.testing.assert_array_equal(result.value, matrix.matvec(b))

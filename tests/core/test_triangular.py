@@ -1,0 +1,158 @@
+"""Unit tests for the protected sparse triangular solve extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.triangular import ProtectedTriangularSolve, forward_substitution
+from repro.errors import ConfigurationError, ShapeMismatchError, SingularMatrixError
+from repro.sparse import CooMatrix, banded_spd, random_spd
+
+
+def lower_factor(n=300, seed=101):
+    """A well-conditioned sparse lower-triangular matrix (SPD lower part)."""
+    spd = random_spd(n, 6 * n, seed=seed)
+    dense = np.tril(spd.to_dense())
+    return CooMatrix.from_dense(dense).to_csr()
+
+
+@pytest.fixture(scope="module")
+def system():
+    lower = lower_factor()
+    rng = np.random.default_rng(101)
+    x_true = rng.standard_normal(lower.n_rows)
+    return lower, x_true, lower.matvec(x_true)
+
+
+def one_shot(stage_name, mutate):
+    state = {"done": False}
+
+    def hook(stage, data, work):
+        if stage == stage_name and not state["done"]:
+            mutate(data)
+            state["done"] = True
+
+    return hook
+
+
+def test_forward_substitution_correct(system):
+    lower, x_true, rhs = system
+    x = np.empty(lower.n_rows)
+    forward_substitution(lower, rhs, x)
+    np.testing.assert_allclose(x, x_true, rtol=1e-9)
+
+
+def test_forward_substitution_partial_restart(system):
+    lower, x_true, rhs = system
+    x = np.empty(lower.n_rows)
+    forward_substitution(lower, rhs, x)
+    x[150:] = 0.0  # wipe the tail, keep the prefix
+    forward_substitution(lower, rhs, x, start_row=150)
+    np.testing.assert_allclose(x, x_true, rtol=1e-9)
+
+
+def test_clean_solve_detects_nothing(system):
+    lower, x_true, rhs = system
+    scheme = ProtectedTriangularSolve(lower, block_size=32)
+    result = scheme.solve(rhs)
+    assert result.clean
+    assert result.rounds == 0
+    np.testing.assert_allclose(result.value, x_true, rtol=1e-9)
+
+
+def test_no_false_positives_across_operand_scales(system):
+    lower, _, _ = system
+    scheme = ProtectedTriangularSolve(lower, block_size=32)
+    rng = np.random.default_rng(102)
+    for _ in range(20):
+        rhs = rng.standard_normal(lower.n_rows) * 10.0 ** rng.integers(-3, 4)
+        assert scheme.solve(rhs).clean
+
+
+def test_injected_error_detected_and_resolved(system):
+    lower, x_true, rhs = system
+    scheme = ProtectedTriangularSolve(lower, block_size=32)
+    result = scheme.solve(
+        rhs, tamper=one_shot("result", lambda d: d.__setitem__(100, d[100] + 5.0))
+    )
+    assert not result.clean
+    assert 100 // 32 in result.detected
+    assert result.resolved_from and result.resolved_from[0] <= 100 // 32
+    np.testing.assert_allclose(result.value, x_true, rtol=1e-9)
+
+
+def test_suffix_resolve_starts_at_first_flagged_block(system):
+    lower, x_true, rhs = system
+    scheme = ProtectedTriangularSolve(lower, block_size=32)
+
+    def mutate(d):
+        d[40] += 3.0  # block 1
+        d[250] -= 2.0  # block 7
+
+    result = scheme.solve(rhs, tamper=one_shot("result", mutate))
+    assert result.resolved_from[0] == 1
+    np.testing.assert_allclose(result.value, x_true, rtol=1e-9)
+
+
+def test_nan_in_solution_detected(system):
+    lower, x_true, rhs = system
+    scheme = ProtectedTriangularSolve(lower, block_size=32)
+    result = scheme.solve(
+        rhs, tamper=one_shot("result", lambda d: d.__setitem__(10, np.nan))
+    )
+    assert not result.clean
+    np.testing.assert_allclose(result.value, x_true, rtol=1e-9)
+
+
+def test_corrupted_t2_recovered_by_refresh(system):
+    lower, x_true, rhs = system
+    scheme = ProtectedTriangularSolve(lower, block_size=32)
+    result = scheme.solve(
+        rhs, tamper=one_shot("t2", lambda d: d.__setitem__(4, d[4] + 9.0))
+    )
+    assert not result.exhausted
+    np.testing.assert_allclose(result.value, x_true, rtol=1e-9)
+
+
+def test_persistent_fault_exhausts(system):
+    lower, _, rhs = system
+
+    def hook(stage, data, work):
+        if stage in ("result", "corrected") and data.size:
+            data[-1] = np.inf
+
+    scheme = ProtectedTriangularSolve(lower, block_size=32, max_rounds=2)
+    result = scheme.solve(rhs, tamper=hook)
+    assert result.exhausted
+
+
+def test_protected_solve_costs_more_than_unprotected(system):
+    lower, _, rhs = system
+    scheme = ProtectedTriangularSolve(lower, block_size=32)
+    from repro.machine import Machine
+
+    machine = Machine()
+    plain = machine.makespan(scheme._solve_graph(include_detection=False))
+    result = scheme.solve(rhs)
+    assert result.seconds > plain
+    # ...but by less than a full second solve (the point of the scheme).
+    assert result.seconds < 2.5 * plain
+
+
+def test_validation():
+    rect = CooMatrix.from_entries((2, 3), [(0, 0, 1.0)]).to_csr()
+    with pytest.raises(ShapeMismatchError):
+        ProtectedTriangularSolve(rect)
+    not_lower = banded_spd(10, 2, 1.0, seed=1)  # symmetric: has upper entries
+    with pytest.raises(ConfigurationError):
+        ProtectedTriangularSolve(not_lower)
+    singular = CooMatrix.from_entries(
+        (2, 2), [(0, 0, 1.0), (1, 0, 1.0)]
+    ).to_csr()  # missing diagonal in row 1
+    with pytest.raises(SingularMatrixError):
+        ProtectedTriangularSolve(singular)
+    lower = lower_factor(64)
+    with pytest.raises(ConfigurationError):
+        ProtectedTriangularSolve(lower, max_rounds=0)
+    scheme = ProtectedTriangularSolve(lower)
+    with pytest.raises(ShapeMismatchError):
+        scheme.solve(np.ones(63))

@@ -1,0 +1,114 @@
+"""Unit tests for the bit-flip burst model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import InjectionError
+from repro.faults import (
+    Burst,
+    apply_bitmask,
+    bits_to_float,
+    corrupt_value,
+    float_to_bits,
+    sample_burst,
+)
+
+
+def test_float_bits_round_trip():
+    for value in [0.0, 1.0, -1.5, 3.141592653589793, 1e-300, -1e300]:
+        assert bits_to_float(float_to_bits(value)) == value
+
+
+def test_float_to_bits_known_patterns():
+    assert float_to_bits(0.0) == 0
+    assert float_to_bits(1.0) == 0x3FF0000000000000
+    assert float_to_bits(-0.0) == 1 << 63
+
+
+def test_bits_to_float_rejects_out_of_range():
+    with pytest.raises(InjectionError):
+        bits_to_float(2**64)
+    with pytest.raises(InjectionError):
+        bits_to_float(-1)
+
+
+def test_apply_bitmask_is_involution():
+    value = 42.75
+    mask = 0b1011 << 20
+    corrupted = apply_bitmask(value, mask)
+    assert corrupted != value
+    assert apply_bitmask(corrupted, mask) == value
+
+
+def test_apply_bitmask_rejects_bad_mask():
+    with pytest.raises(InjectionError):
+        apply_bitmask(1.0, 2**64)
+
+
+def test_sign_bit_flip_negates():
+    assert apply_bitmask(7.25, 1 << 63) == -7.25
+
+
+def test_burst_mask_width_and_position():
+    burst = Burst(position=4, width=3)
+    assert burst.mask == 0b111 << 4
+    assert bin(burst.mask).count("1") == 3
+
+
+def test_burst_clips_at_bit_63():
+    burst = Burst(position=62, width=10)
+    assert burst.mask == (1 << 63) | (1 << 62)
+
+
+def test_burst_validation():
+    with pytest.raises(InjectionError):
+        Burst(position=64, width=1)
+    with pytest.raises(InjectionError):
+        Burst(position=0, width=0)
+
+
+def test_burst_apply_changes_value():
+    burst = Burst(position=0, width=1)
+    assert burst.apply(1.0) != 1.0
+
+
+def test_sample_burst_width_distribution():
+    rng = np.random.default_rng(0)
+    widths = [sample_burst(rng).width for _ in range(4000)]
+    assert min(widths) >= 1
+    assert max(widths) <= 64
+    # Mean 3, variance 2 per the paper; wide tolerance for sampling noise.
+    assert abs(np.mean(widths) - 3.0) < 0.15
+    assert abs(np.var(widths) - 2.0) < 0.4
+
+
+def test_sample_burst_positions_cover_word():
+    rng = np.random.default_rng(1)
+    positions = {sample_burst(rng).position for _ in range(3000)}
+    assert min(positions) == 0
+    assert max(positions) == 63
+
+
+def test_sample_burst_rejects_negative_variance():
+    with pytest.raises(InjectionError):
+        sample_burst(np.random.default_rng(0), variance_bits=-1.0)
+
+
+def test_corrupt_value_returns_burst_consistent_result():
+    rng = np.random.default_rng(2)
+    original = 123.456
+    corrupted, burst = corrupt_value(original, rng)
+    assert burst.apply(original) == corrupted or math.isnan(corrupted)
+
+
+def test_corrupt_value_can_produce_nonfinite():
+    rng = np.random.default_rng(3)
+    saw_nonfinite = False
+    for _ in range(2000):
+        corrupted, _ = corrupt_value(1.0, rng)
+        if not math.isfinite(corrupted):
+            saw_nonfinite = True
+            break
+    assert saw_nonfinite, "exponent bursts should occasionally produce inf/NaN"

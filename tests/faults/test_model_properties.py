@@ -1,0 +1,69 @@
+"""Property-based tests for the fault models and bit-flip machinery."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import apply_bitmask, bits_to_float, float_to_bits, make_fault_model
+from repro.faults.models import model_names
+
+finite_floats = st.floats(
+    min_value=-1e300, max_value=1e300, allow_nan=False, allow_infinity=False
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(finite_floats)
+def test_bit_round_trip(value):
+    assert bits_to_float(float_to_bits(value)) == value
+
+
+@settings(max_examples=150, deadline=None)
+@given(finite_floats, st.integers(0, 2**64 - 1))
+def test_xor_mask_is_involution(value, mask):
+    once = apply_bitmask(value, mask)
+    twice = apply_bitmask(once, mask)
+    # NaN payloads survive the round trip bit-exactly.
+    assert float_to_bits(twice) == float_to_bits(value)
+
+
+@settings(max_examples=100, deadline=None)
+@given(finite_floats, st.integers(0, 2**32))
+def test_single_bit_model_changes_exactly_one_bit(value, seed):
+    model = make_fault_model("single-bit")
+    corrupted = model.corrupt(value, np.random.default_rng(seed))
+    diff = float_to_bits(value) ^ float_to_bits(corrupted)
+    assert bin(diff).count("1") == 1
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.floats(min_value=1e-100, max_value=1e100, allow_nan=False),
+    st.integers(0, 2**32),
+)
+def test_mantissa_model_preserves_sign_and_exponent(value, seed):
+    model = make_fault_model("mantissa", width=3)
+    corrupted = model.corrupt(value, np.random.default_rng(seed))
+    assert math.isfinite(corrupted)
+    assert corrupted > 0
+    # Mantissa flips change the value by strictly less than a factor of 2.
+    assert value / 2 < corrupted < value * 2
+
+
+@settings(max_examples=60, deadline=None)
+@given(finite_floats, st.integers(0, 2**32))
+def test_every_model_returns_a_float(value, seed):
+    rng = np.random.default_rng(seed)
+    for name in model_names():
+        result = make_fault_model(name).corrupt(value, rng)
+        assert isinstance(result, float)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.floats(min_value=-1e300, max_value=-1e-300), st.integers(0, 2**32))
+def test_stuck_sign_idempotent_on_negative(value, seed):
+    model = make_fault_model("stuck-sign")
+    rng = np.random.default_rng(seed)
+    assert model.corrupt(value, rng) == value

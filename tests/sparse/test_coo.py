@@ -1,0 +1,87 @@
+"""Unit tests for the COO construction format."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeMismatchError, SparseFormatError
+from repro.sparse import CooMatrix
+
+
+def test_from_entries_round_trips_to_dense():
+    coo = CooMatrix.from_entries((2, 3), [(0, 0, 1.0), (1, 2, -2.5)])
+    expected = np.array([[1.0, 0.0, 0.0], [0.0, 0.0, -2.5]])
+    np.testing.assert_array_equal(coo.to_dense(), expected)
+
+
+def test_from_entries_empty_is_all_zero():
+    coo = CooMatrix.from_entries((3, 3), [])
+    assert coo.nnz == 0
+    np.testing.assert_array_equal(coo.to_dense(), np.zeros((3, 3)))
+
+
+def test_from_dense_extracts_only_nonzeros():
+    dense = np.array([[0.0, 3.0], [4.0, 0.0]])
+    coo = CooMatrix.from_dense(dense)
+    assert coo.nnz == 2
+    np.testing.assert_array_equal(coo.to_dense(), dense)
+
+
+def test_from_dense_rejects_1d_input():
+    with pytest.raises(ShapeMismatchError):
+        CooMatrix.from_dense(np.ones(4))
+
+
+def test_duplicates_are_summed_in_dense_and_csr():
+    coo = CooMatrix.from_entries((2, 2), [(0, 1, 2.0), (0, 1, 3.0)])
+    assert coo.to_dense()[0, 1] == 5.0
+    csr = coo.to_csr()
+    assert csr.nnz == 1
+    assert csr.to_dense()[0, 1] == 5.0
+
+
+def test_deduplicated_sorts_row_major():
+    coo = CooMatrix.from_entries((3, 3), [(2, 0, 1.0), (0, 2, 2.0), (0, 1, 3.0)])
+    dedup = coo.deduplicated()
+    np.testing.assert_array_equal(dedup.row, [0, 0, 2])
+    np.testing.assert_array_equal(dedup.col, [1, 2, 0])
+    np.testing.assert_array_equal(dedup.data, [3.0, 2.0, 1.0])
+
+
+def test_deduplicated_keeps_cancelled_zero_structurally():
+    coo = CooMatrix.from_entries((1, 1), [(0, 0, 1.0), (0, 0, -1.0)])
+    dedup = coo.deduplicated()
+    assert dedup.nnz == 1
+    assert dedup.data[0] == 0.0
+
+
+def test_transpose_swaps_axes():
+    coo = CooMatrix.from_entries((2, 3), [(0, 2, 7.0)])
+    t = coo.transpose()
+    assert t.shape == (3, 2)
+    assert t.to_dense()[2, 0] == 7.0
+
+
+def test_rejects_out_of_range_row_index():
+    with pytest.raises(SparseFormatError):
+        CooMatrix.from_entries((2, 2), [(2, 0, 1.0)])
+
+
+def test_rejects_out_of_range_column_index():
+    with pytest.raises(SparseFormatError):
+        CooMatrix.from_entries((2, 2), [(0, -1, 1.0)])
+
+
+def test_rejects_mismatched_array_lengths():
+    with pytest.raises(SparseFormatError):
+        CooMatrix((2, 2), np.array([0]), np.array([0, 1]), np.array([1.0]))
+
+
+def test_rejects_negative_shape():
+    with pytest.raises(SparseFormatError):
+        CooMatrix.from_entries((-1, 2), [])
+
+
+def test_to_csr_handles_trailing_empty_rows():
+    coo = CooMatrix.from_entries((4, 4), [(0, 0, 1.0)])
+    csr = coo.to_csr()
+    np.testing.assert_array_equal(csr.indptr, [0, 1, 1, 1, 1])

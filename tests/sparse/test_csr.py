@@ -1,0 +1,180 @@
+"""Unit tests for the CSR format and its kernels."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeMismatchError, SparseFormatError
+from repro.sparse import CooMatrix, CsrMatrix
+
+
+@pytest.fixture
+def paper_matrix() -> CsrMatrix:
+    """The 6x6 example matrix from Section III-B of the paper."""
+    dense = np.array(
+        [
+            [5.0, 0.0, 0.0, 4.0, 0.0, 0.0],
+            [0.0, 3.0, 0.0, 0.0, 0.0, 2.0],
+            [0.0, 0.0, 1.0, 0.0, 0.0, 0.0],
+            [4.0, 0.0, 0.0, 6.0, 0.0, 0.0],
+            [0.0, 0.0, 0.0, 0.0, 8.0, 0.0],
+            [0.0, 2.0, 0.0, 0.0, 0.0, 7.0],
+        ]
+    )
+    return CooMatrix.from_dense(dense).to_csr()
+
+
+def test_matvec_matches_dense(paper_matrix):
+    b = np.array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+    np.testing.assert_allclose(paper_matrix.matvec(b), paper_matrix.to_dense() @ b)
+
+
+def test_matmul_operator(paper_matrix):
+    b = np.ones(6)
+    np.testing.assert_allclose(paper_matrix @ b, paper_matrix.matvec(b))
+
+
+def test_matvec_with_empty_rows():
+    csr = CooMatrix.from_entries((4, 4), [(1, 1, 2.0), (3, 0, 1.0)]).to_csr()
+    b = np.array([10.0, 20.0, 30.0, 40.0])
+    np.testing.assert_array_equal(csr.matvec(b), [0.0, 40.0, 0.0, 10.0])
+
+
+def test_matvec_on_all_zero_matrix():
+    csr = CooMatrix.from_entries((3, 3), []).to_csr()
+    np.testing.assert_array_equal(csr.matvec(np.ones(3)), np.zeros(3))
+
+
+def test_matvec_rejects_wrong_operand_shape(paper_matrix):
+    with pytest.raises(ShapeMismatchError):
+        paper_matrix.matvec(np.ones(5))
+
+
+def test_matvec_rows_equals_slice_of_full_product(paper_matrix):
+    b = np.array([1.0, -1.0, 2.0, 0.5, 3.0, -2.0])
+    full = paper_matrix.matvec(b)
+    for start, stop in [(0, 2), (2, 4), (4, 6), (0, 6), (3, 3)]:
+        np.testing.assert_allclose(
+            paper_matrix.matvec_rows(start, stop, b), full[start:stop]
+        )
+
+
+def test_matvec_rows_rejects_bad_range(paper_matrix):
+    with pytest.raises(ShapeMismatchError):
+        paper_matrix.matvec_rows(4, 2, np.ones(6))
+    with pytest.raises(ShapeMismatchError):
+        paper_matrix.matvec_rows(0, 7, np.ones(6))
+
+
+def test_rmatvec_matches_dense_transpose(paper_matrix):
+    w = np.array([1.0, 2.0, 0.0, -1.0, 0.5, 1.0])
+    np.testing.assert_allclose(paper_matrix.rmatvec(w), paper_matrix.to_dense().T @ w)
+
+
+def test_row_norms(paper_matrix):
+    dense = paper_matrix.to_dense()
+    np.testing.assert_allclose(paper_matrix.row_norms(), np.linalg.norm(dense, axis=1))
+
+
+def test_diagonal(paper_matrix):
+    np.testing.assert_array_equal(
+        paper_matrix.diagonal(), np.diag(paper_matrix.to_dense())
+    )
+
+
+def test_diagonal_rectangular():
+    csr = CooMatrix.from_entries((2, 4), [(0, 0, 3.0), (1, 1, 4.0), (1, 3, 9.0)]).to_csr()
+    np.testing.assert_array_equal(csr.diagonal(), [3.0, 4.0])
+
+
+def test_nonempty_columns(paper_matrix):
+    # Block of rows 0-1 touches columns 0, 1, 3, 5 (cf. the paper's Figure 2 idea).
+    np.testing.assert_array_equal(paper_matrix.nonempty_columns(0, 2), [0, 1, 3, 5])
+    np.testing.assert_array_equal(paper_matrix.nonempty_columns(2, 4), [0, 2, 3])
+    np.testing.assert_array_equal(paper_matrix.nonempty_columns(4, 6), [1, 4, 5])
+
+
+def test_nnz_in_rows(paper_matrix):
+    assert paper_matrix.nnz_in_rows(0, 2) == 4
+    assert paper_matrix.nnz_in_rows(0, 6) == paper_matrix.nnz
+    assert paper_matrix.nnz_in_rows(2, 2) == 0
+
+
+def test_row_slice_matches_dense(paper_matrix):
+    sliced = paper_matrix.row_slice(1, 4)
+    np.testing.assert_array_equal(sliced.to_dense(), paper_matrix.to_dense()[1:4])
+
+
+def test_transpose_round_trip(paper_matrix):
+    np.testing.assert_array_equal(
+        paper_matrix.transpose().to_dense(), paper_matrix.to_dense().T
+    )
+
+
+def test_is_symmetric(paper_matrix):
+    assert paper_matrix.is_symmetric()
+    asym = CooMatrix.from_entries((2, 2), [(0, 1, 1.0)]).to_csr()
+    assert not asym.is_symmetric()
+
+
+def test_is_symmetric_false_for_rectangular():
+    rect = CooMatrix.from_entries((2, 3), [(0, 0, 1.0)]).to_csr()
+    assert not rect.is_symmetric()
+
+
+def test_scaled(paper_matrix):
+    np.testing.assert_array_equal(
+        paper_matrix.scaled(2.0).to_dense(), 2.0 * paper_matrix.to_dense()
+    )
+
+
+def test_with_data_replaces_values(paper_matrix):
+    ones = paper_matrix.with_data(np.ones(paper_matrix.nnz))
+    assert ones.to_dense().sum() == paper_matrix.nnz
+
+
+def test_with_data_rejects_wrong_length(paper_matrix):
+    with pytest.raises(ShapeMismatchError):
+        paper_matrix.with_data(np.ones(paper_matrix.nnz + 1))
+
+
+def test_equality(paper_matrix):
+    clone = CsrMatrix(
+        paper_matrix.shape,
+        paper_matrix.indptr.copy(),
+        paper_matrix.indices.copy(),
+        paper_matrix.data.copy(),
+    )
+    assert clone == paper_matrix
+    assert paper_matrix.scaled(2.0) != paper_matrix
+
+
+def test_not_hashable(paper_matrix):
+    with pytest.raises(TypeError):
+        hash(paper_matrix)
+
+
+def test_density(paper_matrix):
+    assert paper_matrix.density == pytest.approx(paper_matrix.nnz / 36)
+
+
+def test_validation_rejects_bad_indptr():
+    with pytest.raises(SparseFormatError):
+        CsrMatrix((2, 2), np.array([0, 1]), np.array([0]), np.array([1.0]))
+    with pytest.raises(SparseFormatError):
+        CsrMatrix((2, 2), np.array([1, 1, 1]), np.array([0]), np.array([1.0]))
+    with pytest.raises(SparseFormatError):
+        CsrMatrix((2, 2), np.array([0, 2, 1]), np.array([0]), np.array([1.0]))
+
+
+def test_validation_rejects_bad_column_index():
+    with pytest.raises(SparseFormatError):
+        CsrMatrix((2, 2), np.array([0, 1, 1]), np.array([5]), np.array([1.0]))
+
+
+def test_entry_rows(paper_matrix):
+    rows = paper_matrix.entry_rows()
+    dense = paper_matrix.to_dense()
+    for entry_idx in range(paper_matrix.nnz):
+        i = rows[entry_idx]
+        j = paper_matrix.indices[entry_idx]
+        assert dense[i, j] == paper_matrix.data[entry_idx]

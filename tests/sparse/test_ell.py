@@ -1,0 +1,97 @@
+"""Unit tests for the ELLPACK format."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeMismatchError, SparseFormatError
+from repro.sparse import CooMatrix, banded_spd, random_spd
+from repro.sparse.ell import EllMatrix
+
+
+@pytest.fixture
+def csr():
+    return random_spd(80, 700, seed=191)
+
+
+def test_round_trip_csr_ell_csr(csr):
+    ell = EllMatrix.from_csr(csr)
+    assert ell.to_csr() == csr
+
+
+def test_matvec_matches_csr(csr):
+    ell = EllMatrix.from_csr(csr)
+    b = np.random.default_rng(0).standard_normal(80)
+    np.testing.assert_allclose(ell.matvec(b), csr.matvec(b), rtol=1e-12)
+    np.testing.assert_allclose(ell @ b, csr @ b, rtol=1e-12)
+
+
+def test_width_is_max_row_length(csr):
+    ell = EllMatrix.from_csr(csr)
+    assert ell.width == int(csr.row_lengths().max())
+    assert ell.nnz == csr.nnz
+
+
+def test_padding_ratio_zero_for_regular_matrix():
+    diag = CooMatrix.from_dense(np.diag([1.0, 2.0, 3.0])).to_csr()
+    ell = EllMatrix.from_csr(diag)
+    assert ell.padding_ratio == 0.0
+    assert ell.width == 1
+
+
+def test_padding_ratio_high_for_irregular_matrix():
+    # One dense row among empty ones: nearly all slots are padding.
+    entries = [(0, j, 1.0) for j in range(50)] + [(5, 0, 1.0)]
+    csr = CooMatrix.from_entries((10, 50), entries).to_csr()
+    ell = EllMatrix.from_csr(csr)
+    assert ell.width == 50
+    assert ell.padding_ratio > 0.85
+
+
+def test_empty_matrix():
+    csr = CooMatrix.from_entries((4, 4), []).to_csr()
+    ell = EllMatrix.from_csr(csr)
+    assert ell.width == 0
+    assert ell.nnz == 0
+    np.testing.assert_array_equal(ell.matvec(np.ones(4)), np.zeros(4))
+
+
+def test_matvec_with_structural_zero(csr):
+    # Padded slots are masked, so a real zero entry survives conversion.
+    entries = [(0, 1, 0.0), (1, 2, 5.0)]
+    source = CooMatrix.from_entries((3, 3), entries).to_csr()
+    ell = EllMatrix.from_csr(source)
+    assert ell.nnz == 2
+    assert ell.to_csr() == source
+
+
+def test_matvec_shape_validation(csr):
+    ell = EllMatrix.from_csr(csr)
+    with pytest.raises(ShapeMismatchError):
+        ell.matvec(np.ones(79))
+
+
+def test_constructor_validation():
+    with pytest.raises(SparseFormatError):
+        EllMatrix((2, 2), np.zeros((2, 1)), np.zeros((2, 2)), np.zeros((2, 2), bool))
+    with pytest.raises(SparseFormatError):
+        EllMatrix(
+            (2, 2),
+            np.full((2, 1), 5),  # column out of range
+            np.zeros((2, 1)),
+            np.ones((2, 1), bool),
+        )
+    with pytest.raises(SparseFormatError):
+        EllMatrix(
+            (2, 2),
+            np.zeros((2, 1), dtype=np.int64),
+            np.ones((2, 1)),  # non-zero value in a padded slot
+            np.zeros((2, 1), bool),
+        )
+
+
+def test_banded_matrix_is_ell_friendly():
+    csr = banded_spd(60, 2, 1.0, seed=192)
+    ell = EllMatrix.from_csr(csr)
+    assert ell.padding_ratio < 0.2  # near-constant row degree
+    b = np.random.default_rng(193).standard_normal(60)
+    np.testing.assert_allclose(ell.matvec(b), csr.matvec(b), rtol=1e-12)

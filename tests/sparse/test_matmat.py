@@ -1,0 +1,55 @@
+"""Unit tests for the dense-block (SpMM) CSR kernels."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeMismatchError
+from repro.sparse import CooMatrix, random_spd
+
+
+@pytest.fixture
+def matrix():
+    return random_spd(60, 500, seed=131)
+
+
+def test_matmat_matches_dense(matrix):
+    b = np.random.default_rng(0).standard_normal((60, 7))
+    np.testing.assert_allclose(matrix.matmat(b), matrix.to_dense() @ b, rtol=1e-12)
+
+
+def test_matmat_single_column_matches_matvec(matrix):
+    b = np.random.default_rng(1).standard_normal(60)
+    np.testing.assert_array_equal(matrix.matmat(b[:, None])[:, 0], matrix.matvec(b))
+
+
+def test_matmat_empty_rows():
+    csr = CooMatrix.from_entries((4, 4), [(1, 1, 2.0)]).to_csr()
+    b = np.ones((4, 3))
+    out = csr.matmat(b)
+    np.testing.assert_array_equal(out[0], np.zeros(3))
+    np.testing.assert_array_equal(out[1], np.full(3, 2.0))
+
+
+def test_matmat_zero_matrix():
+    csr = CooMatrix.from_entries((3, 3), []).to_csr()
+    np.testing.assert_array_equal(csr.matmat(np.ones((3, 2))), np.zeros((3, 2)))
+
+
+def test_matmat_rows_equals_slice(matrix):
+    b = np.random.default_rng(2).standard_normal((60, 4))
+    full = matrix.matmat(b)
+    for start, stop in [(0, 10), (25, 40), (59, 60), (5, 5)]:
+        np.testing.assert_allclose(
+            matrix.matmat_rows(start, stop, b), full[start:stop], rtol=1e-12
+        )
+
+
+def test_matmat_shape_validation(matrix):
+    with pytest.raises(ShapeMismatchError):
+        matrix.matmat(np.ones(60))  # 1-D
+    with pytest.raises(ShapeMismatchError):
+        matrix.matmat(np.ones((59, 2)))
+    with pytest.raises(ShapeMismatchError):
+        matrix.matmat_rows(0, 10, np.ones((59, 2)))
+    with pytest.raises(ShapeMismatchError):
+        matrix.matmat_rows(10, 5, np.ones((60, 2)))

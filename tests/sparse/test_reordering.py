@@ -1,0 +1,119 @@
+"""Unit tests for Cuthill-McKee reordering."""
+
+import numpy as np
+import pytest
+
+from repro.core import ChecksumMatrix
+from repro.errors import ShapeMismatchError, SparseFormatError
+from repro.sparse import CooMatrix, banded_spd, poisson2d
+from repro.sparse.reordering import (
+    bandwidth,
+    cuthill_mckee,
+    permute_vector,
+    profile,
+    random_permutation,
+    reverse_cuthill_mckee,
+    symmetric_permute,
+)
+
+
+@pytest.fixture
+def scrambled():
+    """A banded SPD matrix destroyed by a random relabeling."""
+    banded = banded_spd(120, 3, 1.0, seed=7)
+    perm = random_permutation(120, seed=8)
+    return banded, symmetric_permute(banded, perm)
+
+
+def test_bandwidth_of_banded_matrix():
+    assert bandwidth(banded_spd(50, 4, 1.0, seed=1)) == 4
+    assert bandwidth(CooMatrix.from_entries((3, 3), []).to_csr()) == 0
+    assert bandwidth(CooMatrix.from_entries((3, 3), [(0, 0, 1.0)]).to_csr()) == 0
+
+
+def test_profile_zero_for_diagonal():
+    diag = CooMatrix.from_dense(np.eye(4)).to_csr()
+    assert profile(diag) == 0
+    assert profile(banded_spd(30, 2, 1.0, seed=2)) > 0
+
+
+def test_cm_returns_valid_permutation(scrambled):
+    _, matrix = scrambled
+    perm = cuthill_mckee(matrix)
+    np.testing.assert_array_equal(np.sort(perm), np.arange(matrix.n_rows))
+
+
+def test_rcm_restores_small_bandwidth(scrambled):
+    banded, shuffled = scrambled
+    assert bandwidth(shuffled) > 5 * bandwidth(banded)
+    restored = symmetric_permute(shuffled, reverse_cuthill_mckee(shuffled))
+    assert bandwidth(restored) <= 3 * bandwidth(banded)
+    assert profile(restored) < profile(shuffled)
+
+
+def test_rcm_on_poisson_grid():
+    grid = poisson2d(12)
+    perm = reverse_cuthill_mckee(grid)
+    reordered = symmetric_permute(grid, perm)
+    assert bandwidth(reordered) <= bandwidth(grid)
+
+
+def test_symmetric_permute_preserves_spectrum(scrambled):
+    banded, shuffled = scrambled
+    original = np.sort(np.linalg.eigvalsh(banded.to_dense()))
+    permuted = np.sort(np.linalg.eigvalsh(shuffled.to_dense()))
+    np.testing.assert_allclose(original, permuted, rtol=1e-9)
+
+
+def test_permute_commutes_with_matvec(scrambled):
+    _, matrix = scrambled
+    perm = reverse_cuthill_mckee(matrix)
+    reordered = symmetric_permute(matrix, perm)
+    rng = np.random.default_rng(9)
+    b = rng.standard_normal(matrix.n_cols)
+    # (P A P^T)(P b) = P (A b)
+    np.testing.assert_allclose(
+        reordered.matvec(permute_vector(b, perm)),
+        permute_vector(matrix.matvec(b), perm),
+        rtol=1e-12,
+    )
+
+
+def test_identity_permutation_is_noop(scrambled):
+    _, matrix = scrambled
+    same = symmetric_permute(matrix, np.arange(matrix.n_rows))
+    assert same == matrix
+
+
+def test_rcm_shrinks_checksum_matrix(scrambled):
+    """The ABFT payoff: locality restored -> smaller C -> cheaper t1."""
+    _, shuffled = scrambled
+    before = ChecksumMatrix.build(shuffled, block_size=16).nnz
+    reordered = symmetric_permute(shuffled, reverse_cuthill_mckee(shuffled))
+    after = ChecksumMatrix.build(reordered, block_size=16).nnz
+    assert after < before
+
+
+def test_disconnected_components_all_visited():
+    # Two disjoint 2-cliques plus an isolated diagonal vertex.
+    entries = [
+        (0, 0, 2.0), (1, 1, 2.0), (0, 1, -1.0), (1, 0, -1.0),
+        (2, 2, 2.0), (3, 3, 2.0), (2, 3, -1.0), (3, 2, -1.0),
+        (4, 4, 1.0),
+    ]
+    matrix = CooMatrix.from_entries((5, 5), entries).to_csr()
+    perm = cuthill_mckee(matrix)
+    np.testing.assert_array_equal(np.sort(perm), np.arange(5))
+
+
+def test_validation():
+    rect = CooMatrix.from_entries((2, 3), [(0, 0, 1.0)]).to_csr()
+    with pytest.raises(ShapeMismatchError):
+        cuthill_mckee(rect)
+    with pytest.raises(ShapeMismatchError):
+        symmetric_permute(rect, np.array([0, 1]))
+    square = banded_spd(4, 1, 1.0, seed=3)
+    with pytest.raises(SparseFormatError):
+        symmetric_permute(square, np.array([0, 1, 1, 2]))
+    with pytest.raises(SparseFormatError):
+        symmetric_permute(square, np.array([0, 1]))

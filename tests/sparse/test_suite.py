@@ -1,0 +1,74 @@
+"""Unit tests for the Table I synthetic suite."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sparse import QUICK_SUITE, SUITE_SPECS, iter_suite, spec_for, suite_matrix
+
+
+def test_suite_has_25_matrices_in_nnz_order():
+    assert len(SUITE_SPECS) == 25
+    nnzs = [spec.nnz for spec in SUITE_SPECS]
+    assert nnzs == sorted(nnzs)
+
+
+def test_table1_metadata_matches_paper():
+    nos3 = spec_for("nos3")
+    assert (nos3.n, nos3.nnz) == (960, 15844)
+    crank = spec_for("crankseg_1")
+    assert (crank.n, crank.nnz) == (52804, 10614210)
+    # Table I prints the zero portion; check one value (nos3: 98.28%).
+    assert nos3.zero_fraction == pytest.approx(0.9828, abs=5e-4)
+
+
+def test_reduced_scale_only_shrinks_largest():
+    shrunk = [spec.name for spec in SUITE_SPECS if spec.reduced_n != spec.n]
+    assert set(shrunk) <= {"bodyy6", "msc23052", "msc10848", "nd3k", "ship_001", "hood", "crankseg_1"}
+    for spec in SUITE_SPECS:
+        assert spec.reduced_n <= spec.n
+
+
+def test_spec_for_unknown_name():
+    with pytest.raises(ConfigurationError):
+        spec_for("not-a-matrix")
+
+
+def test_suite_matrix_matches_spec_dimensions():
+    spec = spec_for("nos3")
+    a = suite_matrix("nos3")
+    assert a.shape == (spec.n, spec.n)
+    assert abs(a.nnz - spec.nnz) / spec.nnz < 0.3
+    assert a.is_symmetric()
+
+
+def test_suite_matrix_is_deterministic():
+    assert suite_matrix("bcsstk13") == suite_matrix("bcsstk13")
+
+
+def test_suite_matrix_diagonally_dominant():
+    a = suite_matrix("nos3")
+    dense_diag = a.diagonal()
+    abs_row_sums = a.with_data(np.abs(a.data)).matvec(np.ones(a.n_cols))
+    assert (dense_diag > 0).all()
+    assert (2 * dense_diag >= abs_row_sums - 1e-12).all()
+
+
+def test_iter_suite_subset_preserves_order():
+    names = [spec.name for spec, _ in iter_suite(names=["bcsstk13", "nos3"])]
+    assert names == ["nos3", "bcsstk13"]
+
+
+def test_iter_suite_rejects_unknown_subset():
+    with pytest.raises(ConfigurationError):
+        list(iter_suite(names=["bogus"]))
+
+
+def test_quick_suite_is_subset():
+    assert set(QUICK_SUITE) <= {spec.name for spec in SUITE_SPECS}
+
+
+def test_nnz_at_preserves_row_degree():
+    spec = spec_for("crankseg_1")
+    reduced_nnz = spec.nnz_at(spec.reduced_n)
+    assert reduced_nnz / spec.reduced_n == pytest.approx(spec.row_degree, rel=0.01)

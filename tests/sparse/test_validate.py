@@ -1,0 +1,75 @@
+"""Unit tests for matrix inspection and validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SingularMatrixError, SparseFormatError
+from repro.sparse import CooMatrix, banded_spd, random_spd
+from repro.sparse.validate import assert_spd_like, inspect_matrix, render_report
+
+
+@pytest.fixture
+def spd():
+    return banded_spd(40, 3, 0.9, seed=201)
+
+
+def test_inspect_spd(spd):
+    report = inspect_matrix(spd)
+    assert report.shape == (40, 40)
+    assert report.symmetric
+    assert report.positive_diagonal
+    assert report.weakly_diagonally_dominant
+    assert report.bandwidth <= 3
+    assert report.empty_rows == 0
+    assert report.min_row_degree >= 1
+    assert report.mean_row_degree == pytest.approx(spd.nnz / 40)
+
+
+def test_inspect_rectangular():
+    rect = CooMatrix.from_entries((2, 3), [(0, 0, 1.0)]).to_csr()
+    report = inspect_matrix(rect)
+    assert not report.symmetric
+    assert not report.weakly_diagonally_dominant
+
+
+def test_inspect_counts_empty_rows():
+    matrix = CooMatrix.from_entries((5, 5), [(0, 0, 1.0), (4, 4, 1.0)]).to_csr()
+    assert inspect_matrix(matrix).empty_rows == 3
+
+
+def test_assert_spd_like_accepts_suite_matrices(spd):
+    assert_spd_like(spd)
+    assert_spd_like(random_spd(60, 500, seed=202))
+
+
+def test_assert_spd_like_rejects_rectangular():
+    rect = CooMatrix.from_entries((2, 3), [(0, 0, 1.0)]).to_csr()
+    with pytest.raises(SparseFormatError):
+        assert_spd_like(rect)
+
+
+def test_assert_spd_like_rejects_asymmetric():
+    asym = CooMatrix.from_entries(
+        (2, 2), [(0, 0, 2.0), (1, 1, 2.0), (0, 1, 1.0)]
+    ).to_csr()
+    with pytest.raises(SparseFormatError):
+        assert_spd_like(asym)
+
+
+def test_assert_spd_like_rejects_negative_diagonal():
+    bad = CooMatrix.from_dense(np.diag([1.0, -1.0])).to_csr()
+    with pytest.raises(SingularMatrixError):
+        assert_spd_like(bad)
+
+
+def test_assert_spd_like_rejects_non_dominant():
+    dense = np.array([[1.0, 5.0], [5.0, 1.0]])
+    with pytest.raises(SingularMatrixError):
+        assert_spd_like(CooMatrix.from_dense(dense).to_csr())
+
+
+def test_render_report(spd):
+    text = render_report(inspect_matrix(spd))
+    assert "40 x 40" in text
+    assert "symmetric            yes" in text
+    assert "bandwidth" in text

@@ -1,0 +1,18 @@
+"""Guard: docs/api_reference.md must match the live public API."""
+
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_api_reference_is_current():
+    sys.path.insert(0, str(ROOT / "tools"))
+    try:
+        from gen_api_reference import OUTPUT, generate
+    finally:
+        sys.path.pop(0)
+    assert OUTPUT.exists(), "run: python tools/gen_api_reference.py"
+    assert OUTPUT.read_text() == generate(), (
+        "docs/api_reference.md is stale; run: python tools/gen_api_reference.py"
+    )

@@ -1,0 +1,41 @@
+"""Smoke tests: the fast examples must run end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name: str, timeout: int = 240) -> str:
+    process = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert process.returncode == 0, process.stderr[-2000:]
+    return process.stdout
+
+
+def test_quickstart_example():
+    out = _run("quickstart.py")
+    assert "result verified: bit-identical" in out
+
+
+def test_block_size_tuning_example():
+    out = _run("block_size_tuning.py")
+    assert "optimal block sizes" in out
+
+
+@pytest.mark.parametrize(
+    "name, marker",
+    [
+        ("pagerank.py", "protected after late strike"),
+        ("fault_model_study.py", "exponent"),
+    ],
+)
+def test_heavier_examples(name, marker):
+    assert marker in _run(name)

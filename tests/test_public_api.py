@@ -1,0 +1,79 @@
+"""Public-API surface tests: everything advertised must import and exist."""
+
+import importlib
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.sparse",
+    "repro.machine",
+    "repro.faults",
+    "repro.core",
+    "repro.baselines",
+    "repro.solvers",
+    "repro.analysis",
+    "repro.apps",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_exports_resolve(package_name):
+    package = importlib.import_module(package_name)
+    assert hasattr(package, "__all__"), package_name
+    for name in package.__all__:
+        assert hasattr(package, name), f"{package_name}.{name} missing"
+
+
+def test_version_string():
+    assert repro.__version__.count(".") == 2
+
+
+def test_top_level_quickstart_symbols():
+    # The README quickstart must keep working.
+    assert callable(repro.suite_matrix)
+    assert callable(repro.FaultTolerantSpMV)
+
+
+def test_error_hierarchy_rooted():
+    from repro import (
+        ConfigurationError,
+        ConvergenceError,
+        InjectionError,
+        ReproError,
+        SchedulerError,
+        ShapeMismatchError,
+        SingularMatrixError,
+        SparseFormatError,
+    )
+
+    for exc in (
+        SparseFormatError,
+        ShapeMismatchError,
+        SingularMatrixError,
+        ConvergenceError,
+        SchedulerError,
+        InjectionError,
+        ConfigurationError,
+    ):
+        assert issubclass(exc, ReproError)
+
+
+def test_module_docstrings_present():
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        assert package.__doc__ and len(package.__doc__) > 40, package_name
+
+
+def test_public_callables_documented():
+    """Every public class/function carries a docstring."""
+    import inspect
+
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        for name in package.__all__:
+            obj = getattr(package, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                assert obj.__doc__, f"{package_name}.{name} lacks a docstring"
