@@ -37,6 +37,7 @@ from repro.core.bounds import SparseBlockBound
 from repro.core.checksum import ChecksumMatrix
 from repro.core.config import AbftConfig
 from repro.core.corrector import TamperHook, correct_blocks
+from repro.kernels import resolve_kernels
 from repro.errors import ConfigurationError
 from repro.machine import (
     ExecutionMeter,
@@ -96,6 +97,8 @@ class DualChecksumSpMV:
         block_size: rows per checksum block.
         machine: simulated device.
         max_rounds: verification/correction round budget.
+        kernel: :mod:`repro.kernels` selection (name, instance, or None
+            for the configured default).
     """
 
     def __init__(
@@ -104,6 +107,7 @@ class DualChecksumSpMV:
         block_size: int = 32,
         machine: Optional[Machine] = None,
         max_rounds: int = 8,
+        kernel: object = None,
     ) -> None:
         if block_size < 1:
             raise ConfigurationError(f"block_size must be >= 1, got {block_size}")
@@ -113,8 +117,13 @@ class DualChecksumSpMV:
         self.block_size = block_size
         self.machine = machine or Machine()
         self.max_rounds = max_rounds
-        self.value_checksum = ChecksumMatrix.build(matrix, block_size, "ones")
-        self.position_checksum = ChecksumMatrix.build(matrix, block_size, "linear")
+        self.kernels = resolve_kernels(kernel)
+        self.value_checksum = ChecksumMatrix.build(
+            matrix, block_size, "ones", self.kernels
+        )
+        self.position_checksum = ChecksumMatrix.build(
+            matrix, block_size, "linear", self.kernels
+        )
         self.bound = SparseBlockBound.from_checksum(self.value_checksum)
 
     @property
@@ -232,7 +241,8 @@ class DualChecksumSpMV:
             if fallback:
                 blocks = np.asarray(fallback, dtype=np.int64)
                 outcome = correct_blocks(
-                    matrix, self.partition, b, r, blocks, tamper
+                    matrix, self.partition, b, r, blocks, tamper,
+                    kernel=self.kernels,
                 )
                 recomputed.update(fallback)
                 meter.run_graph(

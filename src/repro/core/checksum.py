@@ -9,8 +9,9 @@ cheap compared to a dense checksum vector.
 
 The construction itself follows Figure 3: a structure pass derives ``C``'s
 sparsity pattern from ``A``'s, then a numeric pass accumulates the weighted
-column sums.  Here both passes are a single grouped reduction over ``A``'s
-entries keyed by ``(block, column)``.
+column sums.  The numeric kernels dispatch through :mod:`repro.kernels`
+(``"vectorized"`` runs both passes as one grouped reduction over ``A``'s
+entries keyed by ``(block, column)``; ``"naive"`` iterates blocks).
 """
 
 from __future__ import annotations
@@ -21,12 +22,14 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.core.blocking import BlockPartition
+from repro.kernels import DEFAULT_KERNEL, resolve_kernels
 from repro.machine import KernelCost, log2ceil
-from repro.sparse.coo import CooMatrix
 from repro.sparse.csr import CsrMatrix
 
 
-def make_weights(kind: str, partition: BlockPartition) -> np.ndarray:
+def make_weights(
+    kind: str, partition: BlockPartition, kernel: object = None
+) -> np.ndarray:
     """Full-length weight vector ``w`` with ``w[i]`` = weight of row i.
 
     ``"ones"`` is the paper's choice (checksums are plain column sums);
@@ -35,14 +38,14 @@ def make_weights(kind: str, partition: BlockPartition) -> np.ndarray:
     deterministic weights from [0.5, 1.5], which defeats the classic ABFT
     blind spot of exactly-cancelling multi-errors (two corruptions summing
     to zero no longer cancel in the weighted checksum).
+
+    ``kernel`` selects the :mod:`repro.kernels` implementation for the
+    per-block ``"linear"`` ramp (name, instance, or None for the default).
     """
     if kind == "ones":
         return np.ones(partition.n_rows, dtype=np.float64)
     if kind == "linear":
-        weights = np.empty(partition.n_rows, dtype=np.float64)
-        for _, start, stop in partition:
-            weights[start:stop] = np.arange(1, stop - start + 1, dtype=np.float64)
-        return weights
+        return resolve_kernels(kernel).linear_weights(partition)
     if kind == "random":
         rng = np.random.default_rng(0x5EED)
         return rng.uniform(0.5, 1.5, size=partition.n_rows)
@@ -64,6 +67,8 @@ class ChecksumMatrix:
         checksum_norms: per block, ``||c_k||_2``.
         setup_cost: kernel cost of building ``C`` (one-time preprocessing;
             paper Section III-E notes it amortizes over reuse).
+        kernel_name: name of the kernel set the checksum was built with;
+            checksum evaluations default to the same set.
     """
 
     matrix: CsrMatrix
@@ -74,6 +79,7 @@ class ChecksumMatrix:
     checksum_norms: np.ndarray
     setup_cost: KernelCost
     source_nnz: int
+    kernel_name: str = DEFAULT_KERNEL
 
     @classmethod
     def build(
@@ -81,6 +87,7 @@ class ChecksumMatrix:
         source: CsrMatrix,
         block_size: int,
         weight_kind: str = "ones",
+        kernel: object = None,
     ) -> "ChecksumMatrix":
         """Encode ``source`` into its checksum matrix.
 
@@ -88,19 +95,13 @@ class ChecksumMatrix:
             source: the input matrix ``A``.
             block_size: rows per block (b_s).
             weight_kind: weight-vector scheme (see :func:`make_weights`).
+            kernel: kernel-set name or instance executing the encoding and
+                later checksum evaluations (None = configured default).
         """
+        kernels = resolve_kernels(kernel)
         partition = BlockPartition(source.n_rows, block_size)
-        weights = make_weights(weight_kind, partition)
-
-        entry_rows = source.entry_rows()
-        entry_blocks = partition.block_ids_of_rows(entry_rows)
-        weighted = source.data * weights[entry_rows]
-        checksum = CooMatrix(
-            (partition.n_blocks, source.n_cols),
-            entry_blocks,
-            source.indices.copy(),
-            weighted,
-        ).to_csr()
+        weights = make_weights(weight_kind, partition, kernels)
+        checksum = kernels.encode(source, partition, weights)
 
         nonempty = checksum.row_lengths()
         row_norms = source.row_norms()
@@ -127,7 +128,12 @@ class ChecksumMatrix:
             checksum_norms=checksum_norms,
             setup_cost=setup_cost,
             source_nnz=source.nnz,
+            kernel_name=kernels.name,
         )
+
+    def _kernels(self, kernel: object = None):
+        """Resolve the kernel set for one evaluation (env override applies)."""
+        return resolve_kernels(kernel if kernel is not None else self.kernel_name)
 
     @property
     def n_blocks(self) -> int:
@@ -151,23 +157,18 @@ class ChecksumMatrix:
         """t1 = C b (Figure 1, step 1, checksum stream)."""
         return self.matrix.matvec(b)
 
-    def result_checksums(self, r: np.ndarray) -> np.ndarray:
+    def result_checksums(self, r: np.ndarray, kernel: object = None) -> np.ndarray:
         """t2_k = w_k^T r_k: segmented weighted sums of the result vector."""
-        if self.n_blocks == 0:
-            return np.empty(0, dtype=np.float64)
-        # Corrupted results may contain inf/NaN; they must propagate into
-        # the checksums silently (detection flags them downstream).
-        with np.errstate(invalid="ignore", over="ignore"):
-            weighted = self.weights * r
-            return np.add.reduceat(weighted, self.partition.block_starts()[:-1])
+        return self._kernels(kernel).result_checksums(self.weights, r, self.partition)
 
     def result_checksums_for_blocks(
-        self, r: np.ndarray, blocks: np.ndarray
+        self, r: np.ndarray, blocks: np.ndarray, kernel: object = None
     ) -> np.ndarray:
-        """Recompute t2 for selected blocks only (re-verification path)."""
-        out = np.empty(len(blocks), dtype=np.float64)
-        with np.errstate(invalid="ignore", over="ignore"):
-            for i, block in enumerate(np.asarray(blocks, dtype=np.int64)):
-                start, stop = self.partition.bounds(int(block))
-                out[i] = float(np.dot(self.weights[start:stop], r[start:stop]))
-        return out
+        """Recompute t2 for selected blocks only (re-verification path).
+
+        Raises:
+            ConfigurationError: if any block id is negative or >= n_blocks.
+        """
+        return self._kernels(kernel).result_checksums_for_blocks(
+            self.weights, r, self.partition, blocks
+        )

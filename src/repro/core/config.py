@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
+from repro.kernels import DEFAULT_KERNEL, available_kernels
 
 #: Double-precision machine epsilon used by the rounding-error bounds
 #: (the paper's eps_M = 2^-53, Section III-C).
@@ -36,6 +37,10 @@ class AbftConfig:
             for the bound-tightness ablation.
         max_correction_rounds: verification/correction iterations before a
             protected multiply gives up (errors can hit corrections too).
+        kernel: registered kernel-set name executing the hot paths (see
+            :mod:`repro.kernels`); the ``REPRO_KERNELS`` environment
+            variable overrides it process-wide.  Custom sets must be
+            registered before the config is constructed.
     """
 
     block_size: int = DEFAULT_BLOCK_SIZE
@@ -43,6 +48,7 @@ class AbftConfig:
     weights: str = "ones"
     bound_scale: float = 1.0
     max_correction_rounds: int = 8
+    kernel: str = DEFAULT_KERNEL
 
     def __post_init__(self) -> None:
         if self.block_size < 1:
@@ -60,4 +66,8 @@ class AbftConfig:
         if self.max_correction_rounds < 1:
             raise ConfigurationError(
                 f"max_correction_rounds must be >= 1, got {self.max_correction_rounds}"
+            )
+        if self.kernel not in available_kernels():
+            raise ConfigurationError(
+                f"unknown kernel {self.kernel!r}; expected one of {available_kernels()}"
             )

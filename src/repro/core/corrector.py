@@ -13,6 +13,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.core.blocking import BlockPartition
+from repro.kernels import resolve_kernels
 from repro.machine import KernelCost, log2ceil
 from repro.sparse.csr import CsrMatrix
 
@@ -42,6 +43,7 @@ def correct_blocks(
     r: np.ndarray,
     blocks: np.ndarray,
     tamper: Optional[TamperHook] = None,
+    kernel: object = None,
 ) -> CorrectionOutcome:
     """Recompute the result rows of ``blocks`` in place.
 
@@ -54,20 +56,15 @@ def correct_blocks(
         tamper: optional fault hook; receives each recomputed segment so
             campaigns can corrupt corrections too (errors do not pause
             while the scheme repairs earlier errors).
+        kernel: :mod:`repro.kernels` selection (name, instance, or None
+            for the configured default); ``"vectorized"`` recomputes all
+            flagged blocks in one fused gather/segment-sum kernel.
 
     Returns:
         Row/nnz accounting for the round.
     """
     blocks = np.asarray(blocks, dtype=np.int64)
-    rows = 0
-    nnz = 0
-    for block in blocks:
-        start, stop = partition.bounds(int(block))
-        segment = matrix.matvec_rows(start, stop, b)
-        block_nnz = matrix.nnz_in_rows(start, stop)
-        if tamper is not None:
-            tamper("corrected", segment, 2.0 * block_nnz)
-        r[start:stop] = segment
-        rows += stop - start
-        nnz += block_nnz
+    rows, nnz = resolve_kernels(kernel).correct_blocks(
+        matrix, partition, b, r, blocks, tamper
+    )
     return CorrectionOutcome(blocks=blocks, rows_recomputed=rows, nnz_recomputed=nnz)

@@ -17,6 +17,7 @@ from repro.core.bounds import make_bound
 from repro.core.checksum import ChecksumMatrix
 from repro.core.config import AbftConfig
 from repro.errors import ShapeMismatchError
+from repro.kernels import resolve_kernels
 from repro.machine import (
     TaskGraph,
     blocked_checksum_cost,
@@ -76,8 +77,9 @@ class BlockAbftDetector:
         """
         self.matrix = matrix
         self.config = config or AbftConfig()
+        self.kernels = resolve_kernels(self.config.kernel)
         self.checksum = ChecksumMatrix.build(
-            matrix, self.config.block_size, self.config.weights
+            matrix, self.config.block_size, self.config.weights, kernel=self.kernels
         )
         if bound_override is not None:
             self.bound = bound_override
@@ -147,10 +149,8 @@ class BlockAbftDetector:
         else:
             blocks = np.asarray(blocks, dtype=np.int64)
         with np.errstate(invalid="ignore", over="ignore"):
-            syndrome = t1 - t2
             thresholds = self.bound.thresholds(beta, blocks)
-            exceeded = np.abs(syndrome) > thresholds
-            exceeded |= ~np.isfinite(syndrome)
+        syndrome, exceeded = self.kernels.compare_syndromes(t1, t2, thresholds)
         return DetectionReport(
             flagged=blocks[exceeded],
             syndrome=syndrome,

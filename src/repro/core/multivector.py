@@ -24,6 +24,7 @@ from repro.core.bounds import SparseBlockBound
 from repro.core.checksum import ChecksumMatrix
 from repro.core.corrector import TamperHook
 from repro.errors import ConfigurationError, ShapeMismatchError
+from repro.kernels import resolve_kernels
 from repro.machine import (
     ExecutionMeter,
     Machine,
@@ -69,6 +70,8 @@ class ProtectedSpMM:
         block_size: rows per checksum block.
         machine: simulated device.
         max_rounds: correction round budget.
+        kernel: :mod:`repro.kernels` selection (name, instance, or None
+            for the configured default).
     """
 
     def __init__(
@@ -77,6 +80,7 @@ class ProtectedSpMM:
         block_size: int = 32,
         machine: Optional[Machine] = None,
         max_rounds: int = 8,
+        kernel: object = None,
     ) -> None:
         if block_size < 1:
             raise ConfigurationError(f"block_size must be >= 1, got {block_size}")
@@ -86,7 +90,8 @@ class ProtectedSpMM:
         self.block_size = block_size
         self.machine = machine or Machine()
         self.max_rounds = max_rounds
-        self.checksum = ChecksumMatrix.build(matrix, block_size, "ones")
+        self.kernels = resolve_kernels(kernel)
+        self.checksum = ChecksumMatrix.build(matrix, block_size, "ones", self.kernels)
         self.bound = SparseBlockBound.from_checksum(self.checksum)
 
     @property
@@ -98,18 +103,16 @@ class ProtectedSpMM:
     # ------------------------------------------------------------------
     def _result_checksums(self, r: np.ndarray) -> np.ndarray:
         """T2: segmented column sums of the result block, per row block."""
-        starts = self.partition.block_starts()
-        with np.errstate(invalid="ignore", over="ignore"):
-            return np.add.reduceat(r, starts[:-1], axis=0)
+        return self.kernels.result_checksums_multi(r, self.partition)
 
     def _flags(
-        self, t1: np.ndarray, t2: np.ndarray, betas: np.ndarray
+        self, t1: np.ndarray, t2: np.ndarray, betas: np.ndarray, blocks=None
     ) -> np.ndarray:
-        """Boolean ``(n_blocks, k)`` violation matrix."""
+        """Boolean violation matrix for all blocks (or a ``blocks`` subset)."""
         with np.errstate(invalid="ignore", over="ignore"):
-            syndrome = t1 - t2
-            thresholds = np.outer(self.bound.thresholds(1.0), betas)
-            return (np.abs(syndrome) > thresholds) | ~np.isfinite(syndrome)
+            thresholds = np.outer(self.bound.thresholds(1.0, blocks), betas)
+        _, flags = self.kernels.compare_syndromes_multi(t1, t2, thresholds)
+        return flags
 
     # ------------------------------------------------------------------
     # Cost model
@@ -191,26 +194,24 @@ class ProtectedSpMM:
                 break
             rounds += 1
             cells = np.argwhere(flags)
-            nnz_recomputed = 0
-            for block, col in cells:
-                block, col = int(block), int(col)
-                start, stop = self.partition.bounds(block)
-                segment = matrix.matvec_rows(start, stop, b[:, col])
-                nnz = matrix.nnz_in_rows(start, stop)
-                if tamper is not None:
-                    tamper("corrected", segment, 2.0 * nnz)
-                r[start:stop, col] = segment
-                corrected.add((block, col))
-                nnz_recomputed += nnz
+            _, nnz_recomputed = self.kernels.correct_cells(
+                matrix, self.partition, b, r, cells, tamper
+            )
+            corrected.update((int(block), int(col)) for block, col in cells)
             meter.run_graph(self._correction_graph(nnz_recomputed, len(cells)))
-            # Re-verify only the touched cells.
-            t2 = self._result_checksums(r)
+            # Re-verify only the touched blocks' checksum rows — one fused
+            # pass over all right-hand sides — then mask to touched cells.
+            touched = np.unique(cells[:, 0])
+            t2_rows = self.kernels.result_checksums_multi_for_blocks(
+                r, self.partition, touched
+            )
             if tamper is not None:
-                tamper("t2", t2, 2.0 * self.block_size * len(cells))
-            all_flags = self._flags(t1, t2, betas)
-            mask = np.zeros_like(all_flags)
+                tamper("t2", t2_rows, 2.0 * self.block_size * len(cells))
+            flags = np.zeros_like(flags)
+            flags[touched] = self._flags(t1[touched], t2_rows, betas, blocks=touched)
+            mask = np.zeros_like(flags)
             mask[tuple(cells.T)] = True
-            flags = all_flags & mask
+            flags &= mask
 
         seconds, flops = meter.snapshot()
         return SpmmResult(

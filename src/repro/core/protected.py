@@ -175,7 +175,8 @@ class FaultTolerantSpMV:
                 break
             rounds += 1
             outcome = correct_blocks(
-                matrix, detector.partition, b, r, flagged, tamper
+                matrix, detector.partition, b, r, flagged, tamper,
+                kernel=detector.kernels,
             )
             corrected.update(int(x) for x in flagged)
 
@@ -236,13 +237,9 @@ class FaultTolerantSpMV:
         tamper: Optional[TamperHook],
     ) -> int:
         """Recompute t1 entries of stubborn blocks; returns nnz touched."""
-        checksum = self.detector.checksum.matrix
-        fresh = np.empty(flagged.size, dtype=np.float64)
-        nnz = 0
-        for i, block in enumerate(flagged):
-            block = int(block)
-            fresh[i] = checksum.matvec_rows(block, block + 1, b)[0]
-            nnz += checksum.nnz_in_rows(block, block + 1)
+        fresh, nnz = self.detector.kernels.row_checksums(
+            self.detector.checksum.matrix, flagged, b
+        )
         self._tamper(tamper, "t1", fresh, 2.0 * nnz)
         t1[flagged] = fresh
         return nnz

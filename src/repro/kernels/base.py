@@ -1,0 +1,311 @@
+"""Kernel registry and dispatch for the ABFT hot paths.
+
+The scheme's per-multiply cost is dominated by a handful of kernels:
+checksum encoding, result-checksum evaluation (full, per-block and
+multi-RHS), syndrome/threshold comparison, and block recomputation.  Each
+of these exists in more than one implementation — the reference per-block
+Python loops (``"naive"``) and the batched/vectorized NumPy versions
+(``"vectorized"``) — grouped into a :class:`KernelSet` and selected by
+name through a process-wide registry.
+
+Selection order (first match wins):
+
+1. an explicit :class:`KernelSet` instance passed to ``resolve_kernels``;
+2. the :data:`KERNEL_ENV_VAR` environment variable (``REPRO_KERNELS``),
+   which overrides every configured name — useful to A/B a whole run
+   without touching code;
+3. the name passed in (usually ``AbftConfig.kernel``);
+4. :data:`DEFAULT_KERNEL`.
+
+Every implementation pair is held to the differential-testing contract of
+``tests/kernels``: structural outputs (sparsity patterns, flag masks,
+accounting) must match bit-level, floating-point reductions must agree
+within the paper's own rounding-error bounds.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (annotations only)
+    from repro.core.blocking import BlockPartition
+    from repro.sparse.csr import CsrMatrix
+
+#: Environment variable that overrides the configured kernel-set name.
+KERNEL_ENV_VAR = "REPRO_KERNELS"
+
+#: Kernel set used when neither a name nor the environment selects one.
+DEFAULT_KERNEL = "vectorized"
+
+#: Fault-campaign hook signature (mirrors :data:`repro.core.corrector.TamperHook`).
+Tamper = Optional[Callable[[str, np.ndarray, float], None]]
+
+
+# ----------------------------------------------------------------------
+# Shared segment utilities
+# ----------------------------------------------------------------------
+def validate_blocks(blocks: np.ndarray, n_blocks: int) -> np.ndarray:
+    """Return ``blocks`` as an int64 array, rejecting out-of-range ids.
+
+    Fancy indexing with a negative or too-large block id would silently
+    mis-slice (NumPy wraps negatives); every kernel therefore validates
+    eagerly and raises a clear :class:`ConfigurationError`.
+    """
+    blocks = np.asarray(blocks)
+    if blocks.dtype == object or not (
+        blocks.size == 0 or np.issubdtype(blocks.dtype, np.integer)
+    ):
+        raise ConfigurationError(
+            f"block ids must be integers, got dtype {blocks.dtype}"
+        )
+    blocks = blocks.astype(np.int64, copy=False)
+    if blocks.size:
+        bad = (blocks < 0) | (blocks >= n_blocks)
+        if bad.any():
+            raise ConfigurationError(
+                f"block ids {np.unique(blocks[bad]).tolist()} out of range "
+                f"for {n_blocks} blocks"
+            )
+    return blocks
+
+
+def flat_segment_indices(
+    starts: np.ndarray, stops: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Flatten the index ranges ``[starts[i], stops[i])`` into one array.
+
+    Returns ``(indices, offsets)`` where segment ``i`` occupies
+    ``indices[offsets[i]:offsets[i+1]]``.  This is the gather step behind
+    every batched "selected blocks/rows" kernel: one fancy-indexed load
+    replaces a Python loop over ranges.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    lengths = np.asarray(stops, dtype=np.int64) - starts
+    offsets = np.zeros(starts.size + 1, dtype=np.int64)
+    np.cumsum(lengths, out=offsets[1:])
+    total = int(offsets[-1])
+    if total == 0:
+        return np.empty(0, dtype=np.int64), offsets
+    indices = np.arange(total, dtype=np.int64) + np.repeat(
+        starts - offsets[:-1], lengths
+    )
+    return indices, offsets
+
+
+def segment_sums(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Sum ``values`` over segments ``[offsets[i], offsets[i+1])``.
+
+    Empty segments yield 0 (``np.add.reduceat`` alone would repeat the
+    next segment's leading element instead).
+    """
+    n_segments = offsets.size - 1
+    out = np.zeros(n_segments, dtype=np.float64)
+    if values.size == 0 or n_segments == 0:
+        return out
+    lengths = np.diff(offsets)
+    nonempty = lengths > 0
+    if not nonempty.any():
+        return out
+    out[nonempty] = np.add.reduceat(values, offsets[:-1][nonempty])
+    return out
+
+
+# ----------------------------------------------------------------------
+# The kernel-set interface
+# ----------------------------------------------------------------------
+class KernelSet(abc.ABC):
+    """One named implementation family of the ABFT hot-path kernels.
+
+    All methods are pure computations over the arrays passed in, except
+    the two correction kernels which scatter into the result in place and
+    invoke the tamper hook once per recomputed block/cell (the hook-call
+    sequence is part of the contract — fault campaigns replay identically
+    under every kernel set).
+    """
+
+    #: Registry key; subclasses override.
+    name: str = "abstract"
+
+    # -- weights / encoding ------------------------------------------------
+    @abc.abstractmethod
+    def linear_weights(self, partition: "BlockPartition") -> np.ndarray:
+        """Per-block ramp weights ``1..len(block)`` as a full-length vector."""
+
+    @abc.abstractmethod
+    def encode(
+        self,
+        source: "CsrMatrix",
+        partition: "BlockPartition",
+        weights: np.ndarray,
+    ) -> "CsrMatrix":
+        """Build the sparse checksum matrix ``C`` (rows ``c_k = w_k^T A_k``)."""
+
+    # -- detection ---------------------------------------------------------
+    @abc.abstractmethod
+    def result_checksums(
+        self, weights: np.ndarray, r: np.ndarray, partition: "BlockPartition"
+    ) -> np.ndarray:
+        """``t2_k = w_k^T r_k`` over all blocks."""
+
+    @abc.abstractmethod
+    def result_checksums_for_blocks(
+        self,
+        weights: np.ndarray,
+        r: np.ndarray,
+        partition: "BlockPartition",
+        blocks: np.ndarray,
+    ) -> np.ndarray:
+        """``t2`` restricted to ``blocks`` (the re-verification path)."""
+
+    @abc.abstractmethod
+    def compare_syndromes(
+        self, t1: np.ndarray, t2: np.ndarray, thresholds: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(syndrome, exceeded)`` for ``syndrome = t1 - t2``.
+
+        A non-finite syndrome always flags; a non-finite threshold with a
+        finite syndrome never does (NaN comparisons are false, matching
+        the comparison hardware the paper models).
+        """
+
+    # -- correction --------------------------------------------------------
+    @abc.abstractmethod
+    def correct_blocks(
+        self,
+        matrix: "CsrMatrix",
+        partition: "BlockPartition",
+        b: np.ndarray,
+        r: np.ndarray,
+        blocks: np.ndarray,
+        tamper: Tamper = None,
+    ) -> Tuple[int, int]:
+        """Recompute the result rows of ``blocks`` into ``r`` in place.
+
+        Returns ``(rows_recomputed, nnz_recomputed)``.
+        """
+
+    @abc.abstractmethod
+    def row_checksums(
+        self, csr: "CsrMatrix", rows: np.ndarray, b: np.ndarray
+    ) -> Tuple[np.ndarray, int]:
+        """Dot each selected CSR row with ``b`` (the ``t1`` refresh kernel).
+
+        Returns ``(values, nnz_touched)``; empty rows contribute 0.
+        """
+
+    # -- multi-RHS (SpMM) --------------------------------------------------
+    @abc.abstractmethod
+    def result_checksums_multi(
+        self,
+        r: np.ndarray,
+        partition: "BlockPartition",
+        weights: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """``T2[k, j] = w_k^T R[block_k, j]`` for a 2-D result block.
+
+        ``weights=None`` means all-ones (plain segmented column sums).
+        """
+
+    @abc.abstractmethod
+    def result_checksums_multi_for_blocks(
+        self,
+        r: np.ndarray,
+        partition: "BlockPartition",
+        blocks: np.ndarray,
+        weights: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Rows of ``T2`` restricted to ``blocks`` (SpMM re-verification)."""
+
+    @abc.abstractmethod
+    def compare_syndromes_multi(
+        self, t1: np.ndarray, t2: np.ndarray, thresholds: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """2-D variant of :meth:`compare_syndromes` over ``(block, column)``."""
+
+    @abc.abstractmethod
+    def correct_cells(
+        self,
+        matrix: "CsrMatrix",
+        partition: "BlockPartition",
+        b: np.ndarray,
+        r: np.ndarray,
+        cells: np.ndarray,
+        tamper: Tamper = None,
+    ) -> Tuple[int, int]:
+        """Recompute the ``(block, column)`` cells of a 2-D result in place.
+
+        Returns ``(rows_recomputed, nnz_recomputed)`` (rows counted once
+        per cell, as each cell is an independent partial SpMV).
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<KernelSet {self.name!r}>"
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, KernelSet] = {}
+
+
+def register_kernels(impl: KernelSet, overwrite: bool = False) -> KernelSet:
+    """Register ``impl`` under ``impl.name``; returns it for chaining."""
+    if not isinstance(impl, KernelSet):
+        raise ConfigurationError(
+            f"kernel sets must subclass KernelSet, got {type(impl).__name__}"
+        )
+    if impl.name in _REGISTRY and not overwrite:
+        raise ConfigurationError(
+            f"kernel set {impl.name!r} already registered (pass overwrite=True)"
+        )
+    _REGISTRY[impl.name] = impl
+    return impl
+
+
+def unregister_kernels(name: str) -> None:
+    """Remove a registered kernel set (primarily for test isolation)."""
+    if name in ("naive", "vectorized"):
+        raise ConfigurationError(f"built-in kernel set {name!r} cannot be removed")
+    _REGISTRY.pop(name, None)
+
+
+def available_kernels() -> Tuple[str, ...]:
+    """Registered kernel-set names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_kernels(name: str) -> KernelSet:
+    """Look up a kernel set by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown kernel set {name!r}; expected one of {available_kernels()}"
+        ) from None
+
+
+def resolve_kernels(kernel: object = None) -> KernelSet:
+    """Resolve a kernel selection to a concrete :class:`KernelSet`.
+
+    ``kernel`` may be a :class:`KernelSet` (returned as-is), a registered
+    name, or ``None``.  The :data:`KERNEL_ENV_VAR` environment variable
+    overrides any *name* (but never an explicit instance).
+    """
+    if isinstance(kernel, KernelSet):
+        return kernel
+    env = os.environ.get(KERNEL_ENV_VAR)
+    if env:
+        return get_kernels(env)
+    if kernel is None:
+        return get_kernels(DEFAULT_KERNEL)
+    if not isinstance(kernel, str):
+        raise ConfigurationError(
+            f"kernel must be a name or KernelSet, got {type(kernel).__name__}"
+        )
+    return get_kernels(kernel)

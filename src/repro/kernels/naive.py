@@ -1,0 +1,174 @@
+"""Reference kernel set: one Python iteration per block/cell.
+
+These are the pre-registry hot-path loops, kept verbatim as the semantic
+baseline the vectorized set is differentially tested against.  Per-block
+work is still NumPy (a slice dot product, a partial SpMV), but control
+flow iterates blocks in the interpreter — exactly the overhead the
+vectorized set removes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.kernels.base import KernelSet, Tamper, validate_blocks
+
+
+class NaiveKernels(KernelSet):
+    """Per-block loop implementations (reference semantics)."""
+
+    name = "naive"
+
+    # -- weights / encoding ------------------------------------------------
+    def linear_weights(self, partition) -> np.ndarray:
+        weights = np.empty(partition.n_rows, dtype=np.float64)
+        for _, start, stop in partition:
+            weights[start:stop] = np.arange(1, stop - start + 1, dtype=np.float64)
+        return weights
+
+    def encode(self, source, partition, weights):
+        from repro.sparse.csr import CsrMatrix
+
+        indptr = np.zeros(partition.n_blocks + 1, dtype=np.int64)
+        columns = []
+        values = []
+        for block, start, stop in partition:
+            lo, hi = source.indptr[start], source.indptr[stop]
+            block_cols = source.indices[lo:hi]
+            # Column j of c_k exists iff some row of A_k stores column j
+            # (Figure 2's structure pass), even when values cancel to 0.
+            present = np.unique(block_cols)
+            indptr[block + 1] = indptr[block] + present.size
+            if present.size == 0:
+                continue
+            accumulator = np.zeros(source.n_cols, dtype=np.float64)
+            entry_rows = np.repeat(
+                np.arange(start, stop, dtype=np.int64),
+                np.diff(source.indptr[start : stop + 1]),
+            )
+            np.add.at(accumulator, block_cols, source.data[lo:hi] * weights[entry_rows])
+            columns.append(present)
+            values.append(accumulator[present])
+        return CsrMatrix(
+            (partition.n_blocks, source.n_cols),
+            indptr,
+            np.concatenate(columns) if columns else np.empty(0, dtype=np.int64),
+            np.concatenate(values) if values else np.empty(0, dtype=np.float64),
+        )
+
+    # -- detection ---------------------------------------------------------
+    def result_checksums(self, weights, r, partition) -> np.ndarray:
+        out = np.empty(partition.n_blocks, dtype=np.float64)
+        with np.errstate(invalid="ignore", over="ignore"):
+            for block, start, stop in partition:
+                out[block] = float(np.dot(weights[start:stop], r[start:stop]))
+        return out
+
+    def result_checksums_for_blocks(self, weights, r, partition, blocks) -> np.ndarray:
+        blocks = validate_blocks(blocks, partition.n_blocks)
+        out = np.empty(blocks.size, dtype=np.float64)
+        with np.errstate(invalid="ignore", over="ignore"):
+            for i, block in enumerate(blocks):
+                start, stop = partition.bounds(int(block))
+                out[i] = float(np.dot(weights[start:stop], r[start:stop]))
+        return out
+
+    def compare_syndromes(self, t1, t2, thresholds) -> Tuple[np.ndarray, np.ndarray]:
+        n = len(t1)
+        syndrome = np.empty(n, dtype=np.float64)
+        exceeded = np.zeros(n, dtype=bool)
+        for i in range(n):
+            s = float(t1[i]) - float(t2[i])
+            syndrome[i] = s
+            exceeded[i] = abs(s) > float(thresholds[i]) or not math.isfinite(s)
+        return syndrome, exceeded
+
+    # -- correction --------------------------------------------------------
+    def correct_blocks(
+        self, matrix, partition, b, r, blocks, tamper: Tamper = None
+    ) -> Tuple[int, int]:
+        blocks = validate_blocks(blocks, partition.n_blocks)
+        rows = 0
+        nnz = 0
+        for block in blocks:
+            start, stop = partition.bounds(int(block))
+            segment = matrix.matvec_rows(start, stop, b)
+            block_nnz = matrix.nnz_in_rows(start, stop)
+            if tamper is not None:
+                tamper("corrected", segment, 2.0 * block_nnz)
+            r[start:stop] = segment
+            rows += stop - start
+            nnz += block_nnz
+        return rows, nnz
+
+    def row_checksums(self, csr, rows, b) -> Tuple[np.ndarray, int]:
+        rows = validate_blocks(rows, csr.n_rows)
+        values = np.empty(rows.size, dtype=np.float64)
+        nnz = 0
+        for i, row in enumerate(rows):
+            row = int(row)
+            values[i] = csr.matvec_rows(row, row + 1, b)[0]
+            nnz += csr.nnz_in_rows(row, row + 1)
+        return values, nnz
+
+    # -- multi-RHS (SpMM) --------------------------------------------------
+    def result_checksums_multi(
+        self, r, partition, weights: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        out = np.empty((partition.n_blocks, r.shape[1]), dtype=np.float64)
+        with np.errstate(invalid="ignore", over="ignore"):
+            for block, start, stop in partition:
+                segment = r[start:stop]
+                if weights is None:
+                    out[block] = segment.sum(axis=0)
+                else:
+                    out[block] = weights[start:stop] @ segment
+        return out
+
+    def result_checksums_multi_for_blocks(
+        self, r, partition, blocks, weights: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        blocks = validate_blocks(blocks, partition.n_blocks)
+        out = np.empty((blocks.size, r.shape[1]), dtype=np.float64)
+        with np.errstate(invalid="ignore", over="ignore"):
+            for i, block in enumerate(blocks):
+                start, stop = partition.bounds(int(block))
+                segment = r[start:stop]
+                if weights is None:
+                    out[i] = segment.sum(axis=0)
+                else:
+                    out[i] = weights[start:stop] @ segment
+        return out
+
+    def compare_syndromes_multi(
+        self, t1, t2, thresholds
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        n_blocks, k = np.shape(t1)
+        syndrome = np.empty((n_blocks, k), dtype=np.float64)
+        flags = np.zeros((n_blocks, k), dtype=bool)
+        for i in range(n_blocks):
+            for j in range(k):
+                s = float(t1[i, j]) - float(t2[i, j])
+                syndrome[i, j] = s
+                flags[i, j] = abs(s) > float(thresholds[i, j]) or not math.isfinite(s)
+        return syndrome, flags
+
+    def correct_cells(
+        self, matrix, partition, b, r, cells, tamper: Tamper = None
+    ) -> Tuple[int, int]:
+        rows = 0
+        nnz = 0
+        for block, col in np.asarray(cells, dtype=np.int64).reshape(-1, 2):
+            block, col = int(block), int(col)
+            start, stop = partition.bounds(block)
+            segment = matrix.matvec_rows(start, stop, b[:, col])
+            cell_nnz = matrix.nnz_in_rows(start, stop)
+            if tamper is not None:
+                tamper("corrected", segment, 2.0 * cell_nnz)
+            r[start:stop, col] = segment
+            rows += stop - start
+            nnz += cell_nnz
+        return rows, nnz

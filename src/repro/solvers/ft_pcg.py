@@ -44,6 +44,7 @@ from repro.core.protected import FaultTolerantSpMV
 from repro.errors import ConfigurationError
 from repro.faults.injector import FaultInjector
 from repro.faults.process import ErrorProcess
+from repro.kernels import DEFAULT_KERNEL, available_kernels
 from repro.machine import (
     ExecutionMeter,
     Machine,
@@ -71,6 +72,7 @@ class FtPcgOptions:
     block_size: int = 32
     preconditioner: str = "jacobi"
     max_correction_rounds: int = 8
+    kernel: str = DEFAULT_KERNEL
 
     def __post_init__(self) -> None:
         if self.tol <= 0:
@@ -82,6 +84,10 @@ class FtPcgOptions:
         if self.checkpoint_interval < 1:
             raise ConfigurationError(
                 f"checkpoint_interval must be >= 1, got {self.checkpoint_interval}"
+            )
+        if self.kernel not in available_kernels():
+            raise ConfigurationError(
+                f"unknown kernel {self.kernel!r}; expected one of {available_kernels()}"
             )
 
 
@@ -180,6 +186,7 @@ def run_pcg(
             config=AbftConfig(
                 block_size=options.block_size,
                 max_correction_rounds=options.max_correction_rounds,
+                kernel=options.kernel,
             ),
             machine=machine,
         )
@@ -197,6 +204,7 @@ def run_pcg(
             block_size=options.block_size,
             machine=machine,
             max_rounds=options.max_correction_rounds,
+            kernel=options.kernel,
         )
 
         def multiply(p_vec: np.ndarray) -> tuple[np.ndarray, bool, bool]:

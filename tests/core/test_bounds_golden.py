@@ -1,0 +1,128 @@
+"""Golden-value regression tests for the analytical rounding-error bounds.
+
+The per-block constants of :class:`SparseBlockBound` (and the whole-matrix
+constant of :class:`DenseAnalyticalBound`) are pure functions of the input
+matrix's sparsity structure, norms and the block size.  These tests pin
+their exact values on a small hand-written matrix so that any change to
+the bound formula — accidental or deliberate — shows up as a diff against
+literals rather than as silently shifted detection thresholds.
+
+Golden values were produced by evaluating the current implementation; the
+formula itself is checked against the paper in ``tests/core/test_bounds``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ChecksumMatrix
+from repro.core.bounds import DenseAnalyticalBound, NormBound, SparseBlockBound
+from repro.sparse.coo import CooMatrix
+
+
+def _fixed_matrix():
+    """Hand-written 8x8 matrix with ragged row sparsity (1-2 nnz per row)."""
+    rows = np.array([0, 0, 1, 2, 2, 3, 4, 4, 5, 6, 6, 7], dtype=np.int64)
+    cols = np.array([0, 3, 1, 2, 5, 3, 0, 4, 5, 1, 6, 7], dtype=np.int64)
+    data = np.array(
+        [4.0, -1.0, 3.0, 2.5, 0.5, 1.5, -2.0, 5.0, 1.0, 0.25, 2.0, -3.5]
+    )
+    return CooMatrix((8, 8), rows, cols, data).to_csr()
+
+
+GOLDEN_SPARSE_CONSTANTS = {
+    1: [
+        1.831026719408895e-15,
+        6.661338147750939e-16,
+        1.1322097734007351e-15,
+        3.3306690738754696e-16,
+        2.3914935841127266e-15,
+        2.220446049250313e-16,
+        8.95090418262362e-16,
+        7.771561172376096e-16,
+    ],
+    2: [
+        5.652432596299956e-15,
+        3.233154683827276e-15,
+        5.368761075799922e-15,
+        4.406968456985385e-15,
+    ],
+    4: [
+        1.677239884540118e-14,
+        2.0388215970718968e-14,
+    ],
+    8: [
+        6.349301268145514e-14,
+    ],
+}
+
+GOLDEN_DENSE_CONSTANTS = {
+    1: 6.435311774657246e-14,
+    2: 6.435311774657246e-14,
+    4: 6.420375009130724e-14,
+    8: 6.349301268145514e-14,
+}
+
+BLOCK_SIZES = sorted(GOLDEN_SPARSE_CONSTANTS)
+
+
+@pytest.mark.parametrize("block_size", BLOCK_SIZES)
+def test_sparse_block_bound_constants(block_size):
+    checksum = ChecksumMatrix.build(_fixed_matrix(), block_size)
+    bound = SparseBlockBound.from_checksum(checksum)
+    np.testing.assert_allclose(
+        bound.constants, GOLDEN_SPARSE_CONSTANTS[block_size], rtol=1e-13
+    )
+
+
+@pytest.mark.parametrize("block_size", BLOCK_SIZES)
+def test_sparse_block_bound_thresholds_scale_with_beta(block_size):
+    checksum = ChecksumMatrix.build(_fixed_matrix(), block_size)
+    bound = SparseBlockBound.from_checksum(checksum)
+    expected = np.asarray(GOLDEN_SPARSE_CONSTANTS[block_size])
+    np.testing.assert_allclose(bound.thresholds(2.0), 2.0 * expected, rtol=1e-13)
+    np.testing.assert_allclose(bound.thresholds(0.0), np.zeros_like(expected))
+    # Subset evaluation indexes the same constants.
+    blocks = np.array([0], dtype=np.int64)
+    np.testing.assert_allclose(
+        bound.thresholds(2.0, blocks), 2.0 * expected[:1], rtol=1e-13
+    )
+
+
+@pytest.mark.parametrize("block_size", BLOCK_SIZES)
+def test_sparse_bound_scale_multiplies(block_size):
+    checksum = ChecksumMatrix.build(_fixed_matrix(), block_size)
+    base = SparseBlockBound.from_checksum(checksum)
+    scaled = SparseBlockBound.from_checksum(checksum, scale=4.0)
+    np.testing.assert_allclose(
+        scaled.thresholds(1.0), 4.0 * base.thresholds(1.0), rtol=1e-13
+    )
+
+
+@pytest.mark.parametrize("block_size", BLOCK_SIZES)
+def test_dense_analytical_bound_constant(block_size):
+    checksum = ChecksumMatrix.build(_fixed_matrix(), block_size)
+    bound = DenseAnalyticalBound.from_checksum(checksum)
+    np.testing.assert_allclose(
+        bound.constant, GOLDEN_DENSE_CONSTANTS[block_size], rtol=1e-13
+    )
+    # One identical threshold per block, scaled by beta.
+    thresholds = bound.thresholds(2.0)
+    assert thresholds.shape == (checksum.n_blocks,)
+    np.testing.assert_allclose(
+        thresholds, 2.0 * GOLDEN_DENSE_CONSTANTS[block_size], rtol=1e-13
+    )
+
+
+@pytest.mark.parametrize("block_size", BLOCK_SIZES)
+def test_sparse_bound_tighter_than_dense(block_size):
+    """The paper's point: per-block constants never exceed the dense one."""
+    checksum = ChecksumMatrix.build(_fixed_matrix(), block_size)
+    sparse = SparseBlockBound.from_checksum(checksum)
+    dense = DenseAnalyticalBound.from_checksum(checksum)
+    assert np.all(sparse.constants <= dense.constant * (1.0 + 1e-12))
+
+
+def test_norm_bound_is_beta():
+    bound = NormBound(n_blocks=2)
+    np.testing.assert_allclose(bound.thresholds(3.5), [3.5, 3.5])
+    np.testing.assert_allclose(NormBound(n_blocks=2, scale=0.5).thresholds(3.5), [1.75, 1.75])

@@ -109,6 +109,19 @@ def test_result_checksums_for_blocks_matches_full(paper_matrix):
     np.testing.assert_allclose(subset, full[[2, 0]])
 
 
+def test_result_checksums_for_blocks_rejects_bad_ids(paper_matrix):
+    """Out-of-range block ids fail loudly instead of wrapping (negatives
+    would otherwise fancy-index from the end and mis-verify a wrong block)."""
+    cs = ChecksumMatrix.build(paper_matrix, block_size=2)
+    r = np.zeros(6)
+    with pytest.raises(ConfigurationError, match="out of range"):
+        cs.result_checksums_for_blocks(r, np.array([-1]))
+    with pytest.raises(ConfigurationError, match="out of range"):
+        cs.result_checksums_for_blocks(r, np.array([0, 3]))
+    with pytest.raises(ConfigurationError, match="must be integers"):
+        cs.result_checksums_for_blocks(r, np.array([0.5]))
+
+
 def test_ragged_last_block():
     dense = np.diag([1.0, 2.0, 3.0, 4.0, 5.0])
     csr = CooMatrix.from_dense(dense).to_csr()

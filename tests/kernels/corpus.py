@@ -1,0 +1,92 @@
+"""Generated matrix corpus for the kernel differential-testing suite.
+
+Every case is a ``(name, matrix, block_size)`` triple chosen to stress a
+specific structural edge: random sparsity patterns, blocks whose rows are
+all empty, single-row blocks, ragged last blocks, rectangular shapes,
+structurally-stored zeros from exact cancellation, and the degenerate
+zero-row matrix.  All generation is seeded — the corpus is identical on
+every run.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.sparse import CooMatrix, CsrMatrix, random_spd
+
+
+def _random_rectangular(
+    n_rows: int, n_cols: int, nnz: int, seed: int
+) -> CsrMatrix:
+    """Random rectangular CSR; duplicate COO draws merge on conversion."""
+    rng = np.random.default_rng(seed)
+    rows = rng.integers(0, n_rows, size=nnz).astype(np.int64)
+    cols = rng.integers(0, n_cols, size=nnz).astype(np.int64)
+    data = rng.standard_normal(nnz)
+    return CooMatrix((n_rows, n_cols), rows, cols, data).to_csr()
+
+
+def _empty_block_matrix(block_size: int = 8) -> CsrMatrix:
+    """40 rows where rows 8..23 store nothing: blocks 1 and 2 are empty."""
+    rng = np.random.default_rng(99)
+    rows = np.concatenate(
+        [rng.integers(0, 8, size=30), rng.integers(24, 40, size=40)]
+    ).astype(np.int64)
+    cols = rng.integers(0, 40, size=rows.size).astype(np.int64)
+    data = rng.standard_normal(rows.size)
+    assert block_size == 8  # the row gap above is sized for 8-row blocks
+    return CooMatrix((40, 40), rows, cols, data).to_csr()
+
+
+def _cancellation_matrix() -> CsrMatrix:
+    """Duplicate COO entries that sum to exactly zero.
+
+    Deduplication keeps the cancelled entry as a *structural* zero, so the
+    checksum structure pass must still see the column as occupied.
+    """
+    rows = np.array([0, 0, 1, 2, 2, 3, 3, 3], dtype=np.int64)
+    cols = np.array([1, 1, 0, 3, 3, 2, 2, 4], dtype=np.int64)
+    data = np.array([2.5, -2.5, 1.0, 4.0, -4.0, 1.5, 2.5, -3.0])
+    return CooMatrix((4, 5), rows, cols, data).to_csr()
+
+
+def _zero_rows_matrix() -> CsrMatrix:
+    """Every row empty (nnz = 0) — all checksum rows are empty too."""
+    return CsrMatrix(
+        (12, 7),
+        np.zeros(13, dtype=np.int64),
+        np.empty(0, dtype=np.int64),
+        np.empty(0, dtype=np.float64),
+    )
+
+
+def _no_rows_matrix() -> CsrMatrix:
+    """Zero-row matrix: the partition has no blocks at all."""
+    return CsrMatrix(
+        (0, 5),
+        np.zeros(1, dtype=np.int64),
+        np.empty(0, dtype=np.int64),
+        np.empty(0, dtype=np.float64),
+    )
+
+
+def corpus() -> List[Tuple[str, CsrMatrix, int]]:
+    """The full differential-testing corpus."""
+    return [
+        ("spd-small", random_spd(57, 300, seed=0), 8),
+        ("spd-mid", random_spd(130, 900, seed=1), 32),
+        ("spd-single-row-blocks", random_spd(19, 80, seed=2), 1),
+        ("spd-one-block", random_spd(24, 120, seed=5), 32),
+        ("rect-wide", _random_rectangular(24, 80, 150, seed=3), 8),
+        ("rect-tall-ragged", _random_rectangular(45, 10, 120, seed=4), 7),
+        ("empty-blocks", _empty_block_matrix(), 8),
+        ("cancellation-zeros", _cancellation_matrix(), 2),
+        ("all-rows-empty", _zero_rows_matrix(), 4),
+        ("no-rows", _no_rows_matrix(), 4),
+    ]
+
+
+def corpus_ids() -> List[str]:
+    return [name for name, _, _ in corpus()]

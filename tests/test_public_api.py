@@ -9,6 +9,7 @@ import repro
 PACKAGES = [
     "repro",
     "repro.sparse",
+    "repro.kernels",
     "repro.machine",
     "repro.faults",
     "repro.core",
