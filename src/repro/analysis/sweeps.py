@@ -137,6 +137,11 @@ class CorrectionComparison:
     timings: Dict[str, Tuple[CorrectionTiming, ...]]
 
     def overheads(self, scheme: str) -> Tuple[float, ...]:
+        if scheme not in self.timings:
+            raise ConfigurationError(
+                f"unknown correction scheme {scheme!r}; "
+                f"expected one of {tuple(sorted(self.timings))}"
+            )
         return tuple(t.overhead for t in self.timings[scheme])
 
     def average_reduction_vs(self, baseline: str) -> float:
@@ -178,7 +183,14 @@ class CoverageComparison:
     dense: Dict[float, Tuple[CoverageResult, ...]]
 
     def average_f1(self, detector: str, sigma: float) -> float:
-        results = (self.block if detector == "block" else self.dense)[sigma]
+        if detector == "block":
+            results = self.block[sigma]
+        elif detector == "dense":
+            results = self.dense[sigma]
+        else:
+            raise ConfigurationError(
+                f"unknown detector kind {detector!r}; expected 'block' or 'dense'"
+            )
         return mean(result.f1 for result in results)
 
 

@@ -102,6 +102,8 @@ def power_iteration(
         else:
             image = plain_spmv(matrix, vector, meter=meter, tamper=tamper)
         norm = float(np.linalg.norm(image))
+        # reprolint: disable=ABFT003 -- exact-zero iterate guard: only a true
+        # zero image (nilpotent direction) stops the iteration
         if not np.isfinite(norm) or norm == 0.0:
             break  # corrupted beyond repair or nilpotent direction
         next_vector = image / norm

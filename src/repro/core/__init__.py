@@ -15,6 +15,7 @@ from repro.core.autotune import DEFAULT_CANDIDATES, TuningResult, choose_block_s
 from repro.core.blocking import BlockPartition
 from repro.core.calibration import EmpiricalBound
 from repro.core.bounds import (
+    Bound,
     DenseAnalyticalBound,
     NormBound,
     SparseBlockBound,
@@ -53,6 +54,7 @@ __all__ = [
     "BlockPartition",
     "ChecksumMatrix",
     "make_weights",
+    "Bound",
     "SparseBlockBound",
     "DenseAnalyticalBound",
     "NormBound",

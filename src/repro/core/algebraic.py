@@ -331,6 +331,9 @@ class DualChecksumSpMV:
             s1 = float(t1_value[block] - np.sum(segment))
             weights = np.arange(1.0, stop - start + 1.0)
             s2 = float(t1_position[block] - np.dot(weights, segment))
+        # reprolint: disable=ABFT003 -- guards the s2/s1 division: the block
+        # already exceeded the rounding bound, so s1 == 0.0 here can only be
+        # aliasing (e.g. two cancelling errors) and must defer to fallback
         if not np.isfinite(s1) or not np.isfinite(s2) or s1 == 0.0:
             return None
         ratio = s2 / s1

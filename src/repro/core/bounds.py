@@ -29,12 +29,24 @@ can treat them uniformly (scalar bounds broadcast over blocks).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
 
 import numpy as np
 
 from repro.core.checksum import ChecksumMatrix
 from repro.core.config import MACHINE_EPSILON
 from repro.errors import ConfigurationError
+
+
+@runtime_checkable
+class Bound(Protocol):
+    """Anything usable as a detector bound: per-block thresholds from beta.
+
+    Satisfied structurally by the three analytical bounds here and by
+    :class:`repro.core.calibration.EmpiricalBound`.
+    """
+
+    def thresholds(self, beta: float, blocks: np.ndarray | None = None) -> np.ndarray: ...
 
 
 @dataclass(frozen=True)
@@ -123,7 +135,7 @@ class NormBound:
         return np.full(count, self.scale * beta)
 
 
-def make_bound(kind: str, checksum: ChecksumMatrix, scale: float = 1.0):
+def make_bound(kind: str, checksum: ChecksumMatrix, scale: float = 1.0) -> Bound:
     """Factory dispatching on the :class:`repro.core.config.AbftConfig` kind."""
     if kind == "sparse":
         return SparseBlockBound.from_checksum(checksum, scale)

@@ -17,12 +17,16 @@ entries keyed by ``(block, column)``; ``"naive"`` iterates blocks).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.core.blocking import BlockPartition
 from repro.kernels import DEFAULT_KERNEL, resolve_kernels
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.kernels.base import KernelSet
 from repro.machine import KernelCost, log2ceil
 from repro.sparse.csr import CsrMatrix
 
@@ -131,7 +135,7 @@ class ChecksumMatrix:
             kernel_name=kernels.name,
         )
 
-    def _kernels(self, kernel: object = None):
+    def _kernels(self, kernel: object = None) -> "KernelSet":
         """Resolve the kernel set for one evaluation (env override applies)."""
         return resolve_kernels(kernel if kernel is not None else self.kernel_name)
 

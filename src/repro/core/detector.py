@@ -13,12 +13,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.bounds import make_bound
+from repro.core.blocking import BlockPartition
+from repro.core.bounds import Bound, make_bound
 from repro.core.checksum import ChecksumMatrix
 from repro.core.config import AbftConfig
 from repro.errors import ShapeMismatchError
 from repro.kernels import resolve_kernels
 from repro.machine import (
+    KernelCost,
     TaskGraph,
     blocked_checksum_cost,
     checksum_matvec_cost,
@@ -66,7 +68,7 @@ class BlockAbftDetector:
         self,
         matrix: CsrMatrix,
         config: AbftConfig | None = None,
-        bound_override: object | None = None,
+        bound_override: Bound | None = None,
     ) -> None:
         """Args:
             matrix: the input matrix to protect.
@@ -81,6 +83,7 @@ class BlockAbftDetector:
         self.checksum = ChecksumMatrix.build(
             matrix, self.config.block_size, self.config.weights, kernel=self.kernels
         )
+        self.bound: Bound
         if bound_override is not None:
             self.bound = bound_override
         else:
@@ -92,7 +95,7 @@ class BlockAbftDetector:
     # Convenience accessors
     # ------------------------------------------------------------------
     @property
-    def partition(self):
+    def partition(self) -> BlockPartition:
         return self.checksum.partition
 
     @property
@@ -100,7 +103,7 @@ class BlockAbftDetector:
         return self.checksum.n_blocks
 
     @property
-    def setup_cost(self):
+    def setup_cost(self) -> KernelCost:
         return self.checksum.setup_cost
 
     # ------------------------------------------------------------------

@@ -20,6 +20,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.core.blocking import BlockPartition
 from repro.core.bounds import SparseBlockBound
 from repro.core.checksum import ChecksumMatrix
 from repro.core.corrector import TamperHook
@@ -95,7 +96,7 @@ class ProtectedSpMM:
         self.bound = SparseBlockBound.from_checksum(self.checksum)
 
     @property
-    def partition(self):
+    def partition(self) -> BlockPartition:
         return self.checksum.partition
 
     # ------------------------------------------------------------------
@@ -106,7 +107,11 @@ class ProtectedSpMM:
         return self.kernels.result_checksums_multi(r, self.partition)
 
     def _flags(
-        self, t1: np.ndarray, t2: np.ndarray, betas: np.ndarray, blocks=None
+        self,
+        t1: np.ndarray,
+        t2: np.ndarray,
+        betas: np.ndarray,
+        blocks: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Boolean violation matrix for all blocks (or a ``blocks`` subset)."""
         with np.errstate(invalid="ignore", over="ignore"):

@@ -30,6 +30,7 @@ from repro.core.detector import BlockAbftDetector
 from repro.errors import ConfigurationError
 from repro.machine import (
     ExecutionMeter,
+    KernelCost,
     Machine,
     TaskGraph,
     blocked_checksum_cost,
@@ -120,7 +121,7 @@ class FaultTolerantSpMV:
         return self.detector.matrix
 
     @property
-    def setup_cost(self):
+    def setup_cost(self) -> KernelCost:
         """One-time preprocessing cost (checksum matrix construction)."""
         return self.detector.setup_cost
 

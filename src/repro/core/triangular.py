@@ -23,6 +23,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.core.blocking import BlockPartition
 from repro.core.bounds import SparseBlockBound
 from repro.core.checksum import ChecksumMatrix
 from repro.core.corrector import TamperHook
@@ -116,7 +117,7 @@ class ProtectedTriangularSolve:
         self.bound = SparseBlockBound.from_checksum(self.checksum, scale=bound_scale)
 
     @property
-    def partition(self):
+    def partition(self) -> BlockPartition:
         return self.checksum.partition
 
     # ------------------------------------------------------------------

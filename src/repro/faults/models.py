@@ -118,6 +118,8 @@ class ScaledNoiseModel:
             raise InjectionError(f"noise scale must be positive, got {self.scale}")
 
     def corrupt(self, value: float, rng: np.random.Generator) -> float:
+        # reprolint: disable=ABFT003 -- multiplicative noise is a no-op on an
+        # exact zero; only that case needs the additive fallback
         if value == 0.0:
             return float(rng.normal(0.0, self.scale))
         return float(value * (1.0 + rng.normal(0.0, self.scale)))

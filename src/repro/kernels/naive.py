@@ -10,11 +10,15 @@ vectorized set removes.
 from __future__ import annotations
 
 import math
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
 
 from repro.kernels.base import KernelSet, Tamper, validate_blocks
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (annotations only)
+    from repro.core.blocking import BlockPartition
+    from repro.sparse.csr import CsrMatrix
 
 
 class NaiveKernels(KernelSet):
@@ -23,13 +27,18 @@ class NaiveKernels(KernelSet):
     name = "naive"
 
     # -- weights / encoding ------------------------------------------------
-    def linear_weights(self, partition) -> np.ndarray:
+    def linear_weights(self, partition: "BlockPartition") -> np.ndarray:
         weights = np.empty(partition.n_rows, dtype=np.float64)
         for _, start, stop in partition:
             weights[start:stop] = np.arange(1, stop - start + 1, dtype=np.float64)
         return weights
 
-    def encode(self, source, partition, weights):
+    def encode(
+        self,
+        source: "CsrMatrix",
+        partition: "BlockPartition",
+        weights: np.ndarray,
+    ) -> "CsrMatrix":
         from repro.sparse.csr import CsrMatrix
 
         indptr = np.zeros(partition.n_blocks + 1, dtype=np.int64)
@@ -60,23 +69,37 @@ class NaiveKernels(KernelSet):
         )
 
     # -- detection ---------------------------------------------------------
-    def result_checksums(self, weights, r, partition) -> np.ndarray:
+    def result_checksums(
+        self, weights: np.ndarray, r: np.ndarray, partition: "BlockPartition"
+    ) -> np.ndarray:
         out = np.empty(partition.n_blocks, dtype=np.float64)
         with np.errstate(invalid="ignore", over="ignore"):
             for block, start, stop in partition:
+                # reprolint: disable=ABFT002 -- this dot IS the reference
+                # reduction the differential suite holds other kernels to
                 out[block] = float(np.dot(weights[start:stop], r[start:stop]))
         return out
 
-    def result_checksums_for_blocks(self, weights, r, partition, blocks) -> np.ndarray:
+    def result_checksums_for_blocks(
+        self,
+        weights: np.ndarray,
+        r: np.ndarray,
+        partition: "BlockPartition",
+        blocks: np.ndarray,
+    ) -> np.ndarray:
         blocks = validate_blocks(blocks, partition.n_blocks)
         out = np.empty(blocks.size, dtype=np.float64)
         with np.errstate(invalid="ignore", over="ignore"):
             for i, block in enumerate(blocks):
                 start, stop = partition.bounds(int(block))
+                # reprolint: disable=ABFT002 -- same per-block dot as the full
+                # detection pass; re-verification must match it bit-for-bit
                 out[i] = float(np.dot(weights[start:stop], r[start:stop]))
         return out
 
-    def compare_syndromes(self, t1, t2, thresholds) -> Tuple[np.ndarray, np.ndarray]:
+    def compare_syndromes(
+        self, t1: np.ndarray, t2: np.ndarray, thresholds: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
         n = len(t1)
         syndrome = np.empty(n, dtype=np.float64)
         exceeded = np.zeros(n, dtype=bool)
@@ -88,7 +111,13 @@ class NaiveKernels(KernelSet):
 
     # -- correction --------------------------------------------------------
     def correct_blocks(
-        self, matrix, partition, b, r, blocks, tamper: Tamper = None
+        self,
+        matrix: "CsrMatrix",
+        partition: "BlockPartition",
+        b: np.ndarray,
+        r: np.ndarray,
+        blocks: np.ndarray,
+        tamper: Tamper = None,
     ) -> Tuple[int, int]:
         blocks = validate_blocks(blocks, partition.n_blocks)
         rows = 0
@@ -104,7 +133,9 @@ class NaiveKernels(KernelSet):
             nnz += block_nnz
         return rows, nnz
 
-    def row_checksums(self, csr, rows, b) -> Tuple[np.ndarray, int]:
+    def row_checksums(
+        self, csr: "CsrMatrix", rows: np.ndarray, b: np.ndarray
+    ) -> Tuple[np.ndarray, int]:
         rows = validate_blocks(rows, csr.n_rows)
         values = np.empty(rows.size, dtype=np.float64)
         nnz = 0
@@ -116,20 +147,29 @@ class NaiveKernels(KernelSet):
 
     # -- multi-RHS (SpMM) --------------------------------------------------
     def result_checksums_multi(
-        self, r, partition, weights: Optional[np.ndarray] = None
+        self,
+        r: np.ndarray,
+        partition: "BlockPartition",
+        weights: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         out = np.empty((partition.n_blocks, r.shape[1]), dtype=np.float64)
         with np.errstate(invalid="ignore", over="ignore"):
             for block, start, stop in partition:
                 segment = r[start:stop]
                 if weights is None:
+                    # reprolint: disable=ABFT002 -- reference column reduction
                     out[block] = segment.sum(axis=0)
                 else:
+                    # reprolint: disable=ABFT002 -- reference weighted reduction
                     out[block] = weights[start:stop] @ segment
         return out
 
     def result_checksums_multi_for_blocks(
-        self, r, partition, blocks, weights: Optional[np.ndarray] = None
+        self,
+        r: np.ndarray,
+        partition: "BlockPartition",
+        blocks: np.ndarray,
+        weights: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         blocks = validate_blocks(blocks, partition.n_blocks)
         out = np.empty((blocks.size, r.shape[1]), dtype=np.float64)
@@ -138,13 +178,15 @@ class NaiveKernels(KernelSet):
                 start, stop = partition.bounds(int(block))
                 segment = r[start:stop]
                 if weights is None:
+                    # reprolint: disable=ABFT002 -- reference column reduction
                     out[i] = segment.sum(axis=0)
                 else:
+                    # reprolint: disable=ABFT002 -- reference weighted reduction
                     out[i] = weights[start:stop] @ segment
         return out
 
     def compare_syndromes_multi(
-        self, t1, t2, thresholds
+        self, t1: np.ndarray, t2: np.ndarray, thresholds: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray]:
         n_blocks, k = np.shape(t1)
         syndrome = np.empty((n_blocks, k), dtype=np.float64)
@@ -157,7 +199,13 @@ class NaiveKernels(KernelSet):
         return syndrome, flags
 
     def correct_cells(
-        self, matrix, partition, b, r, cells, tamper: Tamper = None
+        self,
+        matrix: "CsrMatrix",
+        partition: "BlockPartition",
+        b: np.ndarray,
+        r: np.ndarray,
+        cells: np.ndarray,
+        tamper: Tamper = None,
     ) -> Tuple[int, int]:
         rows = 0
         nnz = 0

@@ -11,7 +11,7 @@ the differential suite checks against the paper's own rounding bounds.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
 
@@ -24,8 +24,12 @@ from repro.kernels.base import (
     validate_blocks,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (annotations only)
+    from repro.core.blocking import BlockPartition
+    from repro.sparse.csr import CsrMatrix
 
-def _check_operand(matrix, b: np.ndarray) -> np.ndarray:
+
+def _check_operand(matrix: "CsrMatrix", b: np.ndarray) -> np.ndarray:
     b = np.asarray(b, dtype=np.float64)
     if b.shape != (matrix.n_cols,):
         raise ShapeMismatchError(
@@ -40,14 +44,19 @@ class VectorizedKernels(KernelSet):
     name = "vectorized"
 
     # -- weights / encoding ------------------------------------------------
-    def linear_weights(self, partition) -> np.ndarray:
+    def linear_weights(self, partition: "BlockPartition") -> np.ndarray:
         if partition.n_rows == 0:
             return np.empty(0, dtype=np.float64)
         starts = partition.block_starts()[:-1]
         ramp = np.arange(partition.n_rows, dtype=np.float64)
         return ramp - np.repeat(starts, partition.block_lengths()) + 1.0
 
-    def encode(self, source, partition, weights):
+    def encode(
+        self,
+        source: "CsrMatrix",
+        partition: "BlockPartition",
+        weights: np.ndarray,
+    ) -> "CsrMatrix":
         from repro.sparse.coo import CooMatrix
 
         entry_rows = source.entry_rows()
@@ -61,16 +70,26 @@ class VectorizedKernels(KernelSet):
         ).to_csr()
 
     # -- detection ---------------------------------------------------------
-    def result_checksums(self, weights, r, partition) -> np.ndarray:
+    def result_checksums(
+        self, weights: np.ndarray, r: np.ndarray, partition: "BlockPartition"
+    ) -> np.ndarray:
         if partition.n_blocks == 0:
             return np.empty(0, dtype=np.float64)
         # Corrupted results may contain inf/NaN; they must propagate into
         # the checksums silently (detection flags them downstream).
         with np.errstate(invalid="ignore", over="ignore"):
             weighted = weights * r
+            # reprolint: disable=ABFT002 -- left-to-right segment order is the
+            # kernel contract, differentially tested against the naive set
             return np.add.reduceat(weighted, partition.block_starts()[:-1])
 
-    def result_checksums_for_blocks(self, weights, r, partition, blocks) -> np.ndarray:
+    def result_checksums_for_blocks(
+        self,
+        weights: np.ndarray,
+        r: np.ndarray,
+        partition: "BlockPartition",
+        blocks: np.ndarray,
+    ) -> np.ndarray:
         blocks = validate_blocks(blocks, partition.n_blocks)
         if blocks.size == 0:
             return np.empty(0, dtype=np.float64)
@@ -79,7 +98,9 @@ class VectorizedKernels(KernelSet):
         with np.errstate(invalid="ignore", over="ignore"):
             return segment_sums(weights[indices] * r[indices], offsets)
 
-    def compare_syndromes(self, t1, t2, thresholds) -> Tuple[np.ndarray, np.ndarray]:
+    def compare_syndromes(
+        self, t1: np.ndarray, t2: np.ndarray, thresholds: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
         with np.errstate(invalid="ignore", over="ignore"):
             syndrome = np.asarray(t1, dtype=np.float64) - t2
             exceeded = np.abs(syndrome) > thresholds
@@ -88,7 +109,13 @@ class VectorizedKernels(KernelSet):
 
     # -- correction --------------------------------------------------------
     def correct_blocks(
-        self, matrix, partition, b, r, blocks, tamper: Tamper = None
+        self,
+        matrix: "CsrMatrix",
+        partition: "BlockPartition",
+        b: np.ndarray,
+        r: np.ndarray,
+        blocks: np.ndarray,
+        tamper: Tamper = None,
     ) -> Tuple[int, int]:
         blocks = validate_blocks(blocks, partition.n_blocks)
         b = _check_operand(matrix, b)
@@ -112,7 +139,9 @@ class VectorizedKernels(KernelSet):
                 r[block_lo[i] : block_hi[i]] = segment
         return int(row_indices.size), int(entry_indices.size)
 
-    def row_checksums(self, csr, rows, b) -> Tuple[np.ndarray, int]:
+    def row_checksums(
+        self, csr: "CsrMatrix", rows: np.ndarray, b: np.ndarray
+    ) -> Tuple[np.ndarray, int]:
         rows = validate_blocks(rows, csr.n_rows)
         b = _check_operand(csr, b)
         entry_indices, entry_offsets = flat_segment_indices(
@@ -123,16 +152,25 @@ class VectorizedKernels(KernelSet):
 
     # -- multi-RHS (SpMM) --------------------------------------------------
     def result_checksums_multi(
-        self, r, partition, weights: Optional[np.ndarray] = None
+        self,
+        r: np.ndarray,
+        partition: "BlockPartition",
+        weights: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         if partition.n_blocks == 0:
             return np.empty((0, r.shape[1]), dtype=np.float64)
         with np.errstate(invalid="ignore", over="ignore"):
             values = r if weights is None else weights[:, None] * r
+            # reprolint: disable=ABFT002 -- left-to-right segment order is the
+            # kernel contract, differentially tested against the naive set
             return np.add.reduceat(values, partition.block_starts()[:-1], axis=0)
 
     def result_checksums_multi_for_blocks(
-        self, r, partition, blocks, weights: Optional[np.ndarray] = None
+        self,
+        r: np.ndarray,
+        partition: "BlockPartition",
+        blocks: np.ndarray,
+        weights: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         blocks = validate_blocks(blocks, partition.n_blocks)
         if blocks.size == 0:
@@ -142,15 +180,23 @@ class VectorizedKernels(KernelSet):
         with np.errstate(invalid="ignore", over="ignore"):
             values = r[indices] if weights is None else weights[indices, None] * r[indices]
             # Blocks always span >= 1 row, so no reduceat empty-segment quirk.
+            # reprolint: disable=ABFT002 -- left-to-right segment order is the
+            # kernel contract, differentially tested against the naive set
             return np.add.reduceat(values, offsets[:-1], axis=0)
 
     def compare_syndromes_multi(
-        self, t1, t2, thresholds
+        self, t1: np.ndarray, t2: np.ndarray, thresholds: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray]:
         return self.compare_syndromes(t1, t2, thresholds)
 
     def correct_cells(
-        self, matrix, partition, b, r, cells, tamper: Tamper = None
+        self,
+        matrix: "CsrMatrix",
+        partition: "BlockPartition",
+        b: np.ndarray,
+        r: np.ndarray,
+        cells: np.ndarray,
+        tamper: Tamper = None,
     ) -> Tuple[int, int]:
         cells = np.asarray(cells, dtype=np.int64).reshape(-1, 2)
         blocks = validate_blocks(cells[:, 0], partition.n_blocks)
@@ -177,5 +223,6 @@ class VectorizedKernels(KernelSet):
                 segment = sums[row_offsets[i] : row_offsets[i + 1]]
                 tamper("corrected", segment, 2.0 * float(cell_nnz[i]))
                 r[block_lo[i] : block_hi[i], columns[i]] = segment
+        # reprolint: disable=ABFT002 -- integer nnz accounting; exact in any order
         nnz = int((matrix.indptr[block_hi] - matrix.indptr[block_lo]).sum())
         return int(row_indices.size), nnz

@@ -1,0 +1,116 @@
+"""Committed-baseline support: pre-existing findings warn, new ones fail.
+
+The baseline is a JSON document mapping finding fingerprints (line-number
+independent, see :mod:`repro.lint.findings`) to a human-readable record::
+
+    {
+      "version": 1,
+      "findings": {
+        "<fingerprint>": {"rule": "ABFT003", "path": "...", "snippet": "..."}
+      }
+    }
+
+Policy (enforced by CI): the baseline grandfathers findings that predate
+the analyzer; *deliberately kept* code gets an inline suppression with a
+reason instead, so the baseline only ever shrinks.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.lint.findings import Finding, fingerprint_all
+
+#: Bump when the baseline layout changes incompatibly.
+BASELINE_VERSION = 1
+
+#: Conventional baseline filename at the repository root.
+DEFAULT_BASELINE_NAME = ".reprolint-baseline.json"
+
+
+@dataclass
+class BaselineComparison:
+    """Split of a run's findings against a baseline."""
+
+    new: List[Finding] = field(default_factory=list)
+    known: List[Finding] = field(default_factory=list)
+    #: Baseline fingerprints no longer observed (candidates for removal).
+    stale: List[str] = field(default_factory=list)
+
+
+def render_baseline(findings: Sequence[Finding]) -> str:
+    """Serialize ``findings`` as a deterministic baseline document."""
+    records: Dict[str, Dict[str, object]] = {}
+    for finding, print_ in fingerprint_all(findings):
+        records[print_] = {
+            "rule": finding.rule,
+            "path": finding.path,
+            "snippet": finding.snippet,
+        }
+    document = {"version": BASELINE_VERSION, "findings": records}
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    """Write the baseline for ``findings`` to ``path``."""
+    path.write_text(render_baseline(findings), encoding="utf-8")
+
+
+def load_baseline(path: Path) -> Dict[str, Dict[str, object]]:
+    """Load a baseline document; a missing file is an empty baseline.
+
+    Raises:
+        ConfigurationError: malformed documents or newer versions.
+    """
+    if not path.exists():
+        return {}
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"malformed baseline {path}: {exc}") from exc
+    if not isinstance(payload, dict) or "findings" not in payload:
+        raise ConfigurationError(f"baseline {path} is not a baseline document")
+    version = payload.get("version", 0)
+    if not isinstance(version, int) or version > BASELINE_VERSION:
+        raise ConfigurationError(
+            f"baseline {path} has version {version!r}, supported {BASELINE_VERSION}"
+        )
+    findings = payload["findings"]
+    if not isinstance(findings, dict):
+        raise ConfigurationError(f"baseline {path}: 'findings' must be an object")
+    return findings
+
+
+def compare_with_baseline(
+    findings: Sequence[Finding], baseline: Dict[str, Dict[str, object]]
+) -> BaselineComparison:
+    """Partition ``findings`` into new vs. baseline-covered."""
+    comparison = BaselineComparison()
+    observed: set[str] = set()
+    for finding, print_ in fingerprint_all(findings):
+        if print_ in baseline:
+            observed.add(print_)
+            comparison.known.append(finding)
+        else:
+            comparison.new.append(finding)
+    comparison.stale = sorted(set(baseline) - observed)
+    return comparison
+
+
+def find_default_baseline(start: Path) -> Tuple[Path, bool]:
+    """Locate :data:`DEFAULT_BASELINE_NAME` from ``start`` upward.
+
+    Returns ``(path, exists)``; when no ancestor holds a baseline the
+    conventional path next to ``start`` is returned with ``exists=False``.
+    """
+    start = start.resolve()
+    candidates = [start, *start.parents] if start.is_dir() else list(start.parents)
+    for directory in candidates:
+        candidate = directory / DEFAULT_BASELINE_NAME
+        if candidate.exists():
+            return candidate, True
+    return (candidates[0] if candidates else start) / DEFAULT_BASELINE_NAME, False

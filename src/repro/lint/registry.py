@@ -1,0 +1,79 @@
+"""Pluggable rule registry (mirrors the :mod:`repro.kernels` registry).
+
+Rules are registered under their rule id; the engine runs every registered
+rule unless the caller selects or ignores a subset.  Like kernel sets, the
+built-in rule pack cannot be unregistered — test isolation removes only
+rules it added itself.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.errors import ConfigurationError
+from repro.lint.rules.base import LintRule
+
+_REGISTRY: Dict[str, LintRule] = {}
+
+#: Rule ids that ship with the package and cannot be unregistered.
+BUILTIN_RULES = (
+    "ABFT001",
+    "ABFT002",
+    "ABFT003",
+    "ABFT004",
+    "ABFT005",
+    "ABFT006",
+)
+
+
+def register_rule(rule: LintRule, overwrite: bool = False) -> LintRule:
+    """Register ``rule`` under ``rule.rule_id``; returns it for chaining."""
+    if not isinstance(rule, LintRule):
+        raise ConfigurationError(
+            f"lint rules must subclass LintRule, got {type(rule).__name__}"
+        )
+    if rule.rule_id in _REGISTRY and not overwrite:
+        raise ConfigurationError(
+            f"lint rule {rule.rule_id!r} already registered (pass overwrite=True)"
+        )
+    _REGISTRY[rule.rule_id] = rule
+    return rule
+
+
+def unregister_rule(rule_id: str) -> None:
+    """Remove a registered rule (primarily for test isolation)."""
+    if rule_id in BUILTIN_RULES:
+        raise ConfigurationError(f"built-in lint rule {rule_id!r} cannot be removed")
+    _REGISTRY.pop(rule_id, None)
+
+
+def available_rules() -> Tuple[str, ...]:
+    """Registered rule ids, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_rule(rule_id: str) -> LintRule:
+    """Look up a rule by id."""
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown lint rule {rule_id!r}; expected one of {available_rules()}"
+        ) from None
+
+
+def resolve_rules(
+    select: Tuple[str, ...] | None = None, ignore: Tuple[str, ...] | None = None
+) -> Tuple[LintRule, ...]:
+    """Resolve a rule selection to concrete rule instances.
+
+    ``select`` limits the run to the named rules (all registered rules if
+    None); ``ignore`` then removes rules from that set.  Unknown ids in
+    either tuple raise :class:`~repro.errors.ConfigurationError` — a typo
+    in a CI configuration must fail loudly, not silently lint nothing.
+    """
+    for rule_id in (select or ()) + (ignore or ()):
+        get_rule(rule_id)
+    chosen = select if select else available_rules()
+    ignored = set(ignore or ())
+    return tuple(get_rule(rule_id) for rule_id in chosen if rule_id not in ignored)

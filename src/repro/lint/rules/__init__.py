@@ -1,0 +1,24 @@
+"""Rule interface and the built-in ABFT rule pack."""
+
+from repro.lint.rules.abft import (
+    ABFT_RULES,
+    BroadExceptRule,
+    ChecksumRefreshRule,
+    DtypeDowncastRule,
+    ExactFloatCompareRule,
+    MissingValidationRule,
+    ReductionOrderRule,
+)
+from repro.lint.rules.base import LintRule, ModuleContext
+
+__all__ = [
+    "LintRule",
+    "ModuleContext",
+    "ABFT_RULES",
+    "ChecksumRefreshRule",
+    "ReductionOrderRule",
+    "ExactFloatCompareRule",
+    "DtypeDowncastRule",
+    "BroadExceptRule",
+    "MissingValidationRule",
+]

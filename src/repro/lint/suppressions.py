@@ -1,0 +1,128 @@
+"""Per-line ``# reprolint: disable=RULE`` suppression comments.
+
+Two placements are recognized:
+
+* a *trailing* comment suppresses findings on its own physical line::
+
+      if beta == 0.0:  # reprolint: disable=ABFT003 -- exact-zero RHS guard
+
+* a *standalone* comment line suppresses findings on the next code line::
+
+      # reprolint: disable=ABFT001 -- fault injection corrupts on purpose
+      matrix.data[k] = corrupted
+
+``disable=all`` suppresses every rule; ``disable-file=RULE`` (anywhere in
+the file) suppresses the rule for the whole file.  Everything after
+`` --`` is the human-readable reason; reasons are strongly encouraged —
+reports count reasonless suppressions separately so reviews can spot them.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set
+
+#: Matches the directive inside a comment.
+DIRECTIVE = re.compile(
+    r"#\s*reprolint:\s*(?P<kind>disable(?:-file)?)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_,\s]+?)"
+    r"(?:\s*--\s*(?P<reason>.*))?$"
+)
+
+#: Sentinel rule name matching every rule.
+ALL_RULES = "all"
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed directive."""
+
+    line: int
+    rules: FrozenSet[str]
+    reason: str
+    file_wide: bool
+
+
+@dataclass
+class SuppressionIndex:
+    """All directives of one file, indexed for O(1) lookups."""
+
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+    file_wide: Set[str] = field(default_factory=set)
+    directives: List[Suppression] = field(default_factory=list)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        """True when ``rule`` is disabled on ``line`` (or file-wide)."""
+        if rule in self.file_wide or ALL_RULES in self.file_wide:
+            return True
+        rules = self.by_line.get(line)
+        return bool(rules) and (rule in rules or ALL_RULES in rules)
+
+    def reasonless(self) -> List[Suppression]:
+        """Directives without a ``-- reason`` string (review targets)."""
+        return [d for d in self.directives if not d.reason]
+
+
+def parse_suppressions(source: str) -> SuppressionIndex:
+    """Extract every directive from ``source``.
+
+    Tokenizes rather than regex-scanning raw lines so directives inside
+    string literals are not mistaken for live suppressions.  Sources that
+    fail to tokenize yield an empty index (the engine reports the parse
+    error separately).
+    """
+    index = SuppressionIndex()
+    comments: List[tokenize.TokenInfo] = []
+    code_lines: Set[int] = set()
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                comments.append(token)
+            elif token.type not in (
+                tokenize.NL,
+                tokenize.NEWLINE,
+                tokenize.INDENT,
+                tokenize.DEDENT,
+                tokenize.ENCODING,
+                tokenize.ENDMARKER,
+            ):
+                for line in range(token.start[0], token.end[0] + 1):
+                    code_lines.add(line)
+    except tokenize.TokenError:
+        return index
+
+    total_lines = source.count("\n") + 1
+    for token in comments:
+        match = DIRECTIVE.search(token.string)
+        if match is None:
+            continue
+        rules = frozenset(
+            rule.strip() for rule in match.group("rules").split(",") if rule.strip()
+        )
+        if not rules:
+            continue
+        reason = (match.group("reason") or "").strip()
+        line = token.start[0]
+        file_wide = match.group("kind") == "disable-file"
+        index.directives.append(
+            Suppression(line=line, rules=rules, reason=reason, file_wide=file_wide)
+        )
+        if file_wide:
+            index.file_wide.update(rules)
+            continue
+        if line in code_lines:
+            target = line  # trailing comment: covers its own line
+        else:
+            target = _next_code_line(line, code_lines, total_lines)
+        index.by_line.setdefault(target, set()).update(rules)
+    return index
+
+
+def _next_code_line(line: int, code_lines: Set[int], total_lines: int) -> int:
+    for candidate in range(line + 1, total_lines + 1):
+        if candidate in code_lines:
+            return candidate
+    return line

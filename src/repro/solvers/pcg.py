@@ -93,6 +93,8 @@ def pcg(
         raise ShapeMismatchError(f"x0 has shape {x.shape}, expected ({n},)")
 
     b_norm = float(np.linalg.norm(b))
+    # reprolint: disable=ABFT003 -- exact-zero RHS short-circuit: x = 0 is the
+    # exact solution only when b is identically zero
     if b_norm == 0.0:
         return PcgResult(
             x=np.zeros(n), iterations=0, converged=True,
@@ -111,6 +113,8 @@ def pcg(
         iterations += 1
         q = matrix.matvec(p)
         pq = float(np.dot(p, q))
+        # reprolint: disable=ABFT003 -- CG breakdown guard: only an exactly
+        # zero curvature p^T A p makes the alpha division undefined
         if pq == 0.0 or not np.isfinite(pq):
             break  # breakdown: direction became degenerate
         alpha = rz / pq

@@ -63,6 +63,8 @@ class EllMatrix:
         if self.indices.size:
             if self.indices.min() < 0 or (n_cols and self.indices.max() >= n_cols):
                 raise SparseFormatError("column index out of range")
+            # reprolint: disable=ABFT003 -- structural invariant: ELL padding
+            # slots must hold literal 0.0 (they are never computed values)
             if (self.data[~self.mask] != 0.0).any():
                 raise SparseFormatError("padded slots must hold 0.0")
 

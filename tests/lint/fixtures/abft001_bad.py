@@ -1,0 +1,11 @@
+"""Fixture: protected-matrix internals mutated without a checksum refresh."""
+
+
+def tamper(matrix, value):
+    matrix.data[0] = value  # MARK:ABFT001
+    return matrix
+
+
+def shift_structure(matrix):
+    matrix.indptr += 1  # MARK:ABFT001
+    matrix.indices[2] = 0  # MARK:ABFT001

@@ -1,0 +1,19 @@
+"""Fixture: mutations paired with a checksum rebuild, or own-storage setup."""
+
+
+def tamper_and_rebuild(matrix, checksum_cls, block_size):
+    matrix.data[0] = 3.5
+    return checksum_cls.build(matrix, block_size)
+
+
+def refresh_after_mutation(self, b, t1, flagged):
+    self.checksum.matrix.data[flagged] = 0.5
+    return self._refresh_operand_checksums(b, t1, flagged, None)
+
+
+class OwnStorage:
+    def __init__(self, data):
+        self.data = data
+
+    def reset(self, data):
+        self.data = data

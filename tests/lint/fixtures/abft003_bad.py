@@ -1,0 +1,11 @@
+"""Fixture: exact float equality on rounding-sensitive quantities."""
+
+
+def detect(syndrome, threshold):
+    if syndrome == 0.0:  # MARK:ABFT003
+        return False
+    return syndrome != threshold  # MARK:ABFT003
+
+
+def converged(residual_norm):
+    return residual_norm == -0.0  # MARK:ABFT003

@@ -1,0 +1,15 @@
+"""Fixture: comparisons that are not exact float equality."""
+
+
+def classify(flag, label, count):
+    if flag is None:
+        return "missing"
+    if label == "done":
+        return "done"
+    if flag is True:
+        return "flagged"
+    return "waiting" if count == 3 else "other"
+
+
+def compare_bounded(syndrome, threshold):
+    return abs(syndrome) > threshold

@@ -1,0 +1,19 @@
+"""Fixture: silent downcasts below float64."""
+
+import numpy as np
+
+
+def shrink(values):
+    return values.astype(np.float32)  # MARK:ABFT004
+
+
+def shrink_by_name(values):
+    return values.astype("float16")  # MARK:ABFT004
+
+
+def allocate(n):
+    return np.zeros(n, dtype="float32")  # MARK:ABFT004
+
+
+def scalar(x):
+    return np.float32(x)  # MARK:ABFT004

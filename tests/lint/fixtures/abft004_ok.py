@@ -1,0 +1,15 @@
+"""Fixture: float64 and integer dtypes are fine."""
+
+import numpy as np
+
+
+def widen(values):
+    return values.astype(np.float64)
+
+
+def allocate(n):
+    return np.zeros(n, dtype=np.float64)
+
+
+def index_array(n):
+    return np.arange(n, dtype=np.int64)

@@ -1,0 +1,22 @@
+"""Fixture: broad except handlers that swallow injected failures."""
+
+
+def run_trial(trial):
+    try:
+        return trial()
+    except Exception:  # MARK:ABFT005
+        return None
+
+
+def run_tuple(trial):
+    try:
+        return trial()
+    except (ValueError, BaseException):  # MARK:ABFT005
+        return None
+
+
+def run_bare(trial):
+    try:
+        return trial()
+    except:  # MARK:ABFT005
+        return None

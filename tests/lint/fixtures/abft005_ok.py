@@ -1,0 +1,16 @@
+"""Fixture: narrow handlers and cleanup-then-reraise are sanctioned."""
+
+
+def run_trial(trial):
+    try:
+        return trial()
+    except ValueError:
+        return None
+
+
+def cleanup(trial, release):
+    try:
+        return trial()
+    except Exception:
+        release()
+        raise

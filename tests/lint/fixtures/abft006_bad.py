@@ -1,0 +1,11 @@
+"""Fixture: public selector-taking functions with no validation path."""
+
+
+def make_detector(matrix, kind="block"):  # MARK:ABFT006
+    if kind == "block":
+        return ("block", matrix)
+    return ("dense", matrix)
+
+
+def pick_scheme(matrix, scheme: str = "abft"):  # MARK:ABFT006
+    return {"abft": matrix, "dense": None}.get(scheme)

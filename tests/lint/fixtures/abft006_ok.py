@@ -1,0 +1,21 @@
+"""Fixture: selector parameters with a validation-error path."""
+
+from repro.core import make_bound
+
+
+def make_detector(matrix, kind="block"):
+    if kind not in ("block", "dense"):
+        raise ValueError(f"unknown detector kind {kind!r}")
+    return (kind, matrix)
+
+
+def delegated(checksum, kind="sparse"):
+    return make_bound(kind, checksum)
+
+
+def _private_helper(matrix, kind="block"):
+    return (kind, matrix)
+
+
+def typed_selector(matrix, mode: int = 0):
+    return (mode, matrix)

@@ -1,0 +1,15 @@
+"""Fixture: stray order-sensitive reductions inside a kernel module."""
+
+import numpy as np
+
+
+def block_checksums(values, starts):
+    return np.add.reduceat(values, starts)  # MARK:ABFT002
+
+
+def total(values):
+    return values.sum()  # MARK:ABFT002
+
+
+def weighted(weights, values):
+    return weights @ values  # MARK:ABFT002

@@ -1,0 +1,17 @@
+"""Fixture: reductions inside the sanctioned helpers are allowed."""
+
+import numpy as np
+
+
+def segment_sums(values, offsets):
+    return np.add.reduceat(values, offsets[:-1])
+
+
+def flat_segment_indices(starts, stops):
+    lengths = stops - starts
+    offsets = np.cumsum(lengths)
+    return np.repeat(starts, lengths), offsets
+
+
+def gather(values, indices):
+    return values[indices]

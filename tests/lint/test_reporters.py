@@ -1,0 +1,79 @@
+"""Text/JSON/SARIF reporter output, including SARIF structural validity."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lint import get_rule, lint_source, render, render_sarif
+
+SOURCE = (
+    "def detect(syndrome, threshold):\n"
+    "    if syndrome == 0.0:\n"
+    "        return False\n"
+    "    return syndrome != threshold\n"
+)
+
+
+def findings():
+    found, _, _ = lint_source(SOURCE, Path("mod.py"), [get_rule("ABFT003")])
+    return found
+
+
+def test_text_report_has_locations_and_summary():
+    new = findings()
+    report = render("text", new[:1], known=new[1:], files_checked=1, suppressed=2)
+    assert "mod.py:2:" in report
+    assert "[baseline]" in report
+    assert "1 new finding(s), 1 baselined, 2 suppressed across 1 file(s)" in report
+
+
+def test_json_report_round_trips():
+    new = findings()
+    payload = json.loads(render("json", new, files_checked=1))
+    assert payload["tool"] == "reprolint"
+    assert payload["files_checked"] == 1
+    assert len(payload["findings"]) == len(new)
+    for record in payload["findings"]:
+        assert record["rule"] == "ABFT003"
+        assert record["baselined"] is False
+        assert record["fingerprint"]
+        assert record["line"] >= 1 and record["column"] >= 1
+
+
+def test_sarif_document_is_structurally_valid():
+    new = findings()
+    document = json.loads(render_sarif(new[:1], known=new[1:]))
+    assert document["version"] == "2.1.0"
+    assert document["$schema"].endswith("sarif-schema-2.1.0.json")
+    (run,) = document["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "reprolint"
+    rule_ids = [rule["id"] for rule in driver["rules"]]
+    assert rule_ids == sorted(rule_ids)
+    for rule in driver["rules"]:
+        assert rule["shortDescription"]["text"]
+        assert rule["help"]["text"]
+    levels = []
+    for result in run["results"]:
+        assert driver["rules"][result["ruleIndex"]]["id"] == result["ruleId"]
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] >= 1 and region["startColumn"] >= 1
+        assert result["partialFingerprints"]["reprolint/v1"]
+        levels.append(result["level"])
+    assert levels == ["error", "note"]  # new first, baselined demoted
+
+
+def test_sarif_covers_synthetic_parse_error_rule():
+    broken, _, _ = lint_source("def broken(:\n", Path("x.py"), [])
+    document = json.loads(render_sarif(broken))
+    (run,) = document["runs"]
+    rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+    assert "E999" in rule_ids
+    assert run["results"][0]["ruleId"] == "E999"
+
+
+def test_unknown_format_raises():
+    with pytest.raises(ConfigurationError):
+        render("xml", [])

@@ -1,0 +1,81 @@
+"""Each ABFT rule flags its bad fixture (at the marked lines) and stays
+silent on the clean one."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import get_rule, lint_source
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: rule id -> (bad fixture, clean fixture), relative to FIXTURES.
+CORPUS = {
+    "ABFT001": ("abft001_bad.py", "abft001_ok.py"),
+    "ABFT002": ("kernels/abft002_bad.py", "kernels/abft002_ok.py"),
+    "ABFT003": ("abft003_bad.py", "abft003_ok.py"),
+    "ABFT004": ("abft004_bad.py", "abft004_ok.py"),
+    "ABFT005": ("abft005_bad.py", "abft005_ok.py"),
+    "ABFT006": ("abft006_bad.py", "abft006_ok.py"),
+}
+
+
+def run_rule(rule_id: str, relative: str):
+    path = FIXTURES / relative
+    source = path.read_text(encoding="utf-8")
+    display = f"tests/lint/fixtures/{relative}"
+    findings, suppressed, _ = lint_source(
+        source, path, [get_rule(rule_id)], display_path=display
+    )
+    return source, display, findings, suppressed
+
+
+def marked_lines(source: str, rule_id: str):
+    return [
+        i + 1
+        for i, line in enumerate(source.splitlines())
+        if f"MARK:{rule_id}" in line
+    ]
+
+
+@pytest.mark.parametrize("rule_id", sorted(CORPUS))
+def test_bad_fixture_flags_marked_lines(rule_id):
+    bad, _ = CORPUS[rule_id]
+    source, display, findings, _ = run_rule(rule_id, bad)
+    expected = marked_lines(source, rule_id)
+    assert expected, f"fixture {bad} has no MARK:{rule_id} lines"
+    assert sorted(f.line for f in findings) == expected
+    for finding in findings:
+        assert finding.rule == rule_id
+        assert finding.path == display
+        assert finding.column >= 1
+        assert finding.snippet  # fingerprint input must not be empty
+        assert finding.message
+
+
+@pytest.mark.parametrize("rule_id", sorted(CORPUS))
+def test_clean_fixture_is_silent(rule_id):
+    _, ok = CORPUS[rule_id]
+    _, _, findings, suppressed = run_rule(rule_id, ok)
+    assert findings == []
+    assert suppressed == 0
+
+
+def test_abft002_only_applies_to_kernel_paths():
+    source = (FIXTURES / "kernels/abft002_bad.py").read_text(encoding="utf-8")
+    findings, _, _ = lint_source(
+        source,
+        FIXTURES / "kernels/abft002_bad.py",
+        [get_rule("ABFT002")],
+        display_path="src/repro/analysis/not_a_kernel.py",
+    )
+    assert findings == []
+
+
+def test_syntax_error_becomes_e999_finding():
+    findings, _, _ = lint_source(
+        "def broken(:\n", Path("broken.py"), [get_rule("ABFT003")]
+    )
+    assert len(findings) == 1
+    assert findings[0].rule == "E999"
+    assert findings[0].line == 1

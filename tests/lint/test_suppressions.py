@@ -1,0 +1,80 @@
+"""Suppression-directive parsing and engine filtering."""
+
+from pathlib import Path
+
+from repro.lint import get_rule, lint_source, parse_suppressions
+
+BAD_COMPARE = "flag = syndrome == 0.0"
+
+
+def test_trailing_comment_covers_its_own_line():
+    index = parse_suppressions(
+        f"{BAD_COMPARE}  # reprolint: disable=ABFT003 -- exact-zero guard\n"
+    )
+    assert index.is_suppressed("ABFT003", 1)
+    assert not index.is_suppressed("ABFT001", 1)
+    assert not index.is_suppressed("ABFT003", 2)
+    assert index.reasonless() == []
+
+
+def test_standalone_comment_covers_next_code_line():
+    source = (
+        "x = 1\n"
+        "# reprolint: disable=ABFT003 -- guard\n"
+        "\n"
+        f"{BAD_COMPARE}\n"
+    )
+    index = parse_suppressions(source)
+    assert index.is_suppressed("ABFT003", 4)
+    assert not index.is_suppressed("ABFT003", 1)
+
+
+def test_disable_all_and_multiple_rules():
+    source = (
+        "a = 1  # reprolint: disable=all -- whatever\n"
+        "b = 2  # reprolint: disable=ABFT003,ABFT004 -- both\n"
+    )
+    index = parse_suppressions(source)
+    assert index.is_suppressed("ABFT001", 1)
+    assert index.is_suppressed("ABFT006", 1)
+    assert index.is_suppressed("ABFT003", 2)
+    assert index.is_suppressed("ABFT004", 2)
+    assert not index.is_suppressed("ABFT005", 2)
+
+
+def test_disable_file_covers_every_line():
+    source = (
+        "# reprolint: disable-file=ABFT003 -- fixture corpus\n"
+        f"{BAD_COMPARE}\n"
+        f"{BAD_COMPARE}\n"
+    )
+    index = parse_suppressions(source)
+    assert index.is_suppressed("ABFT003", 2)
+    assert index.is_suppressed("ABFT003", 3)
+    assert not index.is_suppressed("ABFT004", 2)
+
+
+def test_reasonless_directives_are_tracked():
+    index = parse_suppressions(f"{BAD_COMPARE}  # reprolint: disable=ABFT003\n")
+    assert len(index.reasonless()) == 1
+    assert index.is_suppressed("ABFT003", 1)
+
+
+def test_directives_inside_string_literals_are_ignored():
+    source = 's = "# reprolint: disable=ABFT003"\n' + BAD_COMPARE + "\n"
+    index = parse_suppressions(source)
+    assert not index.is_suppressed("ABFT003", 1)
+    assert not index.is_suppressed("ABFT003", 2)
+
+
+def test_engine_counts_suppressed_findings():
+    source = (
+        f"{BAD_COMPARE}  # reprolint: disable=ABFT003 -- guard\n"
+        f"{BAD_COMPARE}\n"
+    )
+    findings, suppressed, reasonless = lint_source(
+        source, Path("mod.py"), [get_rule("ABFT003")]
+    )
+    assert suppressed == 1
+    assert [f.line for f in findings] == [2]
+    assert reasonless == []
