@@ -1,0 +1,123 @@
+"""Telemetry overhead benchmark: the disabled path must be ~free.
+
+Times a protected SpMV on a 10k-row random SPD matrix in three telemetry
+configurations — ``off`` (the default), ``memory`` and ``jsonl`` — against
+a hand-inlined uninstrumented multiply (the exact clean-path sequence of
+``FaultTolerantSpMV.multiply`` with every telemetry touchpoint removed).
+Records the table to ``results/bench_obs_overhead.txt`` and enforces the
+acceptance bound: with telemetry off, the instrumented driver stays
+within 3% of the uninstrumented baseline.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.core import FaultTolerantSpMV
+from repro.machine import ExecutionMeter
+from repro.obs import InMemoryExporter, JsonlExporter, Telemetry
+from repro.sparse import random_spd
+
+N_ROWS = 10_000
+NNZ = 120_000
+BLOCK_SIZE = 32
+REPEATS = 30
+#: Acceptance bound: disabled-telemetry overhead over the uninstrumented
+#: baseline (ISSUE: "within 3%").
+MAX_OFF_OVERHEAD = 1.03
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return random_spd(N_ROWS, NNZ, seed=17)
+
+
+@pytest.fixture(scope="module")
+def operand(matrix):
+    return np.random.default_rng(18).standard_normal(matrix.n_cols)
+
+
+def _best_of(fn, repeats=REPEATS):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _baseline_multiply(detector, machine, b):
+    """The clean-path protected multiply with zero telemetry touchpoints.
+
+    Mirrors ``FaultTolerantSpMV.multiply`` for a fault-free run: detection
+    graph, SpMV, operand checksum + norm, result checksums, syndrome
+    comparison.  No spans, no guards, no wrapped kernels.
+    """
+    meter = ExecutionMeter(machine=machine)
+    meter.run_graph(detector.detection_graph())
+    r = detector.matrix.matvec(b)
+    t1 = detector.operand_checksums(b)
+    beta = detector.operand_norm(b)
+    t2 = detector.checksum.result_checksums(r, kernel=detector.kernels)
+    blocks = np.arange(detector.n_blocks, dtype=np.int64)
+    with np.errstate(invalid="ignore", over="ignore"):
+        thresholds = detector.bound.thresholds(beta, blocks)
+    syndrome, exceeded = detector.kernels.compare_syndromes(t1, t2, thresholds)
+    assert not exceeded.any()
+    return r
+
+
+def test_disabled_telemetry_is_free(matrix, operand, tmp_path):
+    operators = {
+        "off": FaultTolerantSpMV(matrix, block_size=BLOCK_SIZE),
+        "memory": FaultTolerantSpMV(
+            matrix, block_size=BLOCK_SIZE,
+            telemetry=Telemetry(exporter=InMemoryExporter()),
+        ),
+        "jsonl": FaultTolerantSpMV(
+            matrix, block_size=BLOCK_SIZE,
+            telemetry=Telemetry(exporter=JsonlExporter(tmp_path / "events.jsonl")),
+        ),
+    }
+    assert not operators["off"].telemetry.enabled
+
+    detector = operators["off"].detector
+    machine = operators["off"].machine
+    timings = {
+        "baseline": _best_of(lambda: _baseline_multiply(detector, machine, operand)),
+    }
+    for name, operator in operators.items():
+        timings[name] = _best_of(lambda op=operator: op.multiply(operand))
+        if name == "memory":
+            operator.telemetry.exporter.clear()  # don't let the buffer grow
+
+    overheads = {
+        name: timings[name] / timings["baseline"]
+        for name in ("off", "memory", "jsonl")
+    }
+    lines = [
+        "Telemetry overhead: protected SpMV "
+        f"(random SPD, n={N_ROWS}, nnz={NNZ}, block size {BLOCK_SIZE}, "
+        f"best of {REPEATS})",
+        "",
+        f"{'configuration':<14} {'multiply [ms]':>14} {'vs baseline':>12}",
+        f"{'baseline':<14} {1e3 * timings['baseline']:>14.3f} {'1.00x':>12}",
+    ]
+    for name in ("off", "memory", "jsonl"):
+        lines.append(
+            f"{name:<14} {1e3 * timings[name]:>14.3f} "
+            f"{overheads[name]:>11.2f}x"
+        )
+    lines += [
+        "",
+        "baseline = hand-inlined uninstrumented clean-path multiply;",
+        f"acceptance: 'off' within {MAX_OFF_OVERHEAD:.2f}x of baseline.",
+    ]
+    write_result("bench_obs_overhead", "\n".join(lines))
+
+    assert overheads["off"] <= MAX_OFF_OVERHEAD, (
+        f"disabled telemetry costs {overheads['off']:.3f}x the uninstrumented "
+        f"baseline (bound {MAX_OFF_OVERHEAD}x)"
+    )

@@ -30,7 +30,12 @@ from repro.core.config import (
     AbftConfig,
 )
 from repro.core.corrector import CorrectionOutcome, TamperHook, correct_blocks
-from repro.core.detector import BlockAbftDetector, DetectionReport
+from repro.core.detector import (
+    BlockAbftDetector,
+    DetectionReport,
+    NearMiss,
+    NearMissHook,
+)
 from repro.core.multivector import ProtectedSpMM, SpmmResult
 from repro.core.triangular import ProtectedTriangularSolve, TriangularSolveResult
 from repro.core.protected import FaultTolerantSpMV, SpmvResult, plain_spmv
@@ -61,6 +66,8 @@ __all__ = [
     "make_bound",
     "BlockAbftDetector",
     "DetectionReport",
+    "NearMiss",
+    "NearMissHook",
     "CorrectionOutcome",
     "TamperHook",
     "correct_blocks",

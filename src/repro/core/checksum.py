@@ -24,6 +24,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.core.blocking import BlockPartition
 from repro.kernels import DEFAULT_KERNEL, resolve_kernels
+from repro.obs import resolve_telemetry
 
 if TYPE_CHECKING:  # pragma: no cover - annotations only
     from repro.kernels.base import KernelSet
@@ -92,6 +93,7 @@ class ChecksumMatrix:
         block_size: int,
         weight_kind: str = "ones",
         kernel: object = None,
+        telemetry: object = None,
     ) -> "ChecksumMatrix":
         """Encode ``source`` into its checksum matrix.
 
@@ -101,28 +103,35 @@ class ChecksumMatrix:
             weight_kind: weight-vector scheme (see :func:`make_weights`).
             kernel: kernel-set name or instance executing the encoding and
                 later checksum evaluations (None = configured default).
+            telemetry: :mod:`repro.obs` selection; the build is traced as
+                a ``checksum.build`` span when enabled.
         """
-        kernels = resolve_kernels(kernel)
-        partition = BlockPartition(source.n_rows, block_size)
-        weights = make_weights(weight_kind, partition, kernels)
-        checksum = kernels.encode(source, partition, weights)
+        tel = resolve_telemetry(telemetry)
+        kernels = tel.wrap_kernels(resolve_kernels(kernel))
+        with tel.span(
+            "checksum.build", rows=source.n_rows, nnz=source.nnz,
+            block_size=block_size, kernel=kernels.name,
+        ):
+            partition = BlockPartition(source.n_rows, block_size)
+            weights = make_weights(weight_kind, partition, kernels)
+            checksum = kernels.encode(source, partition, weights)
 
-        nonempty = checksum.row_lengths()
-        row_norms = source.row_norms()
-        starts = partition.block_starts()
-        row_norm_sums = np.add.reduceat(row_norms, starts[:-1]) if partition.n_blocks else (
-            np.empty(0)
-        )
-        # reduceat quirk: a trailing singleton start equal to len-1 is fine
-        # because every block is non-empty by construction.
-        checksum_norms = checksum.row_norms()
+            nonempty = checksum.row_lengths()
+            row_norms = source.row_norms()
+            starts = partition.block_starts()
+            row_norm_sums = np.add.reduceat(row_norms, starts[:-1]) if partition.n_blocks else (
+                np.empty(0)
+            )
+            # reduceat quirk: a trailing singleton start equal to len-1 is fine
+            # because every block is non-empty by construction.
+            checksum_norms = checksum.row_norms()
 
-        # Figure 3: a structure pass over A's entries plus a weighted
-        # accumulation pass; span is the depth of the per-column reduction.
-        setup_cost = KernelCost(
-            work=3.0 * source.nnz,
-            span=log2ceil(block_size) + 2.0,
-        )
+            # Figure 3: a structure pass over A's entries plus a weighted
+            # accumulation pass; span is the depth of the per-column reduction.
+            setup_cost = KernelCost(
+                work=3.0 * source.nnz,
+                span=log2ceil(block_size) + 2.0,
+            )
         return cls(
             matrix=checksum,
             partition=partition,

@@ -6,6 +6,7 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 from repro.kernels import DEFAULT_KERNEL, available_kernels
+from repro.obs import DEFAULT_EXPORTER, available_exporters
 
 #: Double-precision machine epsilon used by the rounding-error bounds
 #: (the paper's eps_M = 2^-53, Section III-C).
@@ -19,6 +20,10 @@ BOUND_KINDS = ("sparse", "dense", "norm")
 
 #: Supported weight-vector schemes (see repro.core.checksum).
 WEIGHT_KINDS = ("ones", "linear", "random")
+
+#: Default near-miss fraction: a clean block whose syndrome exceeds this
+#: fraction of its bound is reported as false-positive pressure.
+DEFAULT_NEAR_MISS_FRACTION = 0.9
 
 
 @dataclass(frozen=True)
@@ -41,6 +46,14 @@ class AbftConfig:
             :mod:`repro.kernels`); the ``REPRO_KERNELS`` environment
             variable overrides it process-wide.  Custom sets must be
             registered before the config is constructed.
+        telemetry: registered exporter name receiving protocol telemetry
+            (see :mod:`repro.obs`); ``"off"`` (the default) disables all
+            instrumentation down to a single guard per update site.  The
+            ``REPRO_OBS`` environment variable overrides it process-wide.
+        near_miss_fraction: fraction of the rounding-error bound above
+            which a *clean* block's syndrome counts as a near miss
+            (``abft.false_positive_candidates``) and fires the detector's
+            near-miss hook — the signal adaptive thresholds watch.
     """
 
     block_size: int = DEFAULT_BLOCK_SIZE
@@ -49,6 +62,8 @@ class AbftConfig:
     bound_scale: float = 1.0
     max_correction_rounds: int = 8
     kernel: str = DEFAULT_KERNEL
+    telemetry: str = DEFAULT_EXPORTER
+    near_miss_fraction: float = DEFAULT_NEAR_MISS_FRACTION
 
     def __post_init__(self) -> None:
         if self.block_size < 1:
@@ -70,4 +85,13 @@ class AbftConfig:
         if self.kernel not in available_kernels():
             raise ConfigurationError(
                 f"unknown kernel {self.kernel!r}; expected one of {available_kernels()}"
+            )
+        if self.telemetry not in available_exporters():
+            raise ConfigurationError(
+                f"unknown telemetry {self.telemetry!r}; expected one of "
+                f"{available_exporters()}"
+            )
+        if not 0.0 <= self.near_miss_fraction:
+            raise ConfigurationError(
+                f"near_miss_fraction must be >= 0, got {self.near_miss_fraction}"
             )

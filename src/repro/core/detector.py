@@ -10,6 +10,7 @@ the paper's runtime advantage rests on.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -19,6 +20,7 @@ from repro.core.checksum import ChecksumMatrix
 from repro.core.config import AbftConfig
 from repro.errors import ShapeMismatchError
 from repro.kernels import resolve_kernels
+from repro.obs import Telemetry, resolve_telemetry
 from repro.machine import (
     KernelCost,
     TaskGraph,
@@ -55,6 +57,33 @@ class DetectionReport:
         return self.flagged.size == 0
 
 
+@dataclass(frozen=True)
+class NearMiss:
+    """A clean block whose syndrome ran close to its bound.
+
+    Emitted to the detector's near-miss hook when ``|syndrome| >=
+    near_miss_fraction * threshold`` for a block that was *not* flagged —
+    the false-positive pressure signal adaptive-threshold policies need.
+
+    Attributes:
+        block: index of the near-miss block.
+        margin: ``|syndrome| / threshold`` (in [near_miss_fraction, 1)).
+        syndrome: the block's raw syndrome ``t1_k - t2_k``.
+        threshold: the bound the syndrome was compared against.
+        beta: the operand norm the bound used.
+    """
+
+    block: int
+    margin: float
+    syndrome: float
+    threshold: float
+    beta: float
+
+
+#: Callback type of the detector's near-miss hook.
+NearMissHook = Callable[[NearMiss], None]
+
+
 class BlockAbftDetector:
     """Detector bound to one input matrix (the reusable, per-matrix part).
 
@@ -69,6 +98,8 @@ class BlockAbftDetector:
         matrix: CsrMatrix,
         config: AbftConfig | None = None,
         bound_override: Bound | None = None,
+        telemetry: object = None,
+        near_miss_hook: Optional[NearMissHook] = None,
     ) -> None:
         """Args:
             matrix: the input matrix to protect.
@@ -76,13 +107,31 @@ class BlockAbftDetector:
             bound_override: any object exposing ``thresholds(beta, blocks)``
                 (e.g. :class:`repro.core.calibration.EmpiricalBound`);
                 replaces the config-selected analytical bound.
+            telemetry: :mod:`repro.obs` selection — a
+                :class:`~repro.obs.Telemetry` instance or exporter name;
+                None resolves ``config.telemetry`` (``REPRO_OBS`` env
+                override applies to names).
+            near_miss_hook: called with a :class:`NearMiss` for every
+                clean block whose syndrome margin reaches
+                ``config.near_miss_fraction`` of its bound; fires
+                regardless of whether telemetry is enabled.
         """
         self.matrix = matrix
         self.config = config or AbftConfig()
-        self.kernels = resolve_kernels(self.config.kernel)
-        self.checksum = ChecksumMatrix.build(
-            matrix, self.config.block_size, self.config.weights, kernel=self.kernels
+        self.telemetry: Telemetry = resolve_telemetry(
+            telemetry if telemetry is not None else self.config.telemetry
         )
+        self.near_miss_hook = near_miss_hook
+        self.kernels = self.telemetry.wrap_kernels(resolve_kernels(self.config.kernel))
+        self.checksum = ChecksumMatrix.build(
+            matrix,
+            self.config.block_size,
+            self.config.weights,
+            kernel=self.kernels,
+            telemetry=self.telemetry,
+        )
+        if self.telemetry.enabled:
+            self.telemetry.gauge("abft.n_blocks", self.checksum.n_blocks)
         self.bound: Bound
         if bound_override is not None:
             self.bound = bound_override
@@ -119,7 +168,7 @@ class BlockAbftDetector:
             raise ShapeMismatchError(
                 f"result has shape {r.shape}, expected ({self.matrix.n_rows},)"
             )
-        return self.checksum.result_checksums(r)
+        return self.checksum.result_checksums(r, kernel=self.kernels)
 
     def operand_norm(self, b: np.ndarray) -> float:
         """beta = ||b||_2 (overflow on corrupted operands propagates as inf)."""
@@ -154,13 +203,57 @@ class BlockAbftDetector:
         with np.errstate(invalid="ignore", over="ignore"):
             thresholds = self.bound.thresholds(beta, blocks)
         syndrome, exceeded = self.kernels.compare_syndromes(t1, t2, thresholds)
-        return DetectionReport(
+        report = DetectionReport(
             flagged=blocks[exceeded],
             syndrome=syndrome,
             thresholds=thresholds,
             blocks=blocks,
             beta=beta,
         )
+        if self.telemetry.enabled or self.near_miss_hook is not None:
+            self._record_report(report, exceeded)
+        return report
+
+    def _record_report(self, report: DetectionReport, exceeded: np.ndarray) -> None:
+        """Telemetry + near-miss side channel of one invariant evaluation.
+
+        Emits the per-block ``abft.syndrome_margin`` histogram (margin =
+        ``|syndrome| / threshold``), the check/detection counters, and —
+        for clean blocks whose margin reaches the configured near-miss
+        fraction — bumps ``abft.false_positive_candidates`` and invokes
+        the near-miss hook.
+        """
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            margins = np.abs(report.syndrome) / report.thresholds
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.count("abft.checks", blocks=int(report.blocks.size))
+            if report.flagged.size:
+                telemetry.count("abft.detections")
+                telemetry.count("abft.blocks_flagged", float(report.flagged.size))
+            for margin in margins:
+                telemetry.observe("abft.syndrome_margin", float(margin))
+        fraction = self.config.near_miss_fraction
+        with np.errstate(invalid="ignore"):
+            near = ~exceeded & np.isfinite(margins) & (margins >= fraction)
+        if not near.any():
+            return
+        if telemetry.enabled:
+            telemetry.count(
+                "abft.false_positive_candidates", float(np.count_nonzero(near))
+            )
+        hook = self.near_miss_hook
+        if hook is not None:
+            for position in np.flatnonzero(near):
+                hook(
+                    NearMiss(
+                        block=int(report.blocks[position]),
+                        margin=float(margins[position]),
+                        syndrome=float(report.syndrome[position]),
+                        threshold=float(report.thresholds[position]),
+                        beta=report.beta,
+                    )
+                )
 
     def detect(self, b: np.ndarray, r: np.ndarray) -> DetectionReport:
         """Full detection pass: checksums, norm, syndrome, comparison."""

@@ -37,6 +37,7 @@ from repro.machine import (
     log2ceil,
     spmv_cost,
 )
+from repro.obs import DEFAULT_FRACTION_BUCKETS, Telemetry
 from repro.sparse.csr import CsrMatrix
 
 
@@ -96,6 +97,9 @@ class FaultTolerantSpMV:
         block_size: shorthand for ``AbftConfig(block_size=...)``.
         config: full configuration; mutually exclusive with ``block_size``.
         machine: simulated device (defaults to the calibrated K80 model).
+        telemetry: :mod:`repro.obs` selection — a Telemetry instance or
+            exporter name; None resolves ``config.telemetry`` (with the
+            ``REPRO_OBS`` environment override).
     """
 
     def __init__(
@@ -104,6 +108,7 @@ class FaultTolerantSpMV:
         block_size: Optional[int] = None,
         config: Optional[AbftConfig] = None,
         machine: Optional[Machine] = None,
+        telemetry: object = None,
     ) -> None:
         if config is not None and block_size is not None and config.block_size != block_size:
             raise ConfigurationError(
@@ -114,7 +119,12 @@ class FaultTolerantSpMV:
             config = AbftConfig(block_size=block_size) if block_size else AbftConfig()
         self.config = config
         self.machine = machine or Machine()
-        self.detector = BlockAbftDetector(matrix, config)
+        self.detector = BlockAbftDetector(matrix, config, telemetry=telemetry)
+
+    @property
+    def telemetry(self) -> Telemetry:
+        """The telemetry stream shared with the detector."""
+        return self.detector.telemetry
 
     @property
     def matrix(self) -> CsrMatrix:
@@ -146,58 +156,76 @@ class FaultTolerantSpMV:
         """
         detector = self.detector
         matrix = detector.matrix
+        telemetry = detector.telemetry
         meter = meter if meter is not None else ExecutionMeter(machine=self.machine)
         start_seconds, start_flops = meter.snapshot()
 
-        # --- Figure 1 steps 1-4: SpMV + detection -----------------------
-        meter.run_graph(detector.detection_graph())
+        with telemetry.span("abft.multiply", rows=matrix.n_rows, nnz=matrix.nnz):
+            # --- Figure 1 steps 1-4: SpMV + detection -------------------
+            meter.run_graph(detector.detection_graph())
 
-        r = matrix.matvec(b)
-        self._tamper(tamper, "result", r, 2.0 * matrix.nnz)
-        t1 = detector.operand_checksums(b)
-        self._tamper(tamper, "t1", t1, 2.0 * detector.checksum.nnz)
-        beta_box = np.array([detector.operand_norm(b)])
-        self._tamper(tamper, "beta", beta_box, 2.0 * matrix.n_cols)
-        beta = float(beta_box[0])
-        t2 = detector.result_checksums(r)
-        self._tamper(tamper, "t2", t2, 2.0 * matrix.n_rows)
-        report = detector.compare(t1, t2, beta)
+            with telemetry.span("abft.detect"):
+                r = matrix.matvec(b)
+                self._tamper(tamper, "result", r, 2.0 * matrix.nnz)
+                t1 = detector.operand_checksums(b)
+                self._tamper(tamper, "t1", t1, 2.0 * detector.checksum.nnz)
+                beta_box = np.array([detector.operand_norm(b)])
+                self._tamper(tamper, "beta", beta_box, 2.0 * matrix.n_cols)
+                beta = float(beta_box[0])
+                t2 = detector.result_checksums(r)
+                self._tamper(tamper, "t2", t2, 2.0 * matrix.n_rows)
+                report = detector.compare(t1, t2, beta)
 
-        detected = [tuple(int(x) for x in report.flagged)]
-        corrected: set[int] = set()
-        flagged = report.flagged
-        rounds = 0
-        exhausted = False
-
-        # --- Figure 1 step 5: correct + re-verify until clean -----------
-        while flagged.size:
-            if rounds >= self.config.max_correction_rounds:
-                exhausted = True
-                break
-            rounds += 1
-            outcome = correct_blocks(
-                matrix, detector.partition, b, r, flagged, tamper,
-                kernel=detector.kernels,
-            )
-            corrected.update(int(x) for x in flagged)
-
-            refresh = rounds >= 2
-            refreshed_nnz = 0
-            if refresh:
-                refreshed_nnz = self._refresh_operand_checksums(b, t1, flagged, tamper)
-
-            recheck = detector.checksum.result_checksums_for_blocks(r, flagged)
-            self._tamper(tamper, "t2", recheck, 2.0 * outcome.rows_recomputed)
-            report = detector.compare(t1[flagged], recheck, beta, blocks=flagged)
-
-            meter.run_graph(
-                self._correction_graph(
-                    rounds, outcome.nnz_recomputed, outcome.rows_recomputed,
-                    len(flagged), refreshed_nnz,
-                )
-            )
+            detected = [tuple(int(x) for x in report.flagged)]
+            corrected: set[int] = set()
             flagged = report.flagged
-            detected.append(tuple(int(x) for x in flagged))
+            rounds = 0
+            exhausted = False
+
+            # --- Figure 1 step 5: correct + re-verify until clean -------
+            while flagged.size:
+                if rounds >= self.config.max_correction_rounds:
+                    exhausted = True
+                    break
+                rounds += 1
+                if telemetry.enabled:
+                    telemetry.count("abft.corrections")
+                    telemetry.count("abft.blocks_recomputed", float(flagged.size))
+                    telemetry.observe(
+                        "abft.block_recompute_fraction",
+                        flagged.size / detector.n_blocks,
+                        buckets=DEFAULT_FRACTION_BUCKETS,
+                    )
+                with telemetry.span(
+                    "abft.correct", round=rounds, blocks=int(flagged.size)
+                ):
+                    outcome = correct_blocks(
+                        matrix, detector.partition, b, r, flagged, tamper,
+                        kernel=detector.kernels,
+                    )
+                    corrected.update(int(x) for x in flagged)
+
+                    refresh = rounds >= 2
+                    refreshed_nnz = 0
+                    if refresh:
+                        refreshed_nnz = self._refresh_operand_checksums(
+                            b, t1, flagged, tamper
+                        )
+
+                    recheck = detector.checksum.result_checksums_for_blocks(
+                        r, flagged, kernel=detector.kernels
+                    )
+                    self._tamper(tamper, "t2", recheck, 2.0 * outcome.rows_recomputed)
+                    report = detector.compare(t1[flagged], recheck, beta, blocks=flagged)
+
+                meter.run_graph(
+                    self._correction_graph(
+                        rounds, outcome.nnz_recomputed, outcome.rows_recomputed,
+                        len(flagged), refreshed_nnz,
+                    )
+                )
+                flagged = report.flagged
+                detected.append(tuple(int(x) for x in flagged))
 
         seconds, flops = meter.snapshot()
         return SpmvResult(
@@ -238,11 +266,12 @@ class FaultTolerantSpMV:
         tamper: Optional[TamperHook],
     ) -> int:
         """Recompute t1 entries of stubborn blocks; returns nnz touched."""
-        fresh, nnz = self.detector.kernels.row_checksums(
-            self.detector.checksum.matrix, flagged, b
-        )
-        self._tamper(tamper, "t1", fresh, 2.0 * nnz)
-        t1[flagged] = fresh
+        with self.detector.telemetry.span("checksum.refresh", blocks=int(flagged.size)):
+            fresh, nnz = self.detector.kernels.row_checksums(
+                self.detector.checksum.matrix, flagged, b
+            )
+            self._tamper(tamper, "t1", fresh, 2.0 * nnz)
+            t1[flagged] = fresh
         return nnz
 
     def _correction_graph(

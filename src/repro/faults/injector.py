@@ -20,6 +20,7 @@ import numpy as np
 from repro.errors import InjectionError
 from repro.faults.bitflip import BURST_MEAN_BITS, BURST_VARIANCE_BITS, Burst, corrupt_value
 from repro.faults.significance import corrupt_significantly, is_significant
+from repro.obs import Telemetry
 
 
 @dataclass(frozen=True)
@@ -44,6 +45,11 @@ class FaultInjector:
         rng: NumPy generator driving all randomness.
         mean_bits / variance_bits: burst-width distribution.
         log: chronological list of performed injections.
+        telemetry: optional :class:`repro.obs.Telemetry`; when enabled,
+            every corruption attempt bumps ``faults.injection_attempts``
+            and every recorded injection ``faults.injections`` (tagged
+            with its target), so live campaign coverage is computable as
+            ``abft.detections / faults.injections``.
     """
 
     rng: np.random.Generator
@@ -53,11 +59,20 @@ class FaultInjector:
     #: None selects the paper's burst model.
     model: Optional[object] = None
     log: List[Injection] = field(default_factory=list)
+    telemetry: Optional[Telemetry] = None
 
     @classmethod
-    def seeded(cls, seed: int) -> "FaultInjector":
+    def seeded(cls, seed: int, telemetry: Optional[Telemetry] = None) -> "FaultInjector":
         """Convenience constructor with a fresh seeded generator."""
-        return cls(rng=np.random.default_rng(seed))
+        return cls(rng=np.random.default_rng(seed), telemetry=telemetry)
+
+    def _observe_injection(self, target: str, attempted_only: bool = False) -> None:
+        telemetry = self.telemetry
+        if telemetry is None or not telemetry.enabled:
+            return
+        telemetry.count("faults.injection_attempts", target=target)
+        if not attempted_only:
+            telemetry.count("faults.injections", target=target)
 
     # ------------------------------------------------------------------
     # Vector targets
@@ -95,6 +110,7 @@ class FaultInjector:
         vector[index] = corrupted
         record = Injection(target, index, original, corrupted, burst)
         self.log.append(record)
+        self._observe_injection(target)
         return record
 
     def corrupt_random_element(
@@ -116,6 +132,7 @@ class FaultInjector:
                 continue
             if sigma is None or is_significant(original, corrupted, sigma):
                 return corrupted, None
+        self._observe_injection("model", attempted_only=True)
         raise InjectionError(
             f"fault model {getattr(self.model, 'name', self.model)!r} produced no "
             f"suitable corruption of {original!r} in {max_attempts} attempts"
@@ -137,6 +154,7 @@ class FaultInjector:
                 float(value), self.rng, self.mean_bits, self.variance_bits
             )
         self.log.append(Injection(target, -1, float(value), corrupted, burst))
+        self._observe_injection(target)
         return corrupted
 
     # ------------------------------------------------------------------

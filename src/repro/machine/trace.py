@@ -35,7 +35,10 @@ def render_gantt(schedule: Schedule, width: int = 60) -> str:
     lines = []
     for name, timing in sorted(schedule.timings.items(), key=lambda kv: kv[1].start):
         start_cell = int(round(timing.start * scale))
-        compute_cell = int(round(timing.compute_start * scale))
+        # Rounding can put the compute cell before the start cell (or a
+        # degenerate timing can report compute_start < start); clamping keeps
+        # the bar segments non-negative so the chart never shifts left.
+        compute_cell = max(int(round(timing.compute_start * scale)), start_cell)
         finish_cell = max(int(round(timing.finish * scale)), compute_cell, start_cell + 1)
         bar = (
             " " * start_cell

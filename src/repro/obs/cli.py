@@ -1,0 +1,65 @@
+"""Command-line entry point: ``python -m repro.obs summarize <events.jsonl>``.
+
+Renders a JSONL event log (written by the ``"jsonl"`` exporter, usually
+via ``REPRO_OBS=jsonl``) as the human-readable protocol summary: counter
+totals, histogram tables and the span time breakdown.
+
+Exit codes:
+
+* 0 — summary rendered;
+* 2 — usage or input errors (missing file, malformed events).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.errors import ReproError
+from repro.obs.exporters import available_exporters
+from repro.obs.summary import read_events, render_summary
+
+EXIT_OK = 0
+EXIT_USAGE = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.obs",
+        description="ABFT protocol telemetry tools",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    summarize = commands.add_parser(
+        "summarize", help="render a JSONL event log as a text summary"
+    )
+    summarize.add_argument("events", help="path to the events.jsonl file")
+    summarize.add_argument(
+        "--width", type=int, default=48, help="bar width of the span breakdown"
+    )
+
+    commands.add_parser("exporters", help="list registered exporter names")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "exporters":
+        for name in available_exporters():
+            print(name)
+        return EXIT_OK
+    try:
+        events = read_events(args.events)
+        print(render_summary(events, width=args.width))
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_USAGE
+    except BrokenPipeError:  # e.g. `... summarize log | head`
+        return EXIT_OK
+    return EXIT_OK
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

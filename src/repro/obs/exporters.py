@@ -1,0 +1,215 @@
+"""Telemetry exporters and their pluggable registry.
+
+An exporter receives one structured event dict per instrument update or
+span completion.  Four ship built in:
+
+* ``"off"`` — the :class:`NullExporter`; resolves to the process-wide
+  disabled telemetry (the hot paths' zero-cost default);
+* ``"memory"`` — :class:`InMemoryExporter`, buffers events in a list
+  (the test exporter, and the substrate of determinism checks);
+* ``"jsonl"`` — :class:`JsonlExporter`, appends one JSON object per line
+  to the path named by :data:`OBS_PATH_ENV_VAR` (default
+  ``obs-events.jsonl``), consumable by ``python -m repro.obs summarize``;
+* ``"text"`` — :class:`TextSummaryExporter`, buffers like ``"memory"``
+  and renders the human-readable summary on :meth:`close`.
+
+The registry mirrors :mod:`repro.kernels` / :mod:`repro.lint`: built-ins
+are protected, custom exporters register a *factory* under a name and are
+selectable through ``AbftConfig.telemetry`` or the ``REPRO_OBS``
+environment override.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, TextIO, Tuple, Union
+
+from repro.errors import ConfigurationError
+
+#: Environment variable overriding the configured exporter name.
+OBS_ENV_VAR = "REPRO_OBS"
+
+#: Environment variable naming the JSONL event-log path.
+OBS_PATH_ENV_VAR = "REPRO_OBS_PATH"
+
+#: Exporter selected when neither a name nor the environment picks one.
+DEFAULT_EXPORTER = "off"
+
+#: One telemetry event: flat JSON-serializable dict (see Telemetry).
+Event = Dict[str, object]
+
+
+class Exporter:
+    """Base class for event sinks; subclasses override :meth:`emit`."""
+
+    #: Registry key of the built-in factories; informational for customs.
+    name: str = "abstract"
+
+    def emit(self, event: Event) -> None:
+        """Receive one telemetry event."""
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        """Push buffered events to their destination (no-op by default)."""
+
+    def close(self) -> None:
+        """Release resources; the exporter must tolerate repeated calls."""
+
+
+class NullExporter(Exporter):
+    """Discards every event (the ``"off"`` built-in)."""
+
+    name = "off"
+
+    def emit(self, event: Event) -> None:
+        pass
+
+
+class InMemoryExporter(Exporter):
+    """Buffers events in :attr:`events` (the ``"memory"`` built-in)."""
+
+    name = "memory"
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+
+    def emit(self, event: Event) -> None:
+        self.events.append(event)
+
+    def clear(self) -> None:
+        """Drop all buffered events."""
+        self.events.clear()
+
+
+class JsonlExporter(Exporter):
+    """Appends one compact JSON object per event to a log file.
+
+    The file opens lazily on the first event (selecting the exporter must
+    not create files in runs that emit nothing) and is line-buffered so a
+    crashed run still leaves a readable prefix.
+    """
+
+    name = "jsonl"
+
+    def __init__(self, path: Union[str, Path, None] = None) -> None:
+        if path is None:
+            path = os.environ.get(OBS_PATH_ENV_VAR) or "obs-events.jsonl"
+        self.path = Path(path)
+        self._stream: Optional[TextIO] = None
+
+    def emit(self, event: Event) -> None:
+        if self._stream is None:
+            self._stream = open(self.path, "a", buffering=1, encoding="utf-8")
+        json.dump(event, self._stream, separators=(",", ":"))
+        self._stream.write("\n")
+
+    def flush(self) -> None:
+        if self._stream is not None:
+            self._stream.flush()
+
+    def close(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+
+class TextSummaryExporter(Exporter):
+    """Buffers events and prints a rendered summary when closed.
+
+    ``stream=None`` writes to stderr at close time (not at construction,
+    so pytest capture and redirections are honoured).
+    """
+
+    name = "text"
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        self.events: List[Event] = []
+        self._stream = stream
+
+    def emit(self, event: Event) -> None:
+        self.events.append(event)
+
+    def render(self, width: int = 48) -> str:
+        """Render the buffered events as the human-readable summary."""
+        from repro.obs.summary import render_summary
+
+        return render_summary(self.events, width=width)
+
+    def close(self) -> None:
+        if not self.events:
+            return
+        stream = self._stream if self._stream is not None else sys.stderr
+        try:
+            stream.write(self.render() + "\n")
+        except (ValueError, io.UnsupportedOperation):  # closed stream at exit
+            pass
+        self.events = []
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+ExporterFactory = Callable[[], Exporter]
+
+#: Exporter names that ship with the package and cannot be unregistered.
+BUILTIN_EXPORTERS = ("off", "memory", "jsonl", "text")
+
+_REGISTRY: Dict[str, ExporterFactory] = {
+    "off": NullExporter,
+    "memory": InMemoryExporter,
+    "jsonl": JsonlExporter,
+    "text": TextSummaryExporter,
+}
+
+
+def register_exporter(
+    name: str, factory: ExporterFactory, overwrite: bool = False
+) -> ExporterFactory:
+    """Register an exporter factory under ``name``; returns the factory."""
+    if not name or not isinstance(name, str):
+        raise ConfigurationError(f"exporter name must be a non-empty string, got {name!r}")
+    if not callable(factory):
+        raise ConfigurationError(
+            f"exporter factory for {name!r} must be callable, got {type(factory).__name__}"
+        )
+    if name in BUILTIN_EXPORTERS:
+        raise ConfigurationError(f"built-in exporter {name!r} cannot be replaced")
+    if name in _REGISTRY and not overwrite:
+        raise ConfigurationError(
+            f"exporter {name!r} already registered (pass overwrite=True)"
+        )
+    _REGISTRY[name] = factory
+    return factory
+
+
+def unregister_exporter(name: str) -> None:
+    """Remove a registered exporter (primarily for test isolation)."""
+    if name in BUILTIN_EXPORTERS:
+        raise ConfigurationError(f"built-in exporter {name!r} cannot be removed")
+    _REGISTRY.pop(name, None)
+
+
+def available_exporters() -> Tuple[str, ...]:
+    """Registered exporter names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def make_exporter(name: str) -> Exporter:
+    """Instantiate the exporter registered under ``name``."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown exporter {name!r}; expected one of {available_exporters()}"
+        ) from None
+    exporter = factory()
+    if not isinstance(exporter, Exporter):
+        raise ConfigurationError(
+            f"exporter factory {name!r} returned {type(exporter).__name__}, "
+            f"which is not an Exporter"
+        )
+    return exporter

@@ -54,6 +54,7 @@ from repro.machine import (
     norm_cost,
     spmv_cost,
 )
+from repro.obs import resolve_telemetry
 from repro.solvers.pcg import DEFAULT_TOLERANCE, MAX_ITERATION_FACTOR
 from repro.solvers.preconditioners import make_preconditioner
 from repro.sparse.csr import CsrMatrix
@@ -142,6 +143,7 @@ def run_pcg(
     seed: int = 0,
     machine: Optional[Machine] = None,
     options: Optional[FtPcgOptions] = None,
+    telemetry: object = None,
 ) -> FtPcgResult:
     """Execute one (possibly fault-injected) PCG solve.
 
@@ -154,6 +156,11 @@ def run_pcg(
             paper uses a random ``x0``).
         machine: simulated device.
         options: case-study parameters.
+        telemetry: :mod:`repro.obs` selection — a Telemetry instance or
+            exporter name (``REPRO_OBS`` env override applies to names;
+            default off).  The solve is traced as a ``pcg.solve`` span
+            with one ``pcg.iteration`` span per executed iteration, and
+            the injector/protected-multiply share the same stream.
 
     Returns:
         The :class:`FtPcgResult` of the run.
@@ -164,8 +171,9 @@ def run_pcg(
     machine = machine or Machine()
     meter = ExecutionMeter(machine=machine)
     n = matrix.n_rows
+    telemetry = resolve_telemetry(telemetry)
 
-    injector = FaultInjector.seeded(seed)
+    injector = FaultInjector.seeded(seed, telemetry=telemetry)
     process = ErrorProcess(error_rate, injector.rng)
 
     def tamper(stage: str, data: np.ndarray, work: float) -> None:
@@ -189,6 +197,7 @@ def run_pcg(
                 kernel=options.kernel,
             ),
             machine=machine,
+            telemetry=telemetry,
         )
 
         def multiply(p_vec: np.ndarray) -> tuple[np.ndarray, bool, bool]:
@@ -256,76 +265,90 @@ def run_pcg(
     if b_norm == 0.0:
         b_norm = 1.0
 
-    q0, detected0, _ = multiply(x)
-    detections += int(detected0)
-    # Corrupted values may already be in q0 (undetected errors); let them
-    # propagate silently — the iteration / success accounting handles them.
-    with np.errstate(invalid="ignore", over="ignore"):
-        r = b - q0
-        z = preconditioner.apply(r)
-        p = z.copy()
-        rz = float(np.dot(r, z))
-    state = _PcgState(x, r, p, rz)
+    with telemetry.span("pcg.solve", scheme=scheme, n=n, seed=seed):
+        with telemetry.span("pcg.setup"):
+            q0, detected0, _ = multiply(x)
+        detections += int(detected0)
+        # Corrupted values may already be in q0 (undetected errors); let them
+        # propagate silently — the iteration / success accounting handles them.
+        with np.errstate(invalid="ignore", over="ignore"):
+            r = b - q0
+            z = preconditioner.apply(r)
+            p = z.copy()
+            rz = float(np.dot(r, z))
+        state = _PcgState(x, r, p, rz)
 
-    store = CheckpointStore() if scheme in ("checkpoint", "hybrid") else None
-    rollbacks = 0
-    if store is not None:
-        meter.run_kernel(store.save(0, {"x": x, "r": r, "p": p}, {"rz": rz}))
+        store = CheckpointStore() if scheme in ("checkpoint", "hybrid") else None
+        rollbacks = 0
+        if store is not None:
+            meter.run_kernel(store.save(0, {"x": x, "r": r, "p": p}, {"rz": rz}))
 
-    update_graph_template = _iteration_update_costs(matrix, preconditioner)
+        update_graph_template = _iteration_update_costs(matrix, preconditioner)
 
-    converged = False
-    iterations = 0
-    while iterations < max_iterations:
-        iterations += 1
-        q, detected, unrecoverable = multiply(state.p)
-        detections += int(detected)
-        corrections += count_corrections(detected)
+        converged = False
+        iterations = 0
+        while iterations < max_iterations:
+            iterations += 1
+            with telemetry.span("pcg.iteration", i=iterations):
+                if telemetry.enabled:
+                    telemetry.count("pcg.iterations")
+                q, detected, unrecoverable = multiply(state.p)
+                detections += int(detected)
+                corrections += count_corrections(detected)
 
-        # Checkpoint: roll back on *any* detection (it cannot correct).
-        # Hybrid: roll back only when in-place correction gave up.
-        roll_back = unrecoverable if scheme == "hybrid" else detected
-        if store is not None and roll_back:
-            # Discard the iteration, restore the snapshot.
-            _, arrays, scalars, cost = store.restore()
-            meter.run_kernel(cost)
-            state = _PcgState(arrays["x"], arrays["r"], arrays["p"], scalars["rz"])
-            rollbacks += 1
-            continue
+                # Checkpoint: roll back on *any* detection (it cannot
+                # correct).  Hybrid: roll back only when in-place
+                # correction gave up.
+                roll_back = unrecoverable if scheme == "hybrid" else detected
+                if store is not None and roll_back:
+                    # Discard the iteration, restore the snapshot.
+                    _, arrays, scalars, cost = store.restore()
+                    meter.run_kernel(cost)
+                    state = _PcgState(
+                        arrays["x"], arrays["r"], arrays["p"], scalars["rz"]
+                    )
+                    rollbacks += 1
+                    if telemetry.enabled:
+                        telemetry.count("pcg.rollbacks")
+                    continue
 
-        with np.errstate(invalid="ignore", over="ignore", divide="ignore"):
-            pq = float(np.dot(state.p, q))
-            # reprolint: disable=ABFT003 -- CG breakdown guard: only exactly
-            # zero curvature is fatal; noisy small pq still iterates
-            if pq == 0.0:
-                break  # exact breakdown
-            alpha = state.rz / pq
-            state.x = state.x + alpha * state.p
-            state.r = state.r - alpha * q
-            relative = float(np.linalg.norm(state.r)) / b_norm
-            meter.run_graph(_clone_graph(update_graph_template))
-            if relative < options.tol:
-                converged = True
-                break
-            if not np.isfinite(relative):
-                # The state is poisoned (inf/NaN reached the iterate).  An
-                # unprotected run can never recover; protected runs only
-                # land here if an error evaded detection entirely.
-                break
-            z = preconditioner.apply(state.r)
-            rz_next = float(np.dot(state.r, z))
-            beta = rz_next / state.rz
-            state.p = z + beta * state.p
-            state.rz = rz_next
+                with np.errstate(invalid="ignore", over="ignore", divide="ignore"):
+                    pq = float(np.dot(state.p, q))
+                    # reprolint: disable=ABFT003 -- CG breakdown guard: only
+                    # exactly zero curvature is fatal; noisy small pq still
+                    # iterates
+                    if pq == 0.0:
+                        break  # exact breakdown
+                    alpha = state.rz / pq
+                    state.x = state.x + alpha * state.p
+                    state.r = state.r - alpha * q
+                    relative = float(np.linalg.norm(state.r)) / b_norm
+                    meter.run_graph(_clone_graph(update_graph_template))
+                    if telemetry.enabled:
+                        telemetry.gauge("pcg.residual_relative", relative, i=iterations)
+                    if relative < options.tol:
+                        converged = True
+                        break
+                    if not np.isfinite(relative):
+                        # The state is poisoned (inf/NaN reached the
+                        # iterate).  An unprotected run can never recover;
+                        # protected runs only land here if an error evaded
+                        # detection entirely.
+                        break
+                    z = preconditioner.apply(state.r)
+                    rz_next = float(np.dot(state.r, z))
+                    beta = rz_next / state.rz
+                    state.p = z + beta * state.p
+                    state.rz = rz_next
 
-        if store is not None and iterations % options.checkpoint_interval == 0:
-            meter.run_kernel(
-                store.save(
-                    iterations,
-                    {"x": state.x, "r": state.r, "p": state.p},
-                    {"rz": state.rz},
-                )
-            )
+                if store is not None and iterations % options.checkpoint_interval == 0:
+                    meter.run_kernel(
+                        store.save(
+                            iterations,
+                            {"x": state.x, "r": state.r, "p": state.p},
+                            {"rz": state.rz},
+                        )
+                    )
 
     with np.errstate(invalid="ignore", over="ignore"):
         true_residual = float(np.linalg.norm(b - matrix.matvec(state.x))) / b_norm

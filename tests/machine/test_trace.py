@@ -49,6 +49,34 @@ def test_render_width_validation(machine):
         render_gantt(machine.schedule(g), width=5)
 
 
+def test_render_clamps_compute_cell_to_start_cell():
+    """A timing whose compute cell rounds before its start cell must not
+    shift the bar left or render negative-width segments."""
+    from repro.machine.scheduler import Schedule, TaskTiming
+
+    # start=0.5 rounds to cell 30 at width 60, compute_start=0.49 to cell 29:
+    # without clamping the launch segment would be "." * -1 == "" and the
+    # compute segment would start one cell early.
+    schedule = Schedule(
+        makespan=1.0, timings={"t": TaskTiming(start=0.5, compute_start=0.49, finish=1.0)}
+    )
+    lines = render_gantt(schedule, width=60).splitlines()
+    bar_line = next(line for line in lines if line.startswith("t"))
+    bar = bar_line[bar_line.index("|") + 1 : bar_line.rindex("|")]
+    assert bar.index("#") == 30  # compute starts exactly at the start cell
+    assert "." not in bar
+
+    # Degenerate timing (compute_start < start) stays well-formed too.
+    degenerate = Schedule(
+        makespan=1.0, timings={"t": TaskTiming(start=0.5, compute_start=0.4, finish=1.0)}
+    )
+    lines = render_gantt(degenerate, width=60).splitlines()
+    bar_line = next(line for line in lines if line.startswith("t"))
+    bar = bar_line[bar_line.index("|") + 1 : bar_line.rindex("|")]
+    assert bar.index("#") == 30
+    assert len(bar.rstrip()) == 60  # finish at the makespan edge, no overrun
+
+
 def test_utilization_full_for_back_to_back(machine):
     g = TaskGraph()
     g.add("a", work=100.0)

@@ -1,0 +1,36 @@
+"""Shared fixtures for the telemetry tests.
+
+The CI ``obs`` leg runs the whole suite with ``REPRO_OBS=jsonl``; these
+tests assert precise resolution behavior, so every test starts from a
+clean environment and an empty name-resolution cache.
+"""
+
+import pytest
+
+from repro.obs import OBS_ENV_VAR, OBS_PATH_ENV_VAR, reset_telemetry_cache
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_environment(monkeypatch):
+    monkeypatch.delenv(OBS_ENV_VAR, raising=False)
+    monkeypatch.delenv(OBS_PATH_ENV_VAR, raising=False)
+    reset_telemetry_cache()
+    yield
+    reset_telemetry_cache()
+
+
+class FakeClock:
+    """Deterministic monotonic clock: each reading advances by ``step``."""
+
+    def __init__(self, step: float = 0.001) -> None:
+        self.t = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.t += self.step
+        return self.t
+
+
+@pytest.fixture
+def fake_clock():
+    return FakeClock()

@@ -1,0 +1,100 @@
+"""End-to-end: JSONL exporter → ``python -m repro.obs summarize``."""
+
+import numpy as np
+import pytest
+
+from repro.obs import JsonlExporter, Telemetry
+from repro.obs.cli import EXIT_OK, EXIT_USAGE, main
+from repro.obs.summary import aggregate_events, read_events, render_summary
+from repro.solvers.ft_pcg import run_pcg
+from repro.sparse import banded_spd
+
+
+@pytest.fixture
+def event_log(tmp_path):
+    """JSONL log of one injected-fault protected solve."""
+    path = tmp_path / "events.jsonl"
+    tel = Telemetry(exporter=JsonlExporter(path))
+    matrix = banded_spd(300, half_bandwidth=3, seed=0)
+    result = run_pcg(
+        matrix, np.ones(matrix.n_rows), scheme="ours", error_rate=1e-6, seed=3,
+        telemetry=tel,
+    )
+    tel.close()
+    assert result.detections >= 1  # the campaign must actually trip the scheme
+    return path, result
+
+
+def test_summarize_reports_the_protocol(event_log, capsys):
+    path, result = event_log
+    assert main(["summarize", str(path)]) == EXIT_OK
+    out = capsys.readouterr().out
+    assert "== counters ==" in out
+    assert "abft.detections" in out
+    assert "abft.corrections" in out
+    assert "== histograms ==" in out
+    assert "abft.syndrome_margin" in out
+    assert "== spans ==" in out
+    assert "pcg.iteration" in out and "abft.multiply" in out
+
+
+def test_summary_is_consistent_with_the_run(event_log):
+    path, result = event_log
+    summary = aggregate_events(read_events(path))
+    assert summary.counters["abft.detections"] == result.detections
+    assert summary.counters["abft.corrections"] >= result.corrections
+    assert summary.span_count("pcg.iteration") == result.iterations
+    assert summary.span_count("pcg.solve") == 1
+    assert summary.histogram_values["abft.syndrome_margin"]
+
+
+def test_summarize_missing_file(tmp_path, capsys):
+    assert main(["summarize", str(tmp_path / "nope.jsonl")]) == EXIT_USAGE
+    assert "error:" in capsys.readouterr().err
+
+
+def test_summarize_malformed_log(tmp_path, capsys):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('{"type": "counter"}\nnot json\n')
+    assert main(["summarize", str(bad)]) == EXIT_USAGE
+    assert "not a JSON event" in capsys.readouterr().err
+
+
+def test_exporters_subcommand_lists_builtins(capsys):
+    assert main(["exporters"]) == EXIT_OK
+    out = capsys.readouterr().out.split()
+    for builtin in ("off", "memory", "jsonl", "text"):
+        assert builtin in out
+
+
+def test_render_summary_empty_stream():
+    assert render_summary([]) == "(no events)"
+
+
+def test_render_summary_survives_extreme_histogram_values():
+    """Margins near the float64 extremes must not overflow the bucket edges."""
+    events = [
+        {"type": "hist", "name": "abft.syndrome_margin", "value": v, "attrs": {}}
+        for v in (1e-310, 1e-9, 1.0, 1e308, float("inf"), float("nan"))
+    ]
+    text = render_summary(events)
+    assert "abft.syndrome_margin" in text
+    assert "inf" not in text.split("nan=")[0].split("max=")[0]  # edges stayed finite
+
+
+def test_env_selected_jsonl_round_trip(tmp_path, monkeypatch):
+    """REPRO_OBS=jsonl + REPRO_OBS_PATH: the acceptance-path selection."""
+    from repro.obs import reset_telemetry_cache, resolve_telemetry
+
+    path = tmp_path / "env.jsonl"
+    monkeypatch.setenv("REPRO_OBS", "jsonl")
+    monkeypatch.setenv("REPRO_OBS_PATH", str(path))
+    reset_telemetry_cache()  # pick up the patched environment
+    tel = resolve_telemetry(None)
+    try:
+        tel.count("abft.detections")
+        tel.flush()
+        events = read_events(path)
+    finally:
+        reset_telemetry_cache()
+    assert events[0]["name"] == "abft.detections"

@@ -1,0 +1,145 @@
+"""Unit tests for the typed instruments and their registry."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+    log_buckets,
+)
+
+
+# ----------------------------------------------------------------------
+# log_buckets
+# ----------------------------------------------------------------------
+def test_log_buckets_span_decades():
+    edges = log_buckets(1e-3, 1e3)
+    assert edges[0] == pytest.approx(1e-3)
+    assert edges[-1] == pytest.approx(1e3)
+    assert len(edges) == 7  # one edge per decade, inclusive
+    assert all(b > a for a, b in zip(edges, edges[1:]))
+
+
+def test_log_buckets_per_decade_subdivision():
+    edges = log_buckets(1.0, 10.0, per_decade=4)
+    assert len(edges) == 5
+    assert edges[1] == pytest.approx(10.0 ** 0.25)
+
+
+@pytest.mark.parametrize("lo,hi", [(0.0, 1.0), (-1.0, 1.0), (1.0, 1.0), (2.0, 1.0)])
+def test_log_buckets_rejects_bad_ranges(lo, hi):
+    with pytest.raises(ConfigurationError):
+        log_buckets(lo, hi)
+
+
+# ----------------------------------------------------------------------
+# Counter / Gauge
+# ----------------------------------------------------------------------
+def test_counter_accumulates():
+    c = Counter("abft.detections")
+    c.add()
+    c.add(3.0)
+    assert c.value == 4.0
+    assert c.snapshot() == 4.0
+
+
+@pytest.mark.parametrize("bad", [-1.0, math.nan, math.inf])
+def test_counter_rejects_negative_and_nonfinite(bad):
+    c = Counter("abft.detections")
+    with pytest.raises(ConfigurationError):
+        c.add(bad)
+
+
+def test_gauge_keeps_last_value():
+    g = Gauge("pcg.residual_relative")
+    assert math.isnan(g.value)
+    g.set(0.5)
+    g.set(0.25)
+    assert g.value == 0.25
+    assert g.updates == 2
+
+
+# ----------------------------------------------------------------------
+# Histogram
+# ----------------------------------------------------------------------
+def test_histogram_buckets_underflow_and_overflow():
+    h = Histogram("m", buckets=(1.0, 10.0, 100.0))
+    for value in (0.1, 5.0, 50.0, 1000.0):
+        h.observe(value)
+    assert h.counts == [1, 1, 1, 1]
+    assert h.count == 4
+    assert h.min == 0.1 and h.max == 1000.0
+
+
+def test_histogram_edge_values_go_right():
+    h = Histogram("m", buckets=(1.0, 10.0))
+    h.observe(1.0)  # exactly on an edge: lands at/above the edge
+    assert h.counts == [0, 1, 0]
+
+
+def test_histogram_counts_nan_separately():
+    h = Histogram("m", buckets=(1.0, 10.0))
+    h.observe(math.nan)
+    h.observe(2.0)
+    assert h.nan_count == 1
+    assert h.count == 1
+    assert h.mean == 2.0
+
+
+def test_histogram_mean_of_empty_is_nan():
+    assert math.isnan(Histogram("m").mean)
+
+
+def test_histogram_rejects_nonincreasing_edges():
+    with pytest.raises(ConfigurationError):
+        Histogram("m", buckets=(1.0, 1.0, 2.0))
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+def test_registry_get_or_create_returns_same_instrument():
+    r = Registry()
+    assert r.counter("a") is r.counter("a")
+    assert r.histogram("h") is r.histogram("h")
+
+
+def test_registry_rejects_type_conflicts():
+    r = Registry()
+    r.counter("a")
+    with pytest.raises(ConfigurationError):
+        r.gauge("a")
+    with pytest.raises(ConfigurationError):
+        r.histogram("a")
+
+
+def test_registry_rejects_conflicting_histogram_buckets():
+    r = Registry()
+    r.histogram("h", buckets=(1.0, 2.0))
+    r.histogram("h")  # omitting buckets accepts the existing edges
+    r.histogram("h", buckets=(1.0, 2.0))  # identical edges are fine
+    with pytest.raises(ConfigurationError):
+        r.histogram("h", buckets=(1.0, 3.0))
+
+
+def test_registry_get_unknown_name_raises():
+    with pytest.raises(ConfigurationError):
+        Registry().get("nope")
+
+
+def test_registry_snapshot_is_sorted_and_typed():
+    r = Registry()
+    r.counter("b").add(2.0)
+    r.gauge("a").set(1.5)
+    r.histogram("c", buckets=(1.0, 2.0)).observe(1.5)
+    snap = r.snapshot()
+    assert list(snap) == ["a", "b", "c"]
+    assert snap["a"] == 1.5
+    assert snap["b"] == 2.0
+    assert snap["c"]["count"] == 1
+    assert r.names() == ("a", "b", "c")

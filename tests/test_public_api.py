@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.solvers",
     "repro.analysis",
     "repro.apps",
+    "repro.obs",
 ]
 
 
