@@ -14,7 +14,7 @@ import time
 import numpy as np
 import pytest
 
-from benchmarks.conftest import write_result
+from benchmarks.conftest import bench_env, write_json, write_result
 from repro.core import AbftConfig, BlockAbftDetector, ChecksumMatrix
 from repro.core.corrector import correct_blocks
 from repro.sparse import random_spd
@@ -102,6 +102,28 @@ def test_vectorized_beats_naive(matrix, operand, detectors, benchmark):
             f"{speedups[stage]:>8.1f}x"
         )
     write_result("bench_kernels_dispatch", "\n".join(lines))
+    write_json(
+        "kernels_dispatch",
+        {
+            "benchmark": "kernels_dispatch",
+            "config": {
+                "n_rows": N_ROWS,
+                "nnz": NNZ,
+                "block_size": BLOCK_SIZE,
+                "repeats": REPEATS,
+            },
+            "timings_ms": {
+                name: {stage: 1e3 * row[stage] for stage in stages}
+                for name, row in timings.items()
+            },
+            "speedups": speedups,
+            "floors": {
+                "detect": MIN_DETECTION_SPEEDUP,
+                "reverify": MIN_DETECTION_SPEEDUP,
+            },
+            "env": bench_env(),
+        },
+    )
 
     # The acceptance floor: batched detection must be >= 3x the loops.
     assert speedups["detect"] >= MIN_DETECTION_SPEEDUP

@@ -1,0 +1,175 @@
+"""Planned vs unplanned protected SpMV, single-thread and sharded.
+
+The steady-state scenario: one matrix, many clean protected multiplies
+(the ft_pcg inner loop).  Three contenders:
+
+* ``unplanned``  — ``FaultTolerantSpMV.multiply`` with the vectorized
+  kernels, allocating every temporary on every call;
+* ``planned-1``  — ``operator.planned()`` with one shard: identical
+  bits, zero steady-state allocations;
+* ``parallel-4`` — the planned fused path over 4 nnz-balanced shards on
+  the ``parallel`` backend.
+
+Acceptance floors (checked where the hardware can express them):
+
+* at full scale the planned single-thread loop must beat the unplanned
+  loop — the zero-allocation plan has to pay for itself;
+* with >= 4 usable cores the 4-worker fused path must reach 1.5x over
+  the planned single-thread loop.
+
+Results go to ``results/bench_parallel_plan.txt`` and machine-readable
+``results/BENCH_parallel_plan.json`` (timings + env metadata including
+``cpu_count``, so a 1-core CI run is distinguishable from a real one).
+``REPRO_BENCH_SMOKE=1`` shrinks the problem to a CI-smoke size where
+only correctness, not the speedup floors, is asserted.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import bench_env, write_json, write_result
+from repro.core import AbftConfig, FaultTolerantSpMV
+from repro.kernels.parallel import ParallelKernels
+from repro.machine import ExecutionMeter
+from repro.sparse import random_spd
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+N_ROWS = 5_000 if SMOKE else 100_000
+NNZ = 60_000 if SMOKE else 1_200_000
+BLOCK_SIZE = 64
+N_WORKERS = 4
+MULTIPLIES = 5 if SMOKE else 20
+REPEATS = 3
+MIN_PLANNED_SPEEDUP = 1.0  # planned-1 must strictly beat unplanned
+MIN_PARALLEL_SPEEDUP = 1.5  # parallel-4 over planned-1, needs >= 4 cores
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return random_spd(N_ROWS, NNZ, seed=42)
+
+
+@pytest.fixture(scope="module")
+def operand(matrix):
+    return np.random.default_rng(43).standard_normal(matrix.n_cols)
+
+
+def _best_of(fn, repeats=REPEATS):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _loop(multiply, operator, b):
+    meter = ExecutionMeter(machine=operator.machine)
+
+    def run():
+        for _ in range(MULTIPLIES):
+            multiply(b, meter=meter)
+
+    return run
+
+
+def test_planned_and_parallel_speedups(matrix, operand, benchmark):
+    config = AbftConfig(block_size=BLOCK_SIZE, kernel="vectorized")
+    unplanned_op = FaultTolerantSpMV(matrix, config=config)
+    planned_op = FaultTolerantSpMV(matrix, config=config)
+    plan_1 = planned_op.planned(n_shards=1)
+
+    parallel_op = FaultTolerantSpMV(
+        matrix, config=AbftConfig(block_size=BLOCK_SIZE, kernel="parallel")
+    )
+    parallel_op.detector.kernels = ParallelKernels(
+        n_workers=N_WORKERS, serial_cutoff=0
+    )
+    plan_4 = parallel_op.planned()
+    assert plan_4.spmv.n_shards > 1
+
+    reference = matrix.matvec(operand)
+    for label, multiply in (
+        ("unplanned", unplanned_op.multiply),
+        ("planned-1", plan_1.multiply),
+        (f"parallel-{N_WORKERS}", plan_4.multiply),
+    ):
+        value = multiply(operand).value
+        np.testing.assert_array_equal(value, reference, err_msg=label)
+
+    timings = {
+        "unplanned": _best_of(_loop(unplanned_op.multiply, unplanned_op, operand)),
+        "planned-1": _best_of(_loop(plan_1.multiply, planned_op, operand)),
+        f"parallel-{N_WORKERS}": _best_of(
+            _loop(plan_4.multiply, parallel_op, operand)
+        ),
+    }
+    speedups = {
+        "planned_vs_unplanned": timings["unplanned"] / timings["planned-1"],
+        "parallel_vs_planned": timings["planned-1"]
+        / timings[f"parallel-{N_WORKERS}"],
+    }
+    cpu_count = os.cpu_count() or 1
+    enough_cores = cpu_count >= N_WORKERS
+
+    lines = [
+        "Planned / sharded protected SpMV "
+        f"(random SPD, n={N_ROWS}, nnz={NNZ}, block size {BLOCK_SIZE}, "
+        f"{MULTIPLIES} multiplies per run, cpu_count={cpu_count})",
+        "",
+        f"{'variant':<12} {'loop [ms]':>12} {'per call [ms]':>14}",
+    ]
+    for label, seconds in timings.items():
+        lines.append(
+            f"{label:<12} {1e3 * seconds:>12.3f} "
+            f"{1e3 * seconds / MULTIPLIES:>14.3f}"
+        )
+    lines += [
+        "",
+        f"planned-1 vs unplanned: {speedups['planned_vs_unplanned']:.2f}x",
+        f"parallel-{N_WORKERS} vs planned-1: "
+        f"{speedups['parallel_vs_planned']:.2f}x"
+        + ("" if enough_cores else f"  [not asserted: {cpu_count} core(s)]"),
+    ]
+    write_result("bench_parallel_plan", "\n".join(lines))
+    write_json(
+        "parallel_plan",
+        {
+            "benchmark": "parallel_plan",
+            "config": {
+                "n_rows": N_ROWS,
+                "nnz": NNZ,
+                "block_size": BLOCK_SIZE,
+                "n_workers": N_WORKERS,
+                "multiplies_per_run": MULTIPLIES,
+                "repeats": REPEATS,
+                "smoke": SMOKE,
+            },
+            "timings_ms": {k: 1e3 * v for k, v in timings.items()},
+            "speedups": speedups,
+            "floors": {
+                "planned_vs_unplanned": MIN_PLANNED_SPEEDUP,
+                "parallel_vs_planned": MIN_PARALLEL_SPEEDUP,
+            },
+            "asserted": {
+                "planned_vs_unplanned": not SMOKE,
+                "parallel_vs_planned": enough_cores and not SMOKE,
+            },
+            "env": bench_env(),
+        },
+    )
+
+    # Smoke runs only prove the harness executes end to end; the floors
+    # are claims about steady-state sizes on real hardware.
+    if not SMOKE:
+        assert speedups["planned_vs_unplanned"] > MIN_PLANNED_SPEEDUP
+        if enough_cores:
+            assert speedups["parallel_vs_planned"] >= MIN_PARALLEL_SPEEDUP
+
+    benchmark.pedantic(
+        lambda: plan_1.multiply(operand), rounds=3, iterations=1
+    )

@@ -11,8 +11,12 @@ statistics converge far earlier); the knobs live here in one place.
 
 from __future__ import annotations
 
+import json
+import os
+import platform
 from pathlib import Path
 
+import numpy as np
 import pytest
 
 from repro.sparse import SUITE_SPECS, iter_suite
@@ -37,6 +41,30 @@ def write_result(name: str, text: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     print(f"\n{text}\n[written to results/{name}.txt]")
+
+
+def bench_env() -> dict:
+    """Environment metadata embedded in every machine-readable result.
+
+    Timings are meaningless without the hardware context — above all
+    ``cpu_count``, which decides whether the parallel speedup targets are
+    even achievable on the box that produced the numbers.
+    """
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def write_json(name: str, payload: dict) -> None:
+    """Persist machine-readable benchmark output as results/BENCH_<name>.json."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"[written to results/BENCH_{name}.json]")
 
 
 @pytest.fixture(scope="session")

@@ -68,16 +68,27 @@ class BlockPartition:
             yield block, start, stop
 
     def block_lengths(self) -> np.ndarray:
-        """Lengths of all blocks as an int64 array."""
-        if self.n_blocks == 0:
-            return np.empty(0, dtype=np.int64)
-        lengths = np.full(self.n_blocks, self.block_size, dtype=np.int64)
-        remainder = self.n_rows - (self.n_blocks - 1) * self.block_size
-        lengths[-1] = remainder
-        return lengths
+        """Lengths of all blocks as an int64 array (cached; read-only)."""
+        cached: np.ndarray | None = getattr(self, "_block_lengths", None)
+        if cached is None:
+            if self.n_blocks == 0:
+                cached = np.empty(0, dtype=np.int64)
+            else:
+                cached = np.full(self.n_blocks, self.block_size, dtype=np.int64)
+                cached[-1] = self.n_rows - (self.n_blocks - 1) * self.block_size
+            cached.flags.writeable = False
+            # Frozen dataclass: the cache is a derived value, not a field,
+            # so it never participates in eq/hash/repr.
+            object.__setattr__(self, "_block_lengths", cached)
+        return cached
 
     def block_starts(self) -> np.ndarray:
-        """Start rows of all blocks (length ``n_blocks + 1``, ends with n_rows)."""
-        starts = np.arange(self.n_blocks + 1, dtype=np.int64) * self.block_size
-        starts[-1] = self.n_rows
-        return starts
+        """Start rows of all blocks (length ``n_blocks + 1``, ends with
+        ``n_rows``; cached and read-only — partitions are immutable)."""
+        cached: np.ndarray | None = getattr(self, "_block_starts", None)
+        if cached is None:
+            cached = np.arange(self.n_blocks + 1, dtype=np.int64) * self.block_size
+            cached[-1] = self.n_rows
+            cached.flags.writeable = False
+            object.__setattr__(self, "_block_starts", cached)
+        return cached

@@ -80,6 +80,17 @@ class SparseBlockBound:
         constants = self.constants if blocks is None else self.constants[blocks]
         return self.scale * constants * beta
 
+    def beta_coefficients(self) -> np.ndarray:
+        """Per-block factors ``c_k`` with ``thresholds(beta) == c_k * beta``.
+
+        All analytic bounds are linear in ``beta``; precomputing the
+        coefficients lets planned detection fill a threshold buffer with
+        one in-place multiply per check.  ``self.scale * constants`` is
+        evaluated first here exactly as in :meth:`thresholds` (left
+        association), so ``coefficients * beta`` is bit-identical.
+        """
+        return self.scale * self.constants
+
 
 @dataclass(frozen=True)
 class DenseAnalyticalBound:
@@ -113,6 +124,11 @@ class DenseAnalyticalBound:
         count = self.n_blocks if blocks is None else len(blocks)
         return np.full(count, self.scale * self.constant * beta)
 
+    def beta_coefficients(self) -> np.ndarray:
+        """Per-block ``c_k`` with ``thresholds(beta) == c_k * beta`` (see
+        :meth:`SparseBlockBound.beta_coefficients`)."""
+        return np.full(self.n_blocks, self.scale * self.constant)
+
 
 @dataclass(frozen=True)
 class NormBound:
@@ -133,6 +149,11 @@ class NormBound:
     def thresholds(self, beta: float, blocks: np.ndarray | None = None) -> np.ndarray:
         count = self.n_blocks if blocks is None else len(blocks)
         return np.full(count, self.scale * beta)
+
+    def beta_coefficients(self) -> np.ndarray:
+        """Per-block ``c_k`` with ``thresholds(beta) == c_k * beta`` (see
+        :meth:`SparseBlockBound.beta_coefficients`)."""
+        return np.full(self.n_blocks, self.scale)
 
 
 def make_bound(kind: str, checksum: ChecksumMatrix, scale: float = 1.0) -> Bound:

@@ -166,16 +166,38 @@ class ChecksumMatrix:
         """
         return self.nnz / max(1, self.source_nnz)
 
-    def operand_checksums(self, b: np.ndarray) -> np.ndarray:
-        """t1 = C b (Figure 1, step 1, checksum stream)."""
-        return self.matrix.matvec(b)
+    def operand_checksums(
+        self,
+        b: np.ndarray,
+        out: np.ndarray | None = None,
+        workspace: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """t1 = C b (Figure 1, step 1, checksum stream).
 
-    def result_checksums(self, r: np.ndarray, kernel: object = None) -> np.ndarray:
+        ``out`` (length ``n_blocks``) and ``workspace`` (length ``nnz`` of
+        ``C``) are optional reusable buffers, as in
+        :meth:`repro.sparse.csr.CsrMatrix.matvec`.
+        """
+        return self.matrix.matvec(b, out=out, workspace=workspace)
+
+    def result_checksums(
+        self,
+        r: np.ndarray,
+        kernel: object = None,
+        out: np.ndarray | None = None,
+        workspace: np.ndarray | None = None,
+    ) -> np.ndarray:
         """t2_k = w_k^T r_k: segmented weighted sums of the result vector."""
-        return self._kernels(kernel).result_checksums(self.weights, r, self.partition)
+        return self._kernels(kernel).result_checksums(
+            self.weights, r, self.partition, out=out, workspace=workspace
+        )
 
     def result_checksums_for_blocks(
-        self, r: np.ndarray, blocks: np.ndarray, kernel: object = None
+        self,
+        r: np.ndarray,
+        blocks: np.ndarray,
+        kernel: object = None,
+        out: np.ndarray | None = None,
     ) -> np.ndarray:
         """Recompute t2 for selected blocks only (re-verification path).
 
@@ -183,5 +205,5 @@ class ChecksumMatrix:
             ConfigurationError: if any block id is negative or >= n_blocks.
         """
         return self._kernels(kernel).result_checksums_for_blocks(
-            self.weights, r, self.partition, blocks
+            self.weights, r, self.partition, blocks, out=out
         )

@@ -214,6 +214,17 @@ class BlockAbftDetector:
             self._record_report(report, exceeded)
         return report
 
+    def record(self, report: DetectionReport, exceeded: np.ndarray) -> None:
+        """Record a report built outside :meth:`compare` (planned paths).
+
+        :class:`repro.perf.ProtectedPlan` evaluates the invariant in its
+        own preallocated buffers and hands the outcome here so telemetry
+        and the near-miss hook observe exactly what :meth:`compare` would
+        have emitted.  No-op when neither is active.
+        """
+        if self.telemetry.enabled or self.near_miss_hook is not None:
+            self._record_report(report, exceeded)
+
     def _record_report(self, report: DetectionReport, exceeded: np.ndarray) -> None:
         """Telemetry + near-miss side channel of one invariant evaluation.
 

@@ -20,9 +20,12 @@ injections into the detection path itself:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Set, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (annotations only)
+    from repro.perf.plan import ProtectedPlan
 
 from repro.core.config import AbftConfig
 from repro.core.corrector import TamperHook, correct_blocks
@@ -120,6 +123,7 @@ class FaultTolerantSpMV:
         self.config = config
         self.machine = machine or Machine()
         self.detector = BlockAbftDetector(matrix, config, telemetry=telemetry)
+        self._plan: Optional["ProtectedPlan"] = None
 
     @property
     def telemetry(self) -> Telemetry:
@@ -177,55 +181,11 @@ class FaultTolerantSpMV:
                 report = detector.compare(t1, t2, beta)
 
             detected = [tuple(int(x) for x in report.flagged)]
-            corrected: set[int] = set()
-            flagged = report.flagged
-            rounds = 0
-            exhausted = False
-
-            # --- Figure 1 step 5: correct + re-verify until clean -------
-            while flagged.size:
-                if rounds >= self.config.max_correction_rounds:
-                    exhausted = True
-                    break
-                rounds += 1
-                if telemetry.enabled:
-                    telemetry.count("abft.corrections")
-                    telemetry.count("abft.blocks_recomputed", float(flagged.size))
-                    telemetry.observe(
-                        "abft.block_recompute_fraction",
-                        flagged.size / detector.n_blocks,
-                        buckets=DEFAULT_FRACTION_BUCKETS,
-                    )
-                with telemetry.span(
-                    "abft.correct", round=rounds, blocks=int(flagged.size)
-                ):
-                    outcome = correct_blocks(
-                        matrix, detector.partition, b, r, flagged, tamper,
-                        kernel=detector.kernels,
-                    )
-                    corrected.update(int(x) for x in flagged)
-
-                    refresh = rounds >= 2
-                    refreshed_nnz = 0
-                    if refresh:
-                        refreshed_nnz = self._refresh_operand_checksums(
-                            b, t1, flagged, tamper
-                        )
-
-                    recheck = detector.checksum.result_checksums_for_blocks(
-                        r, flagged, kernel=detector.kernels
-                    )
-                    self._tamper(tamper, "t2", recheck, 2.0 * outcome.rows_recomputed)
-                    report = detector.compare(t1[flagged], recheck, beta, blocks=flagged)
-
-                meter.run_graph(
-                    self._correction_graph(
-                        rounds, outcome.nnz_recomputed, outcome.rows_recomputed,
-                        len(flagged), refreshed_nnz,
-                    )
-                )
-                flagged = report.flagged
-                detected.append(tuple(int(x) for x in flagged))
+            corrected: Set[int] = set()
+            rounds, exhausted = self._correction_rounds(
+                b, r, t1, report.beta, report.flagged, tamper, meter,
+                detected=detected, corrected=corrected,
+            )
 
         seconds, flops = meter.snapshot()
         return SpmvResult(
@@ -237,6 +197,109 @@ class FaultTolerantSpMV:
             flops=flops - start_flops,
             exhausted=exhausted,
         )
+
+    def _correction_rounds(
+        self,
+        b: np.ndarray,
+        r: np.ndarray,
+        t1: np.ndarray,
+        beta: float,
+        flagged: np.ndarray,
+        tamper: Optional[TamperHook],
+        meter: ExecutionMeter,
+        *,
+        detected: List[Tuple[int, ...]],
+        corrected: Set[int],
+        rounds: int = 0,
+    ) -> Tuple[int, bool]:
+        """Figure 1 step 5: correct + re-verify until clean.
+
+        Shared by :meth:`multiply` and the planned execution path
+        (:class:`repro.perf.ProtectedPlan`): runs correction rounds until
+        ``flagged`` is empty or the round budget runs out, mutating
+        ``detected``/``corrected`` in place and returning the final
+        ``(rounds, exhausted)`` pair.  ``rounds`` seeds the round counter
+        so a caller that already performed in-shard corrections continues
+        the budget rather than restarting it.
+        """
+        detector = self.detector
+        matrix = detector.matrix
+        telemetry = detector.telemetry
+        exhausted = False
+        while flagged.size:
+            if rounds >= self.config.max_correction_rounds:
+                exhausted = True
+                break
+            rounds += 1
+            if telemetry.enabled:
+                telemetry.count("abft.corrections")
+                telemetry.count("abft.blocks_recomputed", float(flagged.size))
+                telemetry.observe(
+                    "abft.block_recompute_fraction",
+                    flagged.size / detector.n_blocks,
+                    buckets=DEFAULT_FRACTION_BUCKETS,
+                )
+            with telemetry.span(
+                "abft.correct", round=rounds, blocks=int(flagged.size)
+            ):
+                outcome = correct_blocks(
+                    matrix, detector.partition, b, r, flagged, tamper,
+                    kernel=detector.kernels,
+                )
+                corrected.update(int(x) for x in flagged)
+
+                refresh = rounds >= 2
+                refreshed_nnz = 0
+                if refresh:
+                    refreshed_nnz = self._refresh_operand_checksums(
+                        b, t1, flagged, tamper
+                    )
+
+                recheck = detector.checksum.result_checksums_for_blocks(
+                    r, flagged, kernel=detector.kernels
+                )
+                self._tamper(tamper, "t2", recheck, 2.0 * outcome.rows_recomputed)
+                report = detector.compare(t1[flagged], recheck, beta, blocks=flagged)
+
+            meter.run_graph(
+                self._correction_graph(
+                    rounds, outcome.nnz_recomputed, outcome.rows_recomputed,
+                    len(flagged), refreshed_nnz,
+                )
+            )
+            flagged = report.flagged
+            detected.append(tuple(int(x) for x in flagged))
+        return rounds, exhausted
+
+    def planned(self, n_shards: Optional[int] = None) -> "ProtectedPlan":
+        """The cached execution plan for this operator (see
+        :class:`repro.perf.ProtectedPlan`).
+
+        Building a plan precomputes shard boundaries and preallocates all
+        detection buffers; steady-state callers (e.g. the PCG loop) call
+        this every iteration and hit the cache after the first build — a
+        hit bumps the ``plan.cache_hits`` counter when telemetry is on.
+
+        Args:
+            n_shards: shard count; None derives it from the configured
+                kernel set (the worker count for ``"parallel"``, 1 for
+                serial kernel sets).
+        """
+        from repro.kernels.parallel import ParallelKernels
+        from repro.perf.plan import ProtectedPlan
+
+        if n_shards is None:
+            kernels = self.detector.kernels
+            inner = getattr(kernels, "inner", kernels)
+            n_shards = inner.n_workers if isinstance(inner, ParallelKernels) else 1
+        plan = self._plan
+        if plan is not None and plan.n_shards == n_shards:
+            if self.telemetry.enabled:
+                self.telemetry.count("plan.cache_hits")
+            return plan
+        plan = ProtectedPlan(self, n_shards=n_shards)
+        self._plan = plan
+        return plan
 
     def plain_multiply(
         self,

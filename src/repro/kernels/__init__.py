@@ -1,10 +1,13 @@
 """Named, registry-dispatched implementations of the ABFT hot-path kernels.
 
-Two kernel sets ship built in:
+Three kernel sets ship built in:
 
 * ``"naive"`` — the reference per-block Python loops;
 * ``"vectorized"`` — batched segment-sum versions of the same kernels
-  (the default).
+  (the default);
+* ``"parallel"`` — the vectorized kernels sharded nnz-balanced across a
+  thread pool (bit-identical results; worker count via
+  ``REPRO_KERNEL_WORKERS``).
 
 Selection: ``AbftConfig(kernel="...")`` (or the ``kernel=`` argument the
 core entry points accept), overridden process-wide by the
@@ -13,6 +16,7 @@ tests every registered pair over a corpus of edge-case matrices.
 """
 
 from repro.kernels.base import (
+    BUILTIN_KERNELS,
     DEFAULT_KERNEL,
     KERNEL_ENV_VAR,
     KernelSet,
@@ -26,16 +30,20 @@ from repro.kernels.base import (
     validate_blocks,
 )
 from repro.kernels.naive import NaiveKernels
+from repro.kernels.parallel import ParallelKernels
 from repro.kernels.vectorized import VectorizedKernels
 
 register_kernels(NaiveKernels())
 register_kernels(VectorizedKernels())
+register_kernels(ParallelKernels())
 
 __all__ = [
+    "BUILTIN_KERNELS",
     "DEFAULT_KERNEL",
     "KERNEL_ENV_VAR",
     "KernelSet",
     "NaiveKernels",
+    "ParallelKernels",
     "VectorizedKernels",
     "available_kernels",
     "get_kernels",

@@ -98,14 +98,21 @@ def flat_segment_indices(
     return indices, offsets
 
 
-def segment_sums(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+def segment_sums(
+    values: np.ndarray, offsets: np.ndarray, out: Optional[np.ndarray] = None
+) -> np.ndarray:
     """Sum ``values`` over segments ``[offsets[i], offsets[i+1])``.
 
     Empty segments yield 0 (``np.add.reduceat`` alone would repeat the
-    next segment's leading element instead).
+    next segment's leading element instead).  ``out``, when given, must be
+    a float64 array of length ``offsets.size - 1``; it is overwritten and
+    returned, avoiding the allocation on planned hot paths.
     """
     n_segments = offsets.size - 1
-    out = np.zeros(n_segments, dtype=np.float64)
+    if out is None:
+        out = np.zeros(max(n_segments, 0), dtype=np.float64)
+    else:
+        out[:] = 0.0
     if values.size == 0 or n_segments == 0:
         return out
     lengths = np.diff(offsets)
@@ -149,9 +156,19 @@ class KernelSet(abc.ABC):
     # -- detection ---------------------------------------------------------
     @abc.abstractmethod
     def result_checksums(
-        self, weights: np.ndarray, r: np.ndarray, partition: "BlockPartition"
+        self,
+        weights: np.ndarray,
+        r: np.ndarray,
+        partition: "BlockPartition",
+        out: Optional[np.ndarray] = None,
+        workspace: Optional[np.ndarray] = None,
     ) -> np.ndarray:
-        """``t2_k = w_k^T r_k`` over all blocks."""
+        """``t2_k = w_k^T r_k`` over all blocks.
+
+        ``out`` (float64, length ``n_blocks``) and ``workspace`` (float64,
+        length ``n_rows``) let planned callers reuse buffers; when given
+        they are overwritten and ``out`` is returned.
+        """
 
     @abc.abstractmethod
     def result_checksums_for_blocks(
@@ -160,8 +177,13 @@ class KernelSet(abc.ABC):
         r: np.ndarray,
         partition: "BlockPartition",
         blocks: np.ndarray,
+        out: Optional[np.ndarray] = None,
     ) -> np.ndarray:
-        """``t2`` restricted to ``blocks`` (the re-verification path)."""
+        """``t2`` restricted to ``blocks`` (the re-verification path).
+
+        ``out`` (float64, length ``blocks.size``) is overwritten and
+        returned when given.
+        """
 
     @abc.abstractmethod
     def compare_syndromes(
@@ -268,9 +290,13 @@ def register_kernels(impl: KernelSet, overwrite: bool = False) -> KernelSet:
     return impl
 
 
+#: Kernel sets that ship with the library and can never be unregistered.
+BUILTIN_KERNELS = ("naive", "vectorized", "parallel")
+
+
 def unregister_kernels(name: str) -> None:
     """Remove a registered kernel set (primarily for test isolation)."""
-    if name in ("naive", "vectorized"):
+    if name in BUILTIN_KERNELS:
         raise ConfigurationError(f"built-in kernel set {name!r} cannot be removed")
     _REGISTRY.pop(name, None)
 

@@ -70,9 +70,17 @@ class NaiveKernels(KernelSet):
 
     # -- detection ---------------------------------------------------------
     def result_checksums(
-        self, weights: np.ndarray, r: np.ndarray, partition: "BlockPartition"
+        self,
+        weights: np.ndarray,
+        r: np.ndarray,
+        partition: "BlockPartition",
+        out: Optional[np.ndarray] = None,
+        workspace: Optional[np.ndarray] = None,
     ) -> np.ndarray:
-        out = np.empty(partition.n_blocks, dtype=np.float64)
+        # The per-block dots need no scratch vector; ``workspace`` is
+        # accepted for interface parity and ignored.
+        if out is None:
+            out = np.empty(partition.n_blocks, dtype=np.float64)
         with np.errstate(invalid="ignore", over="ignore"):
             for block, start, stop in partition:
                 # reprolint: disable=ABFT002 -- this dot IS the reference
@@ -86,9 +94,11 @@ class NaiveKernels(KernelSet):
         r: np.ndarray,
         partition: "BlockPartition",
         blocks: np.ndarray,
+        out: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         blocks = validate_blocks(blocks, partition.n_blocks)
-        out = np.empty(blocks.size, dtype=np.float64)
+        if out is None:
+            out = np.empty(blocks.size, dtype=np.float64)
         with np.errstate(invalid="ignore", over="ignore"):
             for i, block in enumerate(blocks):
                 start, stop = partition.bounds(int(block))

@@ -1,0 +1,384 @@
+"""Shard-parallel kernel set executing on a shared thread pool.
+
+NumPy releases the GIL inside the ufunc/``reduceat`` inner loops, so
+row-sharded segment reductions genuinely overlap on multi-core hosts.
+:class:`ParallelKernels` subclasses the vectorized set and overrides the
+block-batched operations to run nnz-balanced contiguous shards
+(:mod:`repro.perf.sharding`) on a process-wide
+:class:`~concurrent.futures.ThreadPoolExecutor`.
+
+Numerical contract: every block's reduction is computed with exactly the
+vectorized kernels' left-to-right segment order, and shards align to
+block boundaries — so results are **bit-identical** to the vectorized set
+and across worker counts (the differential suite and the seeded
+determinism tests pin this).
+
+Two escape hatches keep semantics and small-input latency intact:
+
+* tamper-hook paths stay serial (the hook-call sequence — one call per
+  block, in order — is part of the kernel contract);
+* inputs below :attr:`ParallelKernels.serial_cutoff` work units skip the
+  pool entirely and run the inherited vectorized code.
+
+Worker count: the ``n_workers`` constructor argument wins; otherwise the
+``REPRO_KERNEL_WORKERS`` environment variable; otherwise
+``min(4, os.cpu_count())``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.kernels.base import Tamper, validate_blocks
+from repro.kernels.vectorized import VectorizedKernels, _check_operand
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (annotations only)
+    from repro.core.blocking import BlockPartition
+    from repro.sparse.csr import CsrMatrix
+
+#: Environment variable selecting the worker count for parallel kernels.
+WORKERS_ENV_VAR = "REPRO_KERNEL_WORKERS"
+
+#: Default upper bound on workers when the environment does not choose.
+DEFAULT_MAX_WORKERS = 4
+
+#: Below this many work units (rows + nnz touched) threading overhead
+#: exceeds the win; the inherited serial vectorized code runs instead.
+DEFAULT_SERIAL_CUTOFF = 1 << 15
+
+_EXECUTORS: Dict[int, ThreadPoolExecutor] = {}
+_EXECUTORS_LOCK = threading.Lock()
+
+
+def default_workers() -> int:
+    """Resolve the worker count from the environment / host CPU count."""
+    env = os.environ.get(WORKERS_ENV_VAR)
+    if env:
+        try:
+            value = int(env)
+        except ValueError:
+            raise ConfigurationError(
+                f"{WORKERS_ENV_VAR} must be a positive integer, got {env!r}"
+            ) from None
+        if value < 1:
+            raise ConfigurationError(
+                f"{WORKERS_ENV_VAR} must be a positive integer, got {env!r}"
+            )
+        return value
+    return min(DEFAULT_MAX_WORKERS, os.cpu_count() or 1)
+
+
+def get_executor(n_workers: int) -> ThreadPoolExecutor:
+    """Process-wide executor for ``n_workers`` (created lazily, reused).
+
+    Shared by the parallel kernel set and :class:`repro.perf.ProtectedPlan`
+    so repeated multiplies never pay thread start-up costs.
+    """
+    if n_workers < 1:
+        raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
+    with _EXECUTORS_LOCK:
+        executor = _EXECUTORS.get(n_workers)
+        if executor is None:
+            executor = ThreadPoolExecutor(
+                max_workers=n_workers, thread_name_prefix=f"repro-kern{n_workers}"
+            )
+            _EXECUTORS[n_workers] = executor
+        return executor
+
+
+def _work_prefix(lengths: np.ndarray) -> np.ndarray:
+    """Cumulative work prefix (``[0, ...]``) from per-item work amounts."""
+    prefix = np.zeros(lengths.size + 1, dtype=np.int64)
+    # reprolint: disable=ABFT002 -- integer work prefix; exact in any order
+    np.cumsum(lengths, out=prefix[1:])
+    return prefix
+
+
+class ParallelKernels(VectorizedKernels):
+    """Thread-sharded variants of the block-batched vectorized kernels.
+
+    Args:
+        n_workers: shard/worker count; ``None`` resolves dynamically per
+            call (``REPRO_KERNEL_WORKERS`` env, else ``min(4, cpus)``).
+        serial_cutoff: work-unit threshold below which calls run serially;
+            pass 0 to force threading even on tiny inputs (tests do).
+    """
+
+    name = "parallel"
+
+    def __init__(
+        self,
+        n_workers: Optional[int] = None,
+        serial_cutoff: int = DEFAULT_SERIAL_CUTOFF,
+    ) -> None:
+        if n_workers is not None and n_workers < 1:
+            raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
+        if serial_cutoff < 0:
+            raise ConfigurationError(
+                f"serial_cutoff must be >= 0, got {serial_cutoff}"
+            )
+        self._n_workers = n_workers
+        self.serial_cutoff = serial_cutoff
+
+    @property
+    def n_workers(self) -> int:
+        """Effective worker count for the next dispatched call."""
+        return self._n_workers if self._n_workers is not None else default_workers()
+
+    # ------------------------------------------------------------------
+    # Shard execution
+    # ------------------------------------------------------------------
+    def _run_shards(self, fn: Callable[[int], None], n_shards: int) -> None:
+        """Execute ``fn(0..n_shards-1)``; threads only when it can help."""
+        if n_shards <= 1:
+            if n_shards == 1:
+                fn(0)
+            return
+        executor = get_executor(self.n_workers)
+        futures = [executor.submit(fn, i) for i in range(n_shards)]
+        for future in futures:
+            future.result()
+
+    def _cuts(self, work_prefix: np.ndarray) -> np.ndarray:
+        from repro.perf.sharding import balanced_cuts
+
+        return balanced_cuts(work_prefix, self.n_workers)
+
+    def _serial(self, total_work: int, n_items: int) -> bool:
+        return n_items <= 1 or self.n_workers <= 1 or total_work < self.serial_cutoff
+
+    # ------------------------------------------------------------------
+    # Detection
+    # ------------------------------------------------------------------
+    def result_checksums(
+        self,
+        weights: np.ndarray,
+        r: np.ndarray,
+        partition: "BlockPartition",
+        out: Optional[np.ndarray] = None,
+        workspace: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        n_blocks = partition.n_blocks
+        if n_blocks == 0 or self._serial(r.size, n_blocks):
+            return super().result_checksums(
+                weights, r, partition, out=out, workspace=workspace
+            )
+        if out is None:
+            out = np.empty(n_blocks, dtype=np.float64)
+        starts = partition.block_starts()
+        cuts = self._cuts(starts)
+
+        def shard(i: int) -> None:
+            b0, b1 = int(cuts[i]), int(cuts[i + 1])
+            lo, hi = int(starts[b0]), int(starts[b1])
+            with np.errstate(invalid="ignore", over="ignore"):
+                if workspace is None:
+                    weighted = weights[lo:hi] * r[lo:hi]
+                else:
+                    weighted = workspace[lo:hi]
+                    np.multiply(weights[lo:hi], r[lo:hi], out=weighted)
+                # reprolint: disable=ABFT002 -- identical per-block reduceat
+                # order as the vectorized set; shards align to block starts
+                np.add.reduceat(weighted, starts[b0:b1] - lo, out=out[b0:b1])
+
+        self._run_shards(shard, cuts.size - 1)
+        return out
+
+    def result_checksums_for_blocks(
+        self,
+        weights: np.ndarray,
+        r: np.ndarray,
+        partition: "BlockPartition",
+        blocks: np.ndarray,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        blocks = validate_blocks(blocks, partition.n_blocks)
+        starts = partition.block_starts()
+        span = starts[blocks + 1] - starts[blocks] if blocks.size else blocks
+        # reprolint: disable=ABFT002 -- integer work/count accounting; exact in any order
+        total = int(span.sum()) if blocks.size else 0
+        if self._serial(total, blocks.size):
+            return super().result_checksums_for_blocks(
+                weights, r, partition, blocks, out=out
+            )
+        if out is None:
+            out = np.empty(blocks.size, dtype=np.float64)
+        cuts = self._cuts(_work_prefix(span))
+
+        def shard(i: int) -> None:
+            c0, c1 = int(cuts[i]), int(cuts[i + 1])
+            VectorizedKernels.result_checksums_for_blocks(
+                self, weights, r, partition, blocks[c0:c1], out=out[c0:c1]
+            )
+
+        self._run_shards(shard, cuts.size - 1)
+        return out
+
+    # ------------------------------------------------------------------
+    # Correction
+    # ------------------------------------------------------------------
+    def correct_blocks(
+        self,
+        matrix: "CsrMatrix",
+        partition: "BlockPartition",
+        b: np.ndarray,
+        r: np.ndarray,
+        blocks: np.ndarray,
+        tamper: Tamper = None,
+    ) -> Tuple[int, int]:
+        blocks = validate_blocks(blocks, partition.n_blocks)
+        if tamper is not None:
+            # The hook-call sequence (one call per block, in order) is part
+            # of the kernel contract; fault campaigns stay serial.
+            return super().correct_blocks(matrix, partition, b, r, blocks, tamper)
+        b = _check_operand(matrix, b)
+        starts = partition.block_starts()
+        work = (
+            matrix.indptr[starts[blocks + 1]]
+            - matrix.indptr[starts[blocks]]
+            + (starts[blocks + 1] - starts[blocks])
+            if blocks.size
+            else blocks
+        )
+        # reprolint: disable=ABFT002 -- integer work/count accounting; exact in any order
+        total = int(work.sum()) if blocks.size else 0
+        if self._serial(total, blocks.size):
+            return super().correct_blocks(matrix, partition, b, r, blocks, None)
+        cuts = self._cuts(_work_prefix(work))
+        counts: List[Tuple[int, int]] = [(0, 0)] * (cuts.size - 1)
+
+        def shard(i: int) -> None:
+            c0, c1 = int(cuts[i]), int(cuts[i + 1])
+            counts[i] = VectorizedKernels.correct_blocks(
+                self, matrix, partition, b, r, blocks[c0:c1], None
+            )
+
+        self._run_shards(shard, cuts.size - 1)
+        # reprolint: disable=ABFT002 -- integer work/count accounting; exact in any order
+        return sum(c[0] for c in counts), sum(c[1] for c in counts)
+
+    def row_checksums(
+        self, csr: "CsrMatrix", rows: np.ndarray, b: np.ndarray
+    ) -> Tuple[np.ndarray, int]:
+        rows = validate_blocks(rows, csr.n_rows)
+        work = csr.indptr[rows + 1] - csr.indptr[rows] + 1 if rows.size else rows
+        # reprolint: disable=ABFT002 -- integer work/count accounting; exact in any order
+        total = int(work.sum()) if rows.size else 0
+        if self._serial(total, rows.size):
+            return super().row_checksums(csr, rows, b)
+        b = _check_operand(csr, b)
+        values = np.empty(rows.size, dtype=np.float64)
+        cuts = self._cuts(_work_prefix(work))
+        counts: List[int] = [0] * (cuts.size - 1)
+
+        def shard(i: int) -> None:
+            c0, c1 = int(cuts[i]), int(cuts[i + 1])
+            vals, nnz = VectorizedKernels.row_checksums(self, csr, rows[c0:c1], b)
+            values[c0:c1] = vals
+            counts[i] = nnz
+
+        self._run_shards(shard, cuts.size - 1)
+        # reprolint: disable=ABFT002 -- integer work/count accounting; exact in any order
+        return values, sum(counts)
+
+    # ------------------------------------------------------------------
+    # Multi-RHS (SpMM)
+    # ------------------------------------------------------------------
+    def result_checksums_multi(
+        self,
+        r: np.ndarray,
+        partition: "BlockPartition",
+        weights: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        n_blocks = partition.n_blocks
+        if n_blocks == 0 or self._serial(r.size, n_blocks):
+            return super().result_checksums_multi(r, partition, weights)
+        out = np.empty((n_blocks, r.shape[1]), dtype=np.float64)
+        starts = partition.block_starts()
+        cuts = self._cuts(starts)
+
+        def shard(i: int) -> None:
+            b0, b1 = int(cuts[i]), int(cuts[i + 1])
+            lo, hi = int(starts[b0]), int(starts[b1])
+            with np.errstate(invalid="ignore", over="ignore"):
+                values = (
+                    r[lo:hi] if weights is None else weights[lo:hi, None] * r[lo:hi]
+                )
+                # reprolint: disable=ABFT002 -- identical per-block reduceat
+                # order as the vectorized set; shards align to block starts
+                np.add.reduceat(values, starts[b0:b1] - lo, axis=0, out=out[b0:b1])
+
+        self._run_shards(shard, cuts.size - 1)
+        return out
+
+    def result_checksums_multi_for_blocks(
+        self,
+        r: np.ndarray,
+        partition: "BlockPartition",
+        blocks: np.ndarray,
+        weights: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        blocks = validate_blocks(blocks, partition.n_blocks)
+        starts = partition.block_starts()
+        span = starts[blocks + 1] - starts[blocks] if blocks.size else blocks
+        # reprolint: disable=ABFT002 -- integer work/count accounting; exact in any order
+        total = int(span.sum()) * max(r.shape[1], 1) if blocks.size else 0
+        if self._serial(total, blocks.size):
+            return super().result_checksums_multi_for_blocks(
+                r, partition, blocks, weights
+            )
+        out = np.empty((blocks.size, r.shape[1]), dtype=np.float64)
+        cuts = self._cuts(_work_prefix(span))
+
+        def shard(i: int) -> None:
+            c0, c1 = int(cuts[i]), int(cuts[i + 1])
+            out[c0:c1] = VectorizedKernels.result_checksums_multi_for_blocks(
+                self, r, partition, blocks[c0:c1], weights
+            )
+
+        self._run_shards(shard, cuts.size - 1)
+        return out
+
+    def correct_cells(
+        self,
+        matrix: "CsrMatrix",
+        partition: "BlockPartition",
+        b: np.ndarray,
+        r: np.ndarray,
+        cells: np.ndarray,
+        tamper: Tamper = None,
+    ) -> Tuple[int, int]:
+        cells = np.asarray(cells, dtype=np.int64).reshape(-1, 2)
+        if tamper is not None:
+            return super().correct_cells(matrix, partition, b, r, cells, tamper)
+        blocks = validate_blocks(cells[:, 0], partition.n_blocks)
+        starts = partition.block_starts()
+        work = (
+            matrix.indptr[starts[blocks + 1]]
+            - matrix.indptr[starts[blocks]]
+            + (starts[blocks + 1] - starts[blocks])
+            if blocks.size
+            else blocks
+        )
+        # reprolint: disable=ABFT002 -- integer work/count accounting; exact in any order
+        total = int(work.sum()) if blocks.size else 0
+        if self._serial(total, cells.shape[0]):
+            return super().correct_cells(matrix, partition, b, r, cells, None)
+        cuts = self._cuts(_work_prefix(work))
+        counts: List[Tuple[int, int]] = [(0, 0)] * (cuts.size - 1)
+
+        def shard(i: int) -> None:
+            c0, c1 = int(cuts[i]), int(cuts[i + 1])
+            counts[i] = VectorizedKernels.correct_cells(
+                self, matrix, partition, b, r, cells[c0:c1], None
+            )
+
+        self._run_shards(shard, cuts.size - 1)
+        # reprolint: disable=ABFT002 -- integer work/count accounting; exact in any order
+        return sum(c[0] for c in counts), sum(c[1] for c in counts)

@@ -71,17 +71,31 @@ class VectorizedKernels(KernelSet):
 
     # -- detection ---------------------------------------------------------
     def result_checksums(
-        self, weights: np.ndarray, r: np.ndarray, partition: "BlockPartition"
+        self,
+        weights: np.ndarray,
+        r: np.ndarray,
+        partition: "BlockPartition",
+        out: Optional[np.ndarray] = None,
+        workspace: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         if partition.n_blocks == 0:
-            return np.empty(0, dtype=np.float64)
+            return out if out is not None else np.empty(0, dtype=np.float64)
         # Corrupted results may contain inf/NaN; they must propagate into
         # the checksums silently (detection flags them downstream).
         with np.errstate(invalid="ignore", over="ignore"):
-            weighted = weights * r
-            # reprolint: disable=ABFT002 -- left-to-right segment order is the
-            # kernel contract, differentially tested against the naive set
-            return np.add.reduceat(weighted, partition.block_starts()[:-1])
+            if workspace is None:
+                weighted = weights * r
+            else:
+                np.multiply(weights, r, out=workspace)
+                weighted = workspace
+            starts = partition.block_starts()[:-1]
+            if out is None:
+                # reprolint: disable=ABFT002 -- left-to-right segment order is
+                # the kernel contract, differentially tested against naive
+                return np.add.reduceat(weighted, starts)
+            # reprolint: disable=ABFT002 -- same reduction into a caller buffer
+            np.add.reduceat(weighted, starts, out=out)
+            return out
 
     def result_checksums_for_blocks(
         self,
@@ -89,14 +103,15 @@ class VectorizedKernels(KernelSet):
         r: np.ndarray,
         partition: "BlockPartition",
         blocks: np.ndarray,
+        out: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         blocks = validate_blocks(blocks, partition.n_blocks)
         if blocks.size == 0:
-            return np.empty(0, dtype=np.float64)
+            return out if out is not None else np.empty(0, dtype=np.float64)
         starts = partition.block_starts()
         indices, offsets = flat_segment_indices(starts[blocks], starts[blocks + 1])
         with np.errstate(invalid="ignore", over="ignore"):
-            return segment_sums(weights[indices] * r[indices], offsets)
+            return segment_sums(weights[indices] * r[indices], offsets, out=out)
 
     def compare_syndromes(
         self, t1: np.ndarray, t2: np.ndarray, thresholds: np.ndarray

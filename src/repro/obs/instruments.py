@@ -20,6 +20,7 @@ everywhere or nowhere.
 from __future__ import annotations
 
 import math
+import threading
 from bisect import bisect_right
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -65,7 +66,12 @@ DEFAULT_FRACTION_BUCKETS = log_buckets(1e-4, 1.0, per_decade=1)
 
 
 class Instrument:
-    """Base class: a named aggregate with a one-line snapshot."""
+    """Base class: a named aggregate with a one-line snapshot.
+
+    Updates are guarded by a per-instrument lock so instruments shared
+    across threads (one process-wide telemetry, protected multiplies on a
+    pool) aggregate exactly — ``+=`` on a float is not atomic in Python.
+    """
 
     kind: str = "abstract"
 
@@ -73,6 +79,7 @@ class Instrument:
         if not name:
             raise ConfigurationError("instrument name must be non-empty")
         self.name = name
+        self._lock = threading.Lock()
 
     def snapshot(self) -> SnapshotValue:
         """Aggregate state as a JSON-friendly value."""
@@ -95,7 +102,8 @@ class Counter(Instrument):
                 f"counter {self.name!r} increments must be finite and >= 0, "
                 f"got {amount!r}"
             )
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def snapshot(self) -> float:
         return self.value
@@ -113,8 +121,9 @@ class Gauge(Instrument):
 
     def set(self, value: float) -> None:
         """Record a measurement (non-finite values are allowed and kept)."""
-        self.value = float(value)
-        self.updates += 1
+        with self._lock:
+            self.value = float(value)
+            self.updates += 1
 
     def snapshot(self) -> float:
         return self.value
@@ -151,14 +160,15 @@ class Histogram(Instrument):
     def observe(self, value: float) -> None:
         """Record one observation."""
         value = float(value)
-        if math.isnan(value):
-            self.nan_count += 1
-            return
-        self.counts[bisect_right(self.edges, value)] += 1
-        self.count += 1
-        self.sum += value
-        self.min = min(self.min, value)
-        self.max = max(self.max, value)
+        with self._lock:
+            if math.isnan(value):
+                self.nan_count += 1
+                return
+            self.counts[bisect_right(self.edges, value)] += 1
+            self.count += 1
+            self.sum += value
+            self.min = min(self.min, value)
+            self.max = max(self.max, value)
 
     @property
     def mean(self) -> float:
@@ -187,14 +197,16 @@ class Registry:
 
     def __init__(self) -> None:
         self._instruments: Dict[str, Instrument] = {}
+        self._lock = threading.Lock()
 
     def counter(self, name: str) -> Counter:
         """Get or create the counter called ``name``."""
-        instrument = self._instruments.get(name)
-        if instrument is None:
-            instrument = Counter(name)
-            self._instruments[name] = instrument
-        elif not isinstance(instrument, Counter):
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = Counter(name)
+                self._instruments[name] = instrument
+        if not isinstance(instrument, Counter):
             raise ConfigurationError(
                 f"instrument {name!r} is a {instrument.kind}, not a counter"
             )
@@ -202,11 +214,12 @@ class Registry:
 
     def gauge(self, name: str) -> Gauge:
         """Get or create the gauge called ``name``."""
-        instrument = self._instruments.get(name)
-        if instrument is None:
-            instrument = Gauge(name)
-            self._instruments[name] = instrument
-        elif not isinstance(instrument, Gauge):
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = Gauge(name)
+                self._instruments[name] = instrument
+        if not isinstance(instrument, Gauge):
             raise ConfigurationError(
                 f"instrument {name!r} is a {instrument.kind}, not a gauge"
             )
@@ -221,15 +234,17 @@ class Registry:
         *different* explicit edges is a configuration error (omitting
         ``buckets`` accepts whatever the histogram was created with).
         """
-        instrument = self._instruments.get(name)
-        if instrument is None:
-            instrument = Histogram(name, buckets)
-            self._instruments[name] = instrument
-        elif not isinstance(instrument, Histogram):
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = Histogram(name, buckets)
+                self._instruments[name] = instrument
+                return instrument
+        if not isinstance(instrument, Histogram):
             raise ConfigurationError(
                 f"instrument {name!r} is a {instrument.kind}, not a histogram"
             )
-        elif buckets is not None and tuple(float(e) for e in buckets) != instrument.edges:
+        if buckets is not None and tuple(float(e) for e in buckets) != instrument.edges:
             raise ConfigurationError(
                 f"histogram {name!r} already exists with different buckets"
             )

@@ -26,6 +26,7 @@ protected multiply around it and the PCG loop above both — all configured
 from __future__ import annotations
 
 import os
+import threading
 import time
 from types import TracebackType
 from typing import Callable, Dict, List, Optional, Tuple, Type, Union
@@ -151,7 +152,17 @@ class Telemetry:
         self._clock: Clock = clock if clock is not None else time.perf_counter
         self._enabled = bool(enabled)
         self.registry = Registry()
-        self._span_stack: List[Span] = []
+        self._local = threading.local()
+
+    @property
+    def _span_stack(self) -> List[Span]:
+        """The calling thread's span stack (spans nest per thread, so a
+        worker's shard span never adopts another thread's parent)."""
+        stack: Optional[List[Span]] = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
 
     @classmethod
     def disabled(cls) -> "Telemetry":

@@ -68,12 +68,19 @@ class TimedKernels(KernelSet):
 
     # -- detection ---------------------------------------------------------
     def result_checksums(
-        self, weights: np.ndarray, r: np.ndarray, partition: "BlockPartition"
+        self,
+        weights: np.ndarray,
+        r: np.ndarray,
+        partition: "BlockPartition",
+        out: Optional[np.ndarray] = None,
+        workspace: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         t0 = self._telemetry.now()
-        out = self.inner.result_checksums(weights, r, partition)
+        result = self.inner.result_checksums(
+            weights, r, partition, out=out, workspace=workspace
+        )
         self._record("result_checksums", t0)
-        return out
+        return result
 
     def result_checksums_for_blocks(
         self,
@@ -81,11 +88,14 @@ class TimedKernels(KernelSet):
         r: np.ndarray,
         partition: "BlockPartition",
         blocks: np.ndarray,
+        out: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         t0 = self._telemetry.now()
-        out = self.inner.result_checksums_for_blocks(weights, r, partition, blocks)
+        result = self.inner.result_checksums_for_blocks(
+            weights, r, partition, blocks, out=out
+        )
         self._record("result_checksums_for_blocks", t0)
-        return out
+        return result
 
     def compare_syndromes(
         self, t1: np.ndarray, t2: np.ndarray, thresholds: np.ndarray

@@ -1,0 +1,34 @@
+"""repro.perf — planned, shard-parallel execution for the protected SpMV.
+
+The paper's overhead argument assumes the detection stream rides along a
+well-executed SpMV; this package makes the *execution* side real:
+
+* :func:`balanced_cuts` / :func:`shard_rows` / :func:`shard_blocks` —
+  nnz-balanced (not row-count-balanced) contiguous shard boundaries,
+  optionally aligned to checksum-block starts so a block never straddles
+  a shard;
+* :class:`SpmvPlan` — a reusable execution plan for ``y = A b`` on a
+  fixed matrix: per-shard index/scratch views are precomputed once and
+  every :meth:`SpmvPlan.execute` reuses them, performing no new array
+  allocations;
+* :class:`ProtectedPlan` — the planned protected multiply: for a fixed
+  ``(matrix, partition, checksum)`` triple the steady-state loop (SpMV,
+  operand/result checksums, bound, syndrome compare) runs entirely in
+  preallocated buffers, and with a ``parallel`` kernel backend each
+  shard fuses its multiply with its own detection and first correction
+  round.
+
+Plans are built via :meth:`repro.core.FaultTolerantSpMV.planned`, which
+caches one plan per operator (``plan.cache_hits`` telemetry counter).
+"""
+
+from repro.perf.plan import ProtectedPlan, SpmvPlan
+from repro.perf.sharding import balanced_cuts, shard_blocks, shard_rows
+
+__all__ = [
+    "SpmvPlan",
+    "ProtectedPlan",
+    "balanced_cuts",
+    "shard_blocks",
+    "shard_rows",
+]

@@ -1,0 +1,603 @@
+"""Zero-allocation execution plans for the protected multiply.
+
+Steady-state callers — above all :func:`repro.solvers.ft_pcg.run_pcg`,
+which executes the same protected SpMV hundreds of times on one matrix —
+pay a real price for per-call array allocation: every multiply used to
+materialize an nnz-sized product scratch, the result vector, both
+checksum vectors and the comparison temporaries.  A plan precomputes, for
+a fixed ``(matrix, block partition, checksum)`` triple, everything that
+does not depend on the operand:
+
+* nnz-balanced shard row ranges aligned to checksum-block boundaries
+  (:mod:`repro.perf.sharding`), with per-shard ``indptr`` slices and
+  ``reduceat`` offsets resolved once;
+* one set of output / scratch buffers (result, product workspace, t1,
+  t2, syndrome, thresholds, flag masks) reused by every call;
+* the per-block beta coefficients of the rounding-error bound, so each
+  detection fills its threshold buffer with one in-place multiply;
+* the simulated makespan of the detection task graph, charged with a
+  single :meth:`~repro.machine.ExecutionMeter.advance` per call.
+
+After the first call the steady-state loop performs **no new array
+allocations** (the tracemalloc regression test pins this), and every
+value it produces is bit-identical to the unplanned
+:meth:`repro.core.protected.FaultTolerantSpMV.multiply`.
+
+When the operator is configured with the ``"parallel"`` kernel set and
+the plan has more than one shard, clean multiplies run *fused*: each
+worker executes its shard's SpMV, operand checksum, result checksum and
+invariant comparison in one task, and a flagged block is recomputed by
+the worker that owns it.  Fault campaigns (a tamper hook) fall back to
+the sequential path — the hook-call sequence is part of the contract.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.detector import DetectionReport
+from repro.errors import ConfigurationError, ShapeMismatchError
+from repro.kernels.parallel import ParallelKernels, get_executor
+from repro.kernels.vectorized import VectorizedKernels
+from repro.machine import ExecutionMeter
+from repro.obs import DEFAULT_FRACTION_BUCKETS, Telemetry
+from repro.perf.sharding import shard_blocks
+from repro.sparse.csr import CsrMatrix
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (annotations only)
+    from repro.core.corrector import TamperHook
+    from repro.core.protected import FaultTolerantSpMV, SpmvResult
+
+
+class _SpmvShard:
+    """Precomputed views and offsets for one contiguous row range."""
+
+    __slots__ = (
+        "row_start", "row_stop", "indices", "data", "workspace", "segment",
+        "starts", "scatter", "reduced",
+    )
+
+    def __init__(
+        self,
+        row_start: int,
+        row_stop: int,
+        indices: np.ndarray,
+        data: np.ndarray,
+        workspace: np.ndarray,
+        segment: np.ndarray,
+        starts: np.ndarray,
+        scatter: Optional[np.ndarray],
+        reduced: Optional[np.ndarray],
+    ) -> None:
+        self.row_start = row_start
+        self.row_stop = row_stop
+        self.indices = indices
+        self.data = data
+        self.workspace = workspace
+        self.segment = segment
+        self.starts = starts
+        self.scatter = scatter
+        self.reduced = reduced
+
+
+class SpmvPlan:
+    """A reusable, sharded SpMV schedule for one CSR matrix.
+
+    The plan owns its result buffer (:attr:`out`, length ``n_rows``) and
+    an nnz-sized product workspace; :meth:`execute` overwrites and
+    returns :attr:`out`, so the value is only valid until the next call.
+    Results are bit-identical to :meth:`repro.sparse.csr.CsrMatrix.matvec`
+    for any shard count: shards are contiguous row spans, and every row's
+    left-to-right segment reduction is unchanged.
+
+    Args:
+        matrix: the CSR matrix to plan for.
+        n_shards: requested shard count; ignored when ``row_cuts`` given.
+        row_cuts: explicit strictly increasing shard boundaries
+            ``[0, ..., n_rows]`` (e.g. block-aligned cuts); ``None``
+            derives nnz-balanced cuts from the matrix.
+    """
+
+    def __init__(
+        self,
+        matrix: CsrMatrix,
+        n_shards: int = 1,
+        row_cuts: Optional[np.ndarray] = None,
+    ) -> None:
+        from repro.perf.sharding import shard_rows
+
+        if row_cuts is None:
+            row_cuts = shard_rows(matrix.indptr, n_shards)
+        else:
+            row_cuts = np.asarray(row_cuts, dtype=np.int64)
+            if (
+                row_cuts.ndim != 1
+                or row_cuts.size < 1
+                or row_cuts[0] != 0
+                or row_cuts[-1] != matrix.n_rows
+                or np.any(np.diff(row_cuts) <= 0)
+            ):
+                raise ConfigurationError(
+                    "row_cuts must be strictly increasing, start at 0 and "
+                    f"end at n_rows={matrix.n_rows}; got {row_cuts!r}"
+                )
+        self.matrix = matrix
+        self.row_cuts = row_cuts
+        self.out = np.empty(matrix.n_rows, dtype=np.float64)
+        self.workspace = np.empty(matrix.nnz, dtype=np.float64)
+        self._shards: List[_SpmvShard] = []
+        indptr = matrix.indptr
+        lengths = matrix.row_lengths()
+        for i in range(row_cuts.size - 1):
+            r0, r1 = int(row_cuts[i]), int(row_cuts[i + 1])
+            lo, hi = int(indptr[r0]), int(indptr[r1])
+            nonempty = lengths[r0:r1] > 0
+            scatter: Optional[np.ndarray]
+            reduced: Optional[np.ndarray]
+            if bool(nonempty.all()):
+                starts = (indptr[r0:r1] - lo).astype(np.int64)
+                scatter = None
+                reduced = None
+            else:
+                scatter = np.flatnonzero(nonempty).astype(np.int64)
+                starts = (indptr[r0:r1][nonempty] - lo).astype(np.int64)
+                reduced = np.empty(scatter.size, dtype=np.float64)
+            self._shards.append(
+                _SpmvShard(
+                    row_start=r0,
+                    row_stop=r1,
+                    indices=matrix.indices[lo:hi],
+                    data=matrix.data[lo:hi],
+                    workspace=self.workspace[lo:hi],
+                    segment=self.out[r0:r1],
+                    starts=starts,
+                    scatter=scatter,
+                    reduced=reduced,
+                )
+            )
+
+    @property
+    def n_shards(self) -> int:
+        """Effective shard count (may be below the requested count)."""
+        return len(self._shards)
+
+    def execute(self, b: np.ndarray) -> np.ndarray:
+        """Run all shards sequentially; overwrite and return :attr:`out`."""
+        b = self.check_operand(b)
+        for i in range(len(self._shards)):
+            self.execute_shard(i, b)
+        return self.out
+
+    def check_operand(self, b: np.ndarray) -> np.ndarray:
+        """Validate ``b`` once (``execute_shard`` skips validation)."""
+        b = np.asarray(b, dtype=np.float64)
+        if b.shape != (self.matrix.n_cols,):
+            raise ShapeMismatchError(
+                f"operand has shape {b.shape}, expected ({self.matrix.n_cols},)"
+            )
+        return b
+
+    def execute_shard(self, i: int, b: np.ndarray) -> None:
+        """Compute result rows of shard ``i`` into the shared :attr:`out`.
+
+        ``b`` must already be a float64 vector of length ``n_cols``
+        (see :meth:`check_operand`); thread-safe across distinct shards —
+        every buffer a shard touches is owned by that shard.
+        """
+        shard = self._shards[i]
+        ws = shard.workspace
+        # mode="clip" writes the gather straight into the workspace; the
+        # default mode buffers a temporary (indices are pre-validated).
+        np.take(b, shard.indices, out=ws, mode="clip")
+        np.multiply(ws, shard.data, out=ws)
+        if shard.scatter is None:
+            np.add.reduceat(ws, shard.starts, out=shard.segment)
+        else:
+            shard.segment[:] = 0.0
+            if shard.starts.size:
+                np.add.reduceat(ws, shard.starts, out=shard.reduced)
+                shard.segment[shard.scatter] = shard.reduced
+
+
+class ProtectedPlan:
+    """A planned, bufferized protected multiply bound to one operator.
+
+    Construction precomputes block-aligned shard cuts, an
+    :class:`SpmvPlan` each for ``A`` and the checksum matrix ``C``, all
+    detection buffers, the bound's beta coefficients and the simulated
+    detection-graph makespan.  :meth:`multiply` then mirrors
+    :meth:`repro.core.protected.FaultTolerantSpMV.multiply` stage for
+    stage — same values, same tamper-hook sequence, same telemetry, same
+    simulated cost — without per-call array allocation.
+
+    The returned :class:`~repro.core.protected.SpmvResult` holds a view
+    of the plan's result buffer: it is valid until the next call on the
+    same plan (iterative solvers consume the product immediately).
+
+    Args:
+        operator: the :class:`~repro.core.protected.FaultTolerantSpMV`
+            to plan for.
+        n_shards: requested shard count (block-aligned; the effective
+            count can be lower on tiny matrices).
+    """
+
+    def __init__(self, operator: "FaultTolerantSpMV", n_shards: int = 1) -> None:
+        if n_shards < 1:
+            raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
+        detector = operator.detector
+        matrix = detector.matrix
+        partition = detector.partition
+        n_blocks = partition.n_blocks
+        self.operator = operator
+        self.n_shards = n_shards
+
+        block_starts = partition.block_starts()
+        self.block_cuts = shard_blocks(matrix.indptr, block_starts, n_shards)
+        self.spmv = SpmvPlan(matrix, row_cuts=block_starts[self.block_cuts])
+        self.checksum_spmv = SpmvPlan(
+            detector.checksum.matrix, row_cuts=self.block_cuts
+        )
+        self._weights = detector.checksum.weights
+
+        # Per-shard t2 reduceat offsets (blocks never span shards).
+        self._t2_starts: List[np.ndarray] = []
+        self._shard_rows: List[Tuple[int, int]] = []
+        self._shard_blocks: List[Tuple[int, int]] = []
+        cuts = self.block_cuts
+        for i in range(cuts.size - 1):
+            c0, c1 = int(cuts[i]), int(cuts[i + 1])
+            r0, r1 = int(block_starts[c0]), int(block_starts[c1])
+            self._shard_blocks.append((c0, c1))
+            self._shard_rows.append((r0, r1))
+            self._t2_starts.append((block_starts[c0:c1] - r0).astype(np.int64))
+
+        # Detection buffers, reused by every call.
+        self._t2 = np.empty(n_blocks, dtype=np.float64)
+        self._t2_workspace = np.empty(matrix.n_rows, dtype=np.float64)
+        self._syndrome = np.empty(n_blocks, dtype=np.float64)
+        self._abs = np.empty(n_blocks, dtype=np.float64)
+        self._thresholds = np.empty(n_blocks, dtype=np.float64)
+        self._exceeded = np.empty(n_blocks, dtype=bool)
+        self._finite = np.empty(n_blocks, dtype=bool)
+        self._all_blocks = np.arange(n_blocks, dtype=np.int64)
+        self._empty_blocks = np.empty(0, dtype=np.int64)
+        self._beta_box = np.zeros(1, dtype=np.float64)
+
+        # All analytic bounds are linear in beta; empirical bounds may not
+        # expose coefficients, in which case thresholds are evaluated per
+        # call (a small allocation, outside the zero-alloc guarantee).
+        coefficients = getattr(detector.bound, "beta_coefficients", None)
+        self._beta_coefficients: Optional[np.ndarray] = (
+            np.asarray(coefficients(), dtype=np.float64)
+            if callable(coefficients)
+            else None
+        )
+
+        # The detection graph's simulated makespan/work never change for a
+        # fixed machine; pre-simulating lets multiply charge one advance().
+        graph = detector.detection_graph()
+        self._machine = operator.machine
+        self._detect_seconds = operator.machine.makespan(graph)
+        self._detect_flops = graph.total_work()
+
+        inner = getattr(detector.kernels, "inner", detector.kernels)
+        self._parallel: Optional[ParallelKernels] = (
+            inner if isinstance(inner, ParallelKernels) else None
+        )
+        self._vectorized = VectorizedKernels()
+
+    # ------------------------------------------------------------------
+    # Protected multiply
+    # ------------------------------------------------------------------
+    def multiply(
+        self,
+        b: np.ndarray,
+        tamper: Optional["TamperHook"] = None,
+        meter: Optional[ExecutionMeter] = None,
+    ) -> "SpmvResult":
+        """Planned fault-tolerant SpMV (see
+        :meth:`repro.core.protected.FaultTolerantSpMV.multiply`).
+
+        The result's ``value`` is the plan's reusable buffer — consume it
+        before the next call.
+        """
+        from repro.core.protected import SpmvResult
+
+        operator = self.operator
+        detector = operator.detector
+        matrix = detector.matrix
+        telemetry = detector.telemetry
+        meter = meter if meter is not None else ExecutionMeter(machine=operator.machine)
+        start_seconds, start_flops = meter.snapshot()
+        b = self.spmv.check_operand(b)
+
+        with telemetry.span("abft.multiply", rows=matrix.n_rows, nnz=matrix.nnz):
+            if meter.machine is self._machine:
+                meter.advance(self._detect_seconds, self._detect_flops)
+            else:
+                meter.run_graph(detector.detection_graph())
+
+            threaded = (
+                tamper is None
+                and self._parallel is not None
+                and self.spmv.n_shards > 1
+            )
+            if threaded:
+                r, t1, beta, report, detected, corrected, rounds, exhausted = (
+                    self._threaded_multiply(b, meter, telemetry)
+                )
+            else:
+                with telemetry.span("abft.detect"):
+                    r = self.spmv.execute(b)
+                    self._tamper(tamper, "result", r, 2.0 * matrix.nnz)
+                    t1 = self.checksum_spmv.execute(b)
+                    self._tamper(tamper, "t1", t1, 2.0 * detector.checksum.nnz)
+                    self._beta_box[0] = detector.operand_norm(b)
+                    self._tamper(tamper, "beta", self._beta_box, 2.0 * matrix.n_cols)
+                    beta = float(self._beta_box[0])
+                    t2 = detector.checksum.result_checksums(
+                        r,
+                        kernel=detector.kernels,
+                        out=self._t2,
+                        workspace=self._t2_workspace,
+                    )
+                    self._tamper(tamper, "t2", t2, 2.0 * matrix.n_rows)
+                    report, exceeded = self._compare(t1, t2, beta, telemetry)
+                    detector.record(report, exceeded)
+
+                detected = [tuple(int(x) for x in report.flagged)]
+                corrected = set()  # type: Set[int]
+                rounds, exhausted = operator._correction_rounds(
+                    b, r, t1, beta, report.flagged, tamper, meter,
+                    detected=detected, corrected=corrected,
+                )
+
+        seconds, flops = meter.snapshot()
+        return SpmvResult(
+            value=r,
+            detected=tuple(detected),
+            corrected_blocks=tuple(sorted(corrected)),
+            rounds=rounds,
+            seconds=seconds - start_seconds,
+            flops=flops - start_flops,
+            exhausted=exhausted,
+        )
+
+    # ------------------------------------------------------------------
+    # Detection internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _tamper(
+        tamper: Optional["TamperHook"], stage: str, data: np.ndarray, work: float
+    ) -> None:
+        if tamper is not None:
+            tamper(stage, data, work)
+
+    def _fill_thresholds(self, beta: float) -> None:
+        """``thresholds <- coefficients * beta`` (bit-identical to
+        ``bound.thresholds(beta, all_blocks)``; see
+        :meth:`repro.core.bounds.SparseBlockBound.beta_coefficients`)."""
+        with np.errstate(invalid="ignore", over="ignore"):
+            if self._beta_coefficients is not None:
+                np.multiply(self._beta_coefficients, beta, out=self._thresholds)
+            else:
+                self._thresholds[:] = self.operator.detector.bound.thresholds(
+                    beta, self._all_blocks
+                )
+
+    def _compare_range(self, t1: np.ndarray, t2: np.ndarray, c0: int, c1: int) -> None:
+        """Fused invariant comparison over blocks ``[c0, c1)``.
+
+        Elementwise-identical to
+        :meth:`repro.kernels.vectorized.VectorizedKernels.compare_syndromes`
+        (subtract, abs-greater, non-finite flag), writing the plan's
+        syndrome/exceeded buffers instead of allocating.
+        """
+        syndrome = self._syndrome[c0:c1]
+        exceeded = self._exceeded[c0:c1]
+        finite = self._finite[c0:c1]
+        with np.errstate(invalid="ignore", over="ignore"):
+            np.subtract(t1[c0:c1], t2[c0:c1], out=syndrome)
+            np.abs(syndrome, out=self._abs[c0:c1])
+            np.greater(self._abs[c0:c1], self._thresholds[c0:c1], out=exceeded)
+            np.isfinite(syndrome, out=finite)
+            np.logical_not(finite, out=finite)
+            np.logical_or(exceeded, finite, out=exceeded)
+
+    def _flagged(self) -> np.ndarray:
+        """Flagged block ids from the exceeded buffer (no alloc when clean)."""
+        if bool(self._exceeded.any()):
+            return self._all_blocks[self._exceeded]
+        return self._empty_blocks
+
+    def _compare(
+        self, t1: np.ndarray, t2: np.ndarray, beta: float, telemetry: Telemetry
+    ) -> Tuple[DetectionReport, np.ndarray]:
+        """Full-detection comparison into the plan's buffers.
+
+        With telemetry enabled the comparison dispatches through the
+        operator's kernel set so per-kernel timing events keep flowing;
+        the buffered fused path (identical values) runs otherwise.
+        """
+        self._fill_thresholds(beta)
+        if telemetry.enabled:
+            syndrome, exceeded = self.operator.detector.kernels.compare_syndromes(
+                t1, t2, self._thresholds
+            )
+            flagged = (
+                self._all_blocks[exceeded] if bool(exceeded.any())
+                else self._empty_blocks
+            )
+        else:
+            self._compare_range(t1, t2, 0, self._all_blocks.size)
+            syndrome = self._syndrome
+            exceeded = self._exceeded
+            flagged = self._flagged()
+        report = DetectionReport(
+            flagged=flagged,
+            syndrome=syndrome,
+            thresholds=self._thresholds,
+            blocks=self._all_blocks,
+            beta=beta,
+        )
+        return report, exceeded
+
+    # ------------------------------------------------------------------
+    # Fused threaded path
+    # ------------------------------------------------------------------
+    def _detect_shard(self, i: int, b: np.ndarray, telemetry: Telemetry) -> None:
+        """One worker's fused task: shard SpMV + t1 + t2 + comparison."""
+        with telemetry.span("plan.shard", shard=i):
+            self.spmv.execute_shard(i, b)
+            self.checksum_spmv.execute_shard(i, b)
+            c0, c1 = self._shard_blocks[i]
+            r0, r1 = self._shard_rows[i]
+            with np.errstate(invalid="ignore", over="ignore"):
+                ws = self._t2_workspace[r0:r1]
+                np.multiply(self._weights[r0:r1], self.spmv.out[r0:r1], out=ws)
+                # reprolint: disable=ABFT002 -- same per-block reduceat order
+                # as the vectorized kernels; shards align to block starts
+                np.add.reduceat(ws, self._t2_starts[i], out=self._t2[c0:c1])
+            self._compare_range(self.checksum_spmv.out, self._t2, c0, c1)
+
+    def _correct_shard(
+        self, i: int, b: np.ndarray, blocks: np.ndarray, telemetry: Telemetry
+    ) -> Tuple[int, int, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Recompute + re-verify the flagged blocks owned by shard ``i``."""
+        detector = self.operator.detector
+        kernels = self._vectorized
+        with telemetry.span("plan.shard", shard=i, blocks=int(blocks.size)):
+            rows, nnz = kernels.correct_blocks(
+                detector.matrix, detector.partition, b, self.spmv.out, blocks, None
+            )
+            recheck = kernels.result_checksums_for_blocks(
+                self._weights, self.spmv.out, detector.partition, blocks
+            )
+            thresholds = self._thresholds[blocks]
+            with np.errstate(invalid="ignore", over="ignore"):
+                syndrome = self.checksum_spmv.out[blocks] - recheck
+                exceeded = np.abs(syndrome) > thresholds
+                exceeded |= ~np.isfinite(syndrome)
+            return rows, nnz, recheck, syndrome, thresholds, exceeded, blocks[exceeded]
+
+    def _threaded_multiply(
+        self, b: np.ndarray, meter: ExecutionMeter, telemetry: Telemetry
+    ) -> Tuple[
+        np.ndarray, np.ndarray, float, DetectionReport,
+        List[Tuple[int, ...]], Set[int], int, bool,
+    ]:
+        """Clean-path multiply with detection fused into the shard tasks."""
+        operator = self.operator
+        detector = operator.detector
+        assert self._parallel is not None
+        executor = get_executor(self._parallel.n_workers)
+
+        with telemetry.span("abft.detect"):
+            self._beta_box[0] = detector.operand_norm(b)
+            beta = float(self._beta_box[0])
+            self._fill_thresholds(beta)
+            futures = [
+                executor.submit(self._detect_shard, i, b, telemetry)
+                for i in range(self.spmv.n_shards)
+            ]
+            for future in futures:
+                future.result()
+            flagged = self._flagged()
+            report = DetectionReport(
+                flagged=flagged,
+                syndrome=self._syndrome,
+                thresholds=self._thresholds,
+                blocks=self._all_blocks,
+                beta=beta,
+            )
+            detector.record(report, self._exceeded)
+
+        r = self.spmv.out
+        t1 = self.checksum_spmv.out
+        detected: List[Tuple[int, ...]] = [tuple(int(x) for x in flagged)]
+        corrected: Set[int] = set()
+        rounds = 0
+        exhausted = False
+        if flagged.size:
+            if operator.config.max_correction_rounds < 1:
+                exhausted = True
+            else:
+                remaining = self._threaded_round(
+                    b, beta, flagged, meter, telemetry, executor, corrected
+                )
+                rounds = 1
+                detected.append(tuple(int(x) for x in remaining))
+                if remaining.size:
+                    rounds, exhausted = operator._correction_rounds(
+                        b, r, t1, beta, remaining, None, meter,
+                        detected=detected, corrected=corrected, rounds=rounds,
+                    )
+        return r, t1, beta, report, detected, corrected, rounds, exhausted
+
+    def _threaded_round(
+        self,
+        b: np.ndarray,
+        beta: float,
+        flagged: np.ndarray,
+        meter: ExecutionMeter,
+        telemetry: Telemetry,
+        executor: object,
+        corrected: Set[int],
+    ) -> np.ndarray:
+        """First correction round with shard-owner affinity.
+
+        Each shard recomputes and re-verifies the flagged blocks it owns;
+        telemetry and simulated cost match one sequential round exactly
+        (same counters, same ``abft.correct`` span, same correction
+        graph).  Returns the blocks still flagged after re-verification.
+        """
+        operator = self.operator
+        detector = operator.detector
+        if telemetry.enabled:
+            telemetry.count("abft.corrections")
+            telemetry.count("abft.blocks_recomputed", float(flagged.size))
+            telemetry.observe(
+                "abft.block_recompute_fraction",
+                flagged.size / detector.n_blocks,
+                buckets=DEFAULT_FRACTION_BUCKETS,
+            )
+        with telemetry.span("abft.correct", round=1, blocks=int(flagged.size)):
+            cuts = self.block_cuts
+            owned: List[Tuple[int, np.ndarray]] = []
+            for i in range(cuts.size - 1):
+                lo = int(np.searchsorted(flagged, cuts[i]))
+                hi = int(np.searchsorted(flagged, cuts[i + 1]))
+                if hi > lo:
+                    owned.append((i, flagged[lo:hi]))
+            if len(owned) == 1:
+                shard_id, blocks = owned[0]
+                results: Sequence[
+                    Tuple[int, int, np.ndarray, np.ndarray, np.ndarray,
+                          np.ndarray, np.ndarray]
+                ] = [self._correct_shard(shard_id, b, blocks, telemetry)]
+            else:
+                futures = [
+                    executor.submit(  # type: ignore[attr-defined]
+                        self._correct_shard, shard_id, b, blocks, telemetry
+                    )
+                    for shard_id, blocks in owned
+                ]
+                results = [future.result() for future in futures]
+            corrected.update(int(x) for x in flagged)
+            rows = sum(result[0] for result in results)
+            nnz = sum(result[1] for result in results)
+            report = DetectionReport(
+                flagged=np.concatenate([result[6] for result in results]),
+                syndrome=np.concatenate([result[3] for result in results]),
+                thresholds=np.concatenate([result[4] for result in results]),
+                blocks=flagged,
+                beta=beta,
+            )
+            exceeded = np.concatenate([result[5] for result in results])
+            detector.record(report, exceeded)
+        meter.run_graph(
+            operator._correction_graph(1, nnz, rows, len(flagged), 0)
+        )
+        return report.flagged

@@ -199,9 +199,16 @@ def run_pcg(
             machine=machine,
             telemetry=telemetry,
         )
+        # The loop re-executes the same protected multiply every iteration:
+        # the planned path reuses shard schedules and buffers instead of
+        # reallocating per call.  A fault-free run passes no tamper hook at
+        # all (the hook would be a no-op), which also lets the parallel
+        # kernel set use its fused threaded pipeline.
+        plan = operator.planned()
+        tamper_hook = tamper if error_rate > 0 else None
 
         def multiply(p_vec: np.ndarray) -> tuple[np.ndarray, bool, bool]:
-            result = operator.multiply(p_vec, tamper=tamper, meter=meter)
+            result = plan.multiply(p_vec, tamper=tamper_hook, meter=meter)
             return result.value, bool(result.detected[0]), result.exhausted
 
         def count_corrections(flag: bool) -> int:

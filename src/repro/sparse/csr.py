@@ -14,21 +14,35 @@ The two kernels the ABFT scheme cares about are:
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.errors import ShapeMismatchError, SparseFormatError
 
+#: Cap on the dense ``(nnz, chunk)`` scratch a single SpMM pass may
+#: materialize (elements, i.e. ~128 MiB of float64) — wide multivectors
+#: are processed in column chunks instead of densifying all at once.
+MATMAT_CHUNK_ELEMENTS = 1 << 24
 
-def _segment_sums(values: np.ndarray, indptr: np.ndarray, n_segments: int) -> np.ndarray:
+
+def _segment_sums(
+    values: np.ndarray,
+    indptr: np.ndarray,
+    n_segments: int,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
     """Sum ``values`` over the segments delimited by ``indptr``.
 
     Segment ``i`` covers ``values[indptr[i]:indptr[i+1]]``; empty segments
     yield 0.  This is the reduction at the heart of every CSR row operation
-    (SpMV row sums, row norms, row counts).
+    (SpMV row sums, row norms, row counts).  ``out``, when given, must be a
+    float64 array of length ``n_segments``; it is overwritten and returned.
     """
-    out = np.zeros(n_segments, dtype=np.float64)
+    if out is None:
+        out = np.zeros(n_segments, dtype=np.float64)
+    else:
+        out[:] = 0.0
     if values.size == 0:
         return out
     lengths = np.diff(indptr)
@@ -43,6 +57,36 @@ def _segment_sums(values: np.ndarray, indptr: np.ndarray, n_segments: int) -> np
     return out
 
 
+def _spmm_chunked(
+    data: np.ndarray,
+    indices: np.ndarray,
+    indptr: np.ndarray,
+    b: np.ndarray,
+    out: np.ndarray,
+) -> None:
+    """Accumulate ``out[i, :] += sum_j data_ij * b[col_ij, :]`` in chunks.
+
+    ``indptr`` is local to the ``data``/``indices`` slice (starts at 0).
+    Columns of ``b`` are processed ``MATMAT_CHUNK_ELEMENTS // nnz`` at a
+    time; each column's reduction is independent, so the chunked result is
+    bit-identical to a single dense pass.
+    """
+    nnz = data.size
+    k = b.shape[1]
+    if nnz == 0 or k == 0:
+        return
+    lengths = np.diff(indptr)
+    nonempty = lengths > 0
+    if not nonempty.any():
+        return
+    starts = indptr[:-1][nonempty]
+    chunk = max(1, MATMAT_CHUNK_ELEMENTS // nnz)
+    for j0 in range(0, k, chunk):
+        j1 = min(j0 + chunk, k)
+        products = data[:, None] * b[indices, j0:j1]
+        out[nonempty, j0:j1] = np.add.reduceat(products, starts, axis=0)
+
+
 class CsrMatrix:
     """An immutable sparse matrix in compressed sparse row format.
 
@@ -54,7 +98,7 @@ class CsrMatrix:
         data: float64 array of values aligned with ``indices``.
     """
 
-    __slots__ = ("shape", "indptr", "indices", "data", "_entry_rows")
+    __slots__ = ("shape", "indptr", "indices", "data", "_entry_rows", "_row_lengths")
 
     def __init__(
         self,
@@ -68,6 +112,7 @@ class CsrMatrix:
         self.indices = np.ascontiguousarray(indices, dtype=np.int64)
         self.data = np.ascontiguousarray(data, dtype=np.float64)
         self._entry_rows: np.ndarray | None = None
+        self._row_lengths: np.ndarray | None = None
         self._validate()
 
     # ------------------------------------------------------------------
@@ -118,8 +163,17 @@ class CsrMatrix:
         return self.nnz / cells if cells else 0.0
 
     def row_lengths(self) -> np.ndarray:
-        """Number of stored entries per row."""
-        return np.diff(self.indptr)
+        """Number of stored entries per row (cached; read-only).
+
+        The matrix arrays are treated as frozen after construction, so the
+        cache never needs invalidation; the returned array is marked
+        non-writeable to keep it that way.
+        """
+        if self._row_lengths is None:
+            lengths = np.diff(self.indptr)
+            lengths.flags.writeable = False
+            self._row_lengths = lengths
+        return self._row_lengths
 
     def entry_rows(self) -> np.ndarray:
         """Row index of every stored entry (cached; used by scatter kernels)."""
@@ -132,25 +186,61 @@ class CsrMatrix:
     # ------------------------------------------------------------------
     # Kernels
     # ------------------------------------------------------------------
-    def matvec(self, b: np.ndarray) -> np.ndarray:
-        """Sparse matrix-vector product ``r = A b``."""
+    def matvec(
+        self,
+        b: np.ndarray,
+        out: Optional[np.ndarray] = None,
+        workspace: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Sparse matrix-vector product ``r = A b``.
+
+        Args:
+            b: dense operand of length ``n_cols``.
+            out: optional float64 result buffer of length ``n_rows``;
+                overwritten and returned (planned callers reuse it to
+                avoid the per-call allocation).
+            workspace: optional float64 scratch of length ``nnz`` holding
+                the gathered products; contents are clobbered.
+
+        The buffered path computes bit-identical values to the allocating
+        path (elementwise multiply is commutative; the segment reduction
+        is shared).
+        """
         b = np.asarray(b, dtype=np.float64)
         if b.shape != (self.n_cols,):
             raise ShapeMismatchError(
                 f"operand has shape {b.shape}, expected ({self.n_cols},)"
             )
-        products = self.data * b[self.indices]
-        return _segment_sums(products, self.indptr, self.n_rows)
+        if workspace is None:
+            products = self.data * b[self.indices]
+        else:
+            # mode="clip" lets numpy gather straight into the workspace;
+            # the default bounds-checking mode buffers an nnz-sized
+            # temporary first.  Column indices are validated in-range at
+            # construction, so clipping never fires.
+            np.take(b, self.indices, out=workspace, mode="clip")
+            np.multiply(workspace, self.data, out=workspace)
+            products = workspace
+        return _segment_sums(products, self.indptr, self.n_rows, out=out)
 
     def __matmul__(self, b: np.ndarray) -> np.ndarray:
         return self.matvec(b)
 
-    def matvec_rows(self, row_start: int, row_stop: int, b: np.ndarray) -> np.ndarray:
+    def matvec_rows(
+        self,
+        row_start: int,
+        row_stop: int,
+        b: np.ndarray,
+        out: Optional[np.ndarray] = None,
+        workspace: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
         """Partial SpMV over rows ``[row_start, row_stop)``.
 
         This is the correction kernel: an erroneous result block is repaired
         by recomputing exactly these rows.  Cost is proportional to the nnz
-        of the selected rows only.
+        of the selected rows only.  ``out`` (length ``row_stop - row_start``)
+        and ``workspace`` (length >= nnz of the row range) mirror
+        :meth:`matvec`.
         """
         row_start, row_stop = self._check_row_range(row_start, row_stop)
         b = np.asarray(b, dtype=np.float64)
@@ -159,9 +249,16 @@ class CsrMatrix:
                 f"operand has shape {b.shape}, expected ({self.n_cols},)"
             )
         lo, hi = self.indptr[row_start], self.indptr[row_stop]
-        products = self.data[lo:hi] * b[self.indices[lo:hi]]
+        if workspace is None:
+            products = self.data[lo:hi] * b[self.indices[lo:hi]]
+        else:
+            products = workspace[: hi - lo]
+            # mode="clip": gather in place (see matvec); indices are
+            # validated in-range at construction.
+            np.take(b, self.indices[lo:hi], out=products, mode="clip")
+            np.multiply(products, self.data[lo:hi], out=products)
         local_indptr = self.indptr[row_start : row_stop + 1] - lo
-        return _segment_sums(products, local_indptr, row_stop - row_start)
+        return _segment_sums(products, local_indptr, row_stop - row_start, out=out)
 
     def matmat(self, b: np.ndarray) -> np.ndarray:
         """Sparse-matrix × dense-block product ``R = A B`` (SpMM).
@@ -171,21 +268,19 @@ class CsrMatrix:
 
         Returns:
             Dense result of shape ``(n_rows, k)``.
+
+        Wide operands are processed in column chunks so the dense
+        ``(nnz, chunk)`` scratch never exceeds
+        :data:`MATMAT_CHUNK_ELEMENTS` elements; chunking is invisible
+        numerically (each column reduces independently).
         """
         b = np.asarray(b, dtype=np.float64)
         if b.ndim != 2 or b.shape[0] != self.n_cols:
             raise ShapeMismatchError(
                 f"operand block has shape {b.shape}, expected ({self.n_cols}, k)"
             )
-        products = self.data[:, None] * b[self.indices]
         out = np.zeros((self.n_rows, b.shape[1]), dtype=np.float64)
-        if products.size == 0:
-            return out
-        lengths = np.diff(self.indptr)
-        nonempty = lengths > 0
-        if nonempty.any():
-            starts = self.indptr[:-1][nonempty]
-            out[nonempty] = np.add.reduceat(products, starts, axis=0)
+        _spmm_chunked(self.data, self.indices, self.indptr, b, out)
         return out
 
     def matmat_rows(self, row_start: int, row_stop: int, b: np.ndarray) -> np.ndarray:
@@ -197,17 +292,9 @@ class CsrMatrix:
                 f"operand block has shape {b.shape}, expected ({self.n_cols}, k)"
             )
         lo, hi = self.indptr[row_start], self.indptr[row_stop]
-        products = self.data[lo:hi, None] * b[self.indices[lo:hi]]
-        n_rows = row_stop - row_start
-        out = np.zeros((n_rows, b.shape[1]), dtype=np.float64)
-        if products.size == 0:
-            return out
         local_indptr = self.indptr[row_start : row_stop + 1] - lo
-        lengths = np.diff(local_indptr)
-        nonempty = lengths > 0
-        if nonempty.any():
-            starts = local_indptr[:-1][nonempty]
-            out[nonempty] = np.add.reduceat(products, starts, axis=0)
+        out = np.zeros((row_stop - row_start, b.shape[1]), dtype=np.float64)
+        _spmm_chunked(self.data[lo:hi], self.indices[lo:hi], local_indptr, b, out)
         return out
 
     def rmatvec(self, w: np.ndarray) -> np.ndarray:

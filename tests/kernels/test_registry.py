@@ -8,6 +8,7 @@ from repro.core.blocking import BlockPartition
 from repro.core.config import AbftConfig
 from repro.errors import ConfigurationError
 from repro.kernels import (
+    BUILTIN_KERNELS,
     DEFAULT_KERNEL,
     KERNEL_ENV_VAR,
     KernelSet,
@@ -30,8 +31,9 @@ def _clean_kernel_env(monkeypatch):
 
 def test_builtins_registered():
     names = available_kernels()
-    assert "naive" in names
-    assert "vectorized" in names
+    for builtin in BUILTIN_KERNELS:
+        assert builtin in names
+    assert "parallel" in BUILTIN_KERNELS
     assert DEFAULT_KERNEL in names
 
 
@@ -129,7 +131,7 @@ def test_register_rejects_non_kernelset():
 
 
 def test_builtin_kernels_cannot_be_unregistered():
-    for name in ("naive", "vectorized"):
+    for name in BUILTIN_KERNELS:
         with pytest.raises(ConfigurationError, match="cannot be removed"):
             unregister_kernels(name)
 

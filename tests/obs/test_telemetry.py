@@ -96,8 +96,12 @@ def test_timed_kernels_record_per_op_histograms():
 
     from repro.core.blocking import BlockPartition
 
+    from repro.kernels import get_kernels
+
     tel = Telemetry(exporter=InMemoryExporter())
-    wrapped = tel.wrap_kernels(resolve_kernels("vectorized"))
+    # get_kernels, not resolve_kernels: an ambient REPRO_KERNELS override
+    # must not change which set this timing test wraps.
+    wrapped = tel.wrap_kernels(get_kernels("vectorized"))
     partition = BlockPartition(8, 4)
     weights = np.ones(8)
     wrapped.result_checksums(weights, np.arange(8.0), partition)

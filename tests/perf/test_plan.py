@@ -1,0 +1,325 @@
+"""Bit-identity, caching and validation tests for the execution plans.
+
+The contract under test: for any kernel set and any tamper sequence,
+``ProtectedPlan.multiply`` is indistinguishable from
+``FaultTolerantSpMV.multiply`` — same value bits, same detection /
+correction history, same simulated cost, same telemetry — it just stops
+allocating.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import AbftConfig, FaultTolerantSpMV
+from repro.errors import ConfigurationError, ShapeMismatchError
+from repro.kernels.parallel import ParallelKernels
+from repro.obs import InMemoryExporter, Telemetry
+from repro.perf import ProtectedPlan, SpmvPlan
+from repro.sparse import CooMatrix, random_spd
+
+N = 256
+BLOCK = 32
+
+
+@pytest.fixture
+def matrix():
+    return random_spd(N, 2500, seed=21)
+
+
+@pytest.fixture
+def b():
+    return np.random.default_rng(21).standard_normal(N)
+
+
+def one_shot(stage_name, mutate):
+    state = {"done": False}
+
+    def hook(stage, data, work):
+        if stage == stage_name and not state["done"]:
+            mutate(data)
+            state["done"] = True
+
+    return hook
+
+
+def recording(inner=None):
+    """Tamper hook that logs every (stage, work) call it sees."""
+    calls = []
+
+    def hook(stage, data, work):
+        calls.append((stage, float(work)))
+        if inner is not None:
+            inner(stage, data, work)
+
+    return hook, calls
+
+
+def parallel_operator(n_workers, telemetry=None, **config_kwargs):
+    """Operator whose kernel backend is a sharded-at-any-size parallel set."""
+    config = AbftConfig(block_size=BLOCK, kernel="parallel", **config_kwargs)
+    op = FaultTolerantSpMV(
+        random_spd(N, 2500, seed=21), config=config, telemetry=telemetry
+    )
+    kernels = ParallelKernels(n_workers=n_workers, serial_cutoff=0)
+    op.detector.kernels = op.telemetry.wrap_kernels(kernels)
+    return op
+
+
+# ----------------------------------------------------------------------
+# SpmvPlan
+# ----------------------------------------------------------------------
+def test_spmv_plan_matches_matvec_any_shard_count(matrix, b):
+    expected = matrix.matvec(b)
+    for n_shards in (1, 2, 3, 8, 64):
+        plan = SpmvPlan(matrix, n_shards=n_shards)
+        np.testing.assert_array_equal(plan.execute(b), expected)
+        # Repeated execution reuses the same output buffer, same bits.
+        out = plan.execute(b)
+        assert out is plan.out
+        np.testing.assert_array_equal(out, expected)
+
+
+def test_spmv_plan_handles_empty_rows():
+    csr = CooMatrix.from_entries(
+        (6, 6), [(1, 1, 2.0), (1, 3, -1.0), (4, 0, 3.0)]
+    ).to_csr()
+    b = np.arange(1.0, 7.0)
+    expected = csr.matvec(b)
+    for n_shards in (1, 2, 3, 6):
+        np.testing.assert_array_equal(
+            SpmvPlan(csr, n_shards=n_shards).execute(b), expected
+        )
+
+
+def test_spmv_plan_all_empty_matrix():
+    csr = CooMatrix.from_entries((4, 4), []).to_csr()
+    plan = SpmvPlan(csr, n_shards=2)
+    np.testing.assert_array_equal(plan.execute(np.ones(4)), np.zeros(4))
+
+
+def test_spmv_plan_explicit_row_cuts(matrix, b):
+    plan = SpmvPlan(matrix, row_cuts=np.array([0, 10, 200, N]))
+    assert plan.n_shards == 3
+    np.testing.assert_array_equal(plan.execute(b), matrix.matvec(b))
+
+
+@pytest.mark.parametrize(
+    "cuts",
+    [
+        [1, N],  # does not start at 0
+        [0, N - 1],  # does not end at n_rows
+        [0, 100, 100, N],  # not strictly increasing
+        [0, 200, 100, N],  # decreasing
+    ],
+)
+def test_spmv_plan_rejects_bad_row_cuts(matrix, cuts):
+    with pytest.raises(ConfigurationError, match="row_cuts"):
+        SpmvPlan(matrix, row_cuts=np.array(cuts))
+
+
+def test_spmv_plan_rejects_bad_operand(matrix):
+    with pytest.raises(ShapeMismatchError):
+        SpmvPlan(matrix).execute(np.ones(N + 1))
+
+
+# ----------------------------------------------------------------------
+# ProtectedPlan vs FaultTolerantSpMV.multiply
+# ----------------------------------------------------------------------
+def _assert_results_identical(planned, unplanned):
+    np.testing.assert_array_equal(planned.value, unplanned.value)
+    assert planned.detected == unplanned.detected
+    assert planned.corrected_blocks == unplanned.corrected_blocks
+    assert planned.rounds == unplanned.rounds
+    assert planned.exhausted == unplanned.exhausted
+    assert planned.seconds == unplanned.seconds
+    assert planned.flops == unplanned.flops
+
+
+@pytest.mark.parametrize("kernel", ["naive", "vectorized"])
+def test_clean_multiply_bit_identical(matrix, b, kernel):
+    config = AbftConfig(block_size=BLOCK, kernel=kernel)
+    op = FaultTolerantSpMV(matrix, config=config)
+    plan = op.planned()
+    planned = plan.multiply(b)
+    value = planned.value.copy()
+    unplanned = op.multiply(b)
+    np.testing.assert_array_equal(value, unplanned.value)
+    _assert_results_identical(planned, unplanned)
+
+
+@pytest.mark.parametrize("kernel", ["naive", "vectorized"])
+def test_tampered_multiply_bit_identical(matrix, b, kernel):
+    config = AbftConfig(block_size=BLOCK, kernel=kernel)
+    op = FaultTolerantSpMV(matrix, config=config)
+    plan = op.planned()
+
+    def mutate(d):
+        d[0] += 1.0
+        d[100] -= 2.0
+        d[255] = np.nan
+
+    hook_planned, calls_planned = recording(one_shot("result", mutate))
+    hook_unplanned, calls_unplanned = recording(one_shot("result", mutate))
+    planned = plan.multiply(b, tamper=hook_planned)
+    value = planned.value.copy()
+    unplanned = op.multiply(b, tamper=hook_unplanned)
+    np.testing.assert_array_equal(value, unplanned.value)
+    _assert_results_identical(planned, unplanned)
+    assert planned.rounds == 1
+    assert calls_planned == calls_unplanned  # same stages, same work charges
+
+
+def test_persistent_tamper_exhausts_identically(matrix, b):
+    """Every recomputation is re-corrupted: both paths burn the full
+    round budget and report exhaustion with identical history."""
+    config = AbftConfig(block_size=BLOCK, max_correction_rounds=3)
+    op = FaultTolerantSpMV(matrix, config=config)
+    plan = op.planned()
+
+    def persistent(stage, data, work):
+        if stage in ("result", "corrected"):
+            data[0] += 5.0
+
+    planned = plan.multiply(b, tamper=persistent)
+    value = planned.value.copy()
+    unplanned = op.multiply(b, tamper=persistent)
+    assert planned.exhausted and unplanned.exhausted
+    assert planned.rounds == 3
+    np.testing.assert_array_equal(value, unplanned.value)
+    _assert_results_identical(planned, unplanned)
+
+
+def test_plan_without_beta_coefficients_matches(matrix, b):
+    """Bounds that expose no coefficients fall back to per-call
+    thresholds — values must not change."""
+
+    class _OpaqueBound:
+        def __init__(self, inner):
+            self._inner = inner
+
+        def thresholds(self, beta, blocks):
+            return self._inner.thresholds(beta, blocks)
+
+    op = FaultTolerantSpMV(matrix, block_size=BLOCK)
+    reference = op.multiply(b)
+    op.detector.bound = _OpaqueBound(op.detector.bound)
+    plan = ProtectedPlan(op)
+    assert plan._beta_coefficients is None
+    planned = plan.multiply(b)
+    np.testing.assert_array_equal(planned.value, reference.value)
+    assert planned.detected == reference.detected
+
+
+def test_result_value_is_the_plan_buffer(matrix, b):
+    op = FaultTolerantSpMV(matrix, block_size=BLOCK)
+    plan = op.planned()
+    first = plan.multiply(b).value
+    second = plan.multiply(2.0 * b).value
+    assert first is second  # documented buffer reuse
+    np.testing.assert_array_equal(second, matrix.matvec(2.0 * b))
+
+
+def test_protected_plan_rejects_bad_shards(matrix):
+    op = FaultTolerantSpMV(matrix, block_size=BLOCK)
+    with pytest.raises(ConfigurationError, match="n_shards"):
+        ProtectedPlan(op, n_shards=0)
+
+
+# ----------------------------------------------------------------------
+# planned() cache
+# ----------------------------------------------------------------------
+def test_planned_caches_one_plan(matrix):
+    telemetry = Telemetry(exporter=InMemoryExporter())
+    op = FaultTolerantSpMV(matrix, block_size=BLOCK, telemetry=telemetry)
+    first = op.planned()
+    assert op.planned() is first
+    assert op.planned() is first
+    assert telemetry.registry.counter("plan.cache_hits").value == 2.0
+
+
+def test_planned_rebuilds_on_shard_change(matrix):
+    op = FaultTolerantSpMV(matrix, block_size=BLOCK)
+    one = op.planned(n_shards=1)
+    two = op.planned(n_shards=2)
+    assert two is not one
+    assert two.n_shards == 2
+    assert op.planned(n_shards=2) is two
+
+
+def test_planned_defaults_to_parallel_worker_count():
+    op = parallel_operator(n_workers=3)
+    plan = op.planned()
+    assert plan.n_shards == 3
+    assert plan.spmv.n_shards > 1
+
+
+# ----------------------------------------------------------------------
+# Threaded fused path
+# ----------------------------------------------------------------------
+def test_threaded_clean_multiply_matches_sequential(matrix, b):
+    reference = FaultTolerantSpMV(
+        matrix, config=AbftConfig(block_size=BLOCK, kernel="vectorized")
+    ).multiply(b)
+    op = parallel_operator(n_workers=3)
+    plan = op.planned()
+    assert plan.spmv.n_shards > 1  # the fused path is actually exercised
+    for _ in range(3):
+        planned = plan.multiply(b)
+        np.testing.assert_array_equal(planned.value, reference.value)
+        assert planned.detected == reference.detected
+        assert planned.seconds == reference.seconds
+        assert planned.flops == reference.flops
+
+
+def test_threaded_correction_matches_sequential(matrix, b):
+    """A vanishing bound flags every block persistently; the threaded
+    first round + sequential continuation must replay the sequential
+    operator bit for bit, exhaustion included."""
+    scaled = dict(block_size=BLOCK, bound_scale=1e-12, max_correction_rounds=3)
+    reference = FaultTolerantSpMV(
+        matrix, config=AbftConfig(kernel="vectorized", **scaled)
+    ).multiply(b)
+    assert reference.exhausted  # the scenario really does flag blocks
+    op = parallel_operator(n_workers=3, **{k: v for k, v in scaled.items() if k != "block_size"})
+    plan = op.planned()
+    assert plan.spmv.n_shards > 1
+    planned = plan.multiply(b)
+    _assert_results_identical(planned, reference)
+
+
+def test_tamper_falls_back_to_sequential_path(matrix, b):
+    """Fault campaigns must see the contractual stage sequence even on a
+    parallel-kernel operator."""
+    op = parallel_operator(n_workers=3)
+    plan = op.planned()
+    hook, calls = recording()
+    plan.multiply(b, tamper=hook)
+    assert [stage for stage, _ in calls] == ["result", "t1", "beta", "t2"]
+
+
+# ----------------------------------------------------------------------
+# Telemetry equivalence
+# ----------------------------------------------------------------------
+def _scrubbed(events):
+    """Events with wall-clock noise removed (timestamps, timing values)."""
+    drop = {"t", "start", "end"}
+    scrubbed = []
+    for event in events:
+        clean = {k: v for k, v in event.items() if k not in drop}
+        if str(clean.get("name", "")).endswith(".seconds"):
+            clean.pop("value", None)
+        scrubbed.append(clean)
+    return scrubbed
+
+
+def test_plan_telemetry_stream_matches_operator(matrix, b):
+    config = AbftConfig(block_size=BLOCK, kernel="vectorized")
+    tel_op = Telemetry(exporter=InMemoryExporter())
+    tel_plan = Telemetry(exporter=InMemoryExporter())
+    op = FaultTolerantSpMV(matrix, config=config, telemetry=tel_op)
+    planned_op = FaultTolerantSpMV(matrix, config=config, telemetry=tel_plan)
+    plan = planned_op.planned()
+    for _ in range(3):
+        op.multiply(b)
+        plan.multiply(b)
+    assert _scrubbed(tel_plan.events()) == _scrubbed(tel_op.events())

@@ -1,0 +1,105 @@
+"""Unit tests for nnz-balanced shard boundaries (repro.perf.sharding)."""
+
+import numpy as np
+import pytest
+
+from repro.core.blocking import BlockPartition
+from repro.errors import ConfigurationError
+from repro.perf import balanced_cuts, shard_blocks, shard_rows
+from repro.sparse import random_spd
+
+
+def _prefix(lengths):
+    return np.concatenate(([0], np.cumsum(lengths))).astype(np.float64)
+
+
+def test_cuts_cover_range_and_strictly_increase():
+    rng = np.random.default_rng(0)
+    prefix = _prefix(rng.integers(0, 50, size=200))
+    for n_shards in (1, 2, 3, 7, 16):
+        cuts = balanced_cuts(prefix, n_shards)
+        assert cuts.dtype == np.int64
+        assert cuts[0] == 0
+        assert cuts[-1] == 200
+        assert np.all(np.diff(cuts) > 0)
+        assert cuts.size <= n_shards + 1
+
+
+def test_cuts_balance_work_within_one_unit():
+    """Without collapsed cuts each shard is ideal +/- one unit of work."""
+    rng = np.random.default_rng(1)
+    lengths = rng.integers(1, 20, size=1000)
+    prefix = _prefix(lengths)
+    n_shards = 8
+    cuts = balanced_cuts(prefix, n_shards)
+    assert cuts.size == n_shards + 1
+    work = np.diff(prefix[cuts])
+    ideal = prefix[-1] / n_shards
+    assert work.max() <= ideal + lengths.max()
+
+
+def test_single_shard_and_zero_work():
+    prefix = _prefix([3, 1, 4])
+    np.testing.assert_array_equal(balanced_cuts(prefix, 1), [0, 3])
+    np.testing.assert_array_equal(balanced_cuts(np.zeros(11), 4), [0, 10])
+
+
+def test_empty_unit_range():
+    np.testing.assert_array_equal(balanced_cuts(np.array([0.0]), 4), [0])
+
+
+def test_one_giant_unit_collapses_shards():
+    cuts = balanced_cuts(_prefix([0, 0, 100, 0]), 4)
+    assert cuts[0] == 0
+    assert cuts[-1] == 4
+    assert np.all(np.diff(cuts) > 0)
+    # The giant unit cannot be split further, so fewer spans come back.
+    assert cuts.size <= 5
+
+
+def test_rejects_bad_arguments():
+    with pytest.raises(ConfigurationError, match="n_shards"):
+        balanced_cuts(np.array([0.0, 1.0]), 0)
+    with pytest.raises(ConfigurationError, match="1-D and non-empty"):
+        balanced_cuts(np.zeros((2, 2)), 2)
+    with pytest.raises(ConfigurationError, match="1-D and non-empty"):
+        balanced_cuts(np.empty(0), 2)
+
+
+def test_shard_rows_balances_nnz_not_row_count():
+    """A skewed matrix gets uneven row spans but near-even work spans."""
+    n = 400
+    lengths = np.ones(n, dtype=np.int64)
+    lengths[:20] = 50  # hot rows concentrate the work up front
+    indptr = np.concatenate(([0], np.cumsum(lengths)))
+    cuts = shard_rows(indptr, 4)
+    assert cuts[0] == 0 and cuts[-1] == n
+    work = np.diff(indptr[cuts] + cuts)  # nnz + row_cost * rows per shard
+    total = indptr[-1] + n
+    assert work.max() <= total / 4 + (50 + 1)
+    # Row-count balance would put ~100 rows per shard; the work balance
+    # must cut the hot prefix much shorter than that.
+    assert cuts[1] < 100
+
+
+def test_shard_blocks_aligns_to_block_starts():
+    matrix = random_spd(256, 3000, seed=11)
+    partition = BlockPartition(256, 32)
+    starts = partition.block_starts()
+    cuts = shard_blocks(matrix.indptr, starts, 4)
+    assert cuts[0] == 0
+    assert cuts[-1] == partition.n_blocks
+    assert np.all(np.diff(cuts) > 0)
+    # Cuts index the block axis, so the induced row cuts land on block
+    # starts by construction; they must also be valid row boundaries.
+    row_cuts = starts[cuts]
+    assert row_cuts[0] == 0 and row_cuts[-1] == 256
+    assert np.all(np.diff(row_cuts) > 0)
+
+
+def test_shard_blocks_more_shards_than_blocks():
+    matrix = random_spd(64, 600, seed=12)
+    partition = BlockPartition(64, 32)
+    cuts = shard_blocks(matrix.indptr, partition.block_starts(), 16)
+    assert cuts.size <= partition.n_blocks + 1
+    assert cuts[-1] == partition.n_blocks

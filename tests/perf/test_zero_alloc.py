@@ -1,0 +1,82 @@
+"""tracemalloc regression: the planned steady-state loop stops allocating.
+
+The plan's whole reason to exist is that after warmup a protected
+multiply touches only preallocated buffers.  These tests pin that with
+tracemalloc at a size where any per-call array temporary (160 KB for an
+n-vector, ~1 MB for an nnz workspace at this shape) dwarfs the thresholds.
+"""
+
+import gc
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.core import FaultTolerantSpMV
+from repro.machine import ExecutionMeter
+from repro.sparse import random_spd
+
+N = 20_000
+NNZ = 120_000
+BLOCK = 256
+
+#: Net retained growth allowed across the measured calls (python object
+#: churn only — any leaked array at this size is orders beyond this).
+NET_BUDGET = 16 * 1024
+#: Transient peak allowed over the baseline — far below one n-vector.
+PEAK_BUDGET = 64 * 1024
+
+
+@pytest.fixture(scope="module")
+def operator():
+    return FaultTolerantSpMV(random_spd(N, NNZ, seed=5), block_size=BLOCK)
+
+
+@pytest.fixture(scope="module")
+def b():
+    return np.random.default_rng(5).standard_normal(N)
+
+
+def _traced(callable_, repeats):
+    """(net growth, transient peak) in bytes over ``repeats`` calls."""
+    gc.collect()
+    tracemalloc.start()
+    try:
+        before, _ = tracemalloc.get_traced_memory()
+        tracemalloc.reset_peak()
+        for _ in range(repeats):
+            callable_()
+        gc.collect()
+        current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return current - before, peak - before
+
+
+def test_planned_multiply_allocates_nothing_after_warmup(operator, b):
+    plan = operator.planned()
+    meter = ExecutionMeter(machine=operator.machine)
+    for _ in range(3):  # warmup: buffers built, caches resolved
+        plan.multiply(b, meter=meter)
+    net, peak = _traced(lambda: plan.multiply(b, meter=meter), repeats=5)
+    assert net < NET_BUDGET, f"steady-state loop retained {net} bytes"
+    assert peak < PEAK_BUDGET, f"steady-state loop transiently allocated {peak} bytes"
+
+
+def test_unplanned_multiply_does_allocate(operator, b):
+    """Sanity check that the assertion above has teeth: the unplanned
+    multiply materializes at least the result vector every call."""
+    meter = ExecutionMeter(machine=operator.machine)
+    for _ in range(2):
+        operator.multiply(b, meter=meter)
+    _, peak = _traced(lambda: operator.multiply(b, meter=meter), repeats=1)
+    assert peak > N * 8
+
+
+def test_planned_result_bits_survive_the_buffer_discipline(operator, b):
+    """Zero allocation must not come at the price of drift: after many
+    reuses the planned product still equals a fresh matvec bitwise."""
+    plan = operator.planned()
+    for _ in range(10):
+        value = plan.multiply(b).value
+    np.testing.assert_array_equal(value, operator.matrix.matvec(b))

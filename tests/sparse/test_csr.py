@@ -178,3 +178,35 @@ def test_entry_rows(paper_matrix):
         i = rows[entry_idx]
         j = paper_matrix.indices[entry_idx]
         assert dense[i, j] == paper_matrix.data[entry_idx]
+
+
+def test_row_lengths_cached_and_frozen(paper_matrix):
+    lengths = paper_matrix.row_lengths()
+    np.testing.assert_array_equal(lengths, np.diff(paper_matrix.indptr))
+    # Cached: repeated calls return the same array object.
+    assert paper_matrix.row_lengths() is lengths
+    # Frozen: the cache is shared, so writing through it must fail.
+    assert not lengths.flags.writeable
+    with pytest.raises(ValueError):
+        lengths[0] = 99
+
+
+def test_matvec_buffered_bit_identical(paper_matrix):
+    b = np.array([1.0, -2.0, 3.0, 0.5, -1.5, 6.0])
+    expected = paper_matrix.matvec(b)
+    out = np.full(paper_matrix.n_rows, np.nan)
+    workspace = np.full(paper_matrix.nnz, np.nan)
+    result = paper_matrix.matvec(b, out=out, workspace=workspace)
+    assert result is out
+    np.testing.assert_array_equal(result, expected)
+
+
+def test_matvec_rows_buffered_bit_identical(paper_matrix):
+    b = np.array([1.0, -2.0, 3.0, 0.5, -1.5, 6.0])
+    for start, stop in [(0, 3), (2, 6), (0, 6)]:
+        expected = paper_matrix.matvec_rows(start, stop, b)
+        out = np.full(stop - start, np.nan)
+        workspace = np.full(paper_matrix.nnz, np.nan)
+        result = paper_matrix.matvec_rows(start, stop, b, out=out, workspace=workspace)
+        assert result is out
+        np.testing.assert_array_equal(result, expected)

@@ -53,3 +53,30 @@ def test_matmat_shape_validation(matrix):
         matrix.matmat_rows(0, 10, np.ones((59, 2)))
     with pytest.raises(ShapeMismatchError):
         matrix.matmat_rows(10, 5, np.ones((60, 2)))
+
+
+def test_matmat_wide_operand_chunking_is_invisible(matrix, monkeypatch):
+    """A wide dense block forces many chunks; every chunk boundary must be
+    numerically invisible (each column reduces independently)."""
+    b = np.random.default_rng(3).standard_normal((60, 64))
+    unchunked = matrix.matmat(b)
+    import repro.sparse.csr as csr_module
+
+    # nnz=500, so 1000 elements => chunk width 2 => 32 chunk boundaries.
+    monkeypatch.setattr(csr_module, "MATMAT_CHUNK_ELEMENTS", 1000)
+    np.testing.assert_array_equal(matrix.matmat(b), unchunked)
+    np.testing.assert_array_equal(
+        matrix.matmat_rows(10, 50, b), unchunked[10:50]
+    )
+
+
+def test_matmat_chunk_floor_of_one_column(matrix, monkeypatch):
+    """nnz larger than the element budget degrades to one column per pass."""
+    import repro.sparse.csr as csr_module
+
+    monkeypatch.setattr(csr_module, "MATMAT_CHUNK_ELEMENTS", 1)
+    b = np.random.default_rng(4).standard_normal((60, 5))
+    monkeypatch.undo()
+    expected = matrix.matmat(b)
+    monkeypatch.setattr(csr_module, "MATMAT_CHUNK_ELEMENTS", 1)
+    np.testing.assert_array_equal(matrix.matmat(b), expected)
