@@ -72,3 +72,22 @@ try:  # pragma: no cover - core lands later in the staged build
     __all__ += ["AbftConfig", "BlockAbftDetector", "FaultTolerantSpMV", "SpmvResult"]
 except ImportError:  # pragma: no cover
     pass
+
+try:  # pragma: no cover - schemes land later in the staged build
+    from repro.schemes import (  # noqa: F401
+        ProtectedSpmvResult,
+        ProtectionScheme,
+        available_schemes,
+        make_scheme,
+        resolve_scheme,
+    )
+
+    __all__ += [
+        "ProtectedSpmvResult",
+        "ProtectionScheme",
+        "available_schemes",
+        "make_scheme",
+        "resolve_scheme",
+    ]
+except ImportError:  # pragma: no cover
+    pass

@@ -16,9 +16,8 @@ from repro.analysis.campaign import run_coverage_campaign
 from repro.analysis.metrics import mean
 from repro.analysis.reporting import format_table, percent
 from repro.analysis.sweeps import detection_overhead, plain_spmv_time
-from repro.baselines.redundancy import DwcSpMV, TmrSpMV
-from repro.core.protected import FaultTolerantSpMV
 from repro.machine import TESLA_K80_NO_OVERLAP, Machine
+from repro.schemes import make_scheme
 from repro.sparse.csr import CsrMatrix
 from repro.sparse.suite import MatrixSpec
 
@@ -144,14 +143,16 @@ def ablate_redundancy(
         names.append(spec.name)
         nnz.append(matrix.nnz)
         overheads["ours"].append(
-            FaultTolerantSpMV(matrix, block_size=32, machine=machine)
+            make_scheme("abft", matrix, machine=machine)
             .multiply(b).seconds / plain - 1.0
         )
         overheads["dwc"].append(
-            DwcSpMV(matrix, machine=machine).multiply(b).seconds / plain - 1.0
+            make_scheme("redundancy", matrix, machine=machine)
+            .multiply(b).seconds / plain - 1.0
         )
         overheads["tmr"].append(
-            TmrSpMV(matrix, machine=machine).multiply(b).seconds / plain - 1.0
+            make_scheme("tmr", matrix, machine=machine)
+            .multiply(b).seconds / plain - 1.0
         )
     return RedundancyAblation(
         names=tuple(names),

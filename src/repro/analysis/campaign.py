@@ -10,6 +10,10 @@ Two campaign kinds:
   full detect-locate-correct pipeline of each scheme, and the simulated
   runtime is recorded.
 
+Schemes are resolved by name through the :mod:`repro.schemes` registry
+(historic spellings like ``"block"``/``"dense"`` and ``"ours"`` resolve
+via its aliases), so any registered scheme can run either campaign.
+
 The paper runs 100 000 trials per matrix; the statistics here stabilize at
 a few hundred, which is the default (`trials` is a knob everywhere).
 """
@@ -17,24 +21,18 @@ a few hundred, which is the default (`trials` is a knob everywhere).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Literal
+from typing import Tuple
 
 import numpy as np
 
 from repro.analysis.metrics import ConfusionCounts
-from repro.baselines.bisection import PartialRecomputationSpMV
-from repro.baselines.complete import CompleteRecomputationSpMV
-from repro.baselines.dense_check import DenseChecksum
 from repro.core.config import AbftConfig
-from repro.core.detector import BlockAbftDetector
-from repro.core.protected import FaultTolerantSpMV, plain_spmv
+from repro.core.protected import plain_spmv
 from repro.errors import ConfigurationError, InjectionError
 from repro.faults.injector import FaultInjector
 from repro.machine import ExecutionMeter, Machine
+from repro.schemes import canonical_scheme_name, make_scheme
 from repro.sparse.csr import CsrMatrix
-
-DetectorKind = Literal["block", "dense"]
-CorrectionScheme = Literal["ours", "partial", "complete"]
 
 
 @dataclass(frozen=True)
@@ -51,94 +49,92 @@ class CoverageResult:
         return self.counts.f1
 
 
+def _ranges_containing(
+    ranges: Tuple[Tuple[int, int], ...], index: int
+) -> Tuple[bool, int]:
+    """(is the index covered by any range, number of ranges missing it)."""
+    hit = False
+    misses = 0
+    for start, stop in ranges:
+        if start <= index < stop:
+            hit = True
+        else:
+            misses += 1
+    return hit, misses
+
+
 def run_coverage_campaign(
     matrix: CsrMatrix,
-    detector: DetectorKind,
+    detector: str,
     trials: int = 300,
     sigma: float = 1e-12,
     seed: int = 0,
     block_size: int = 32,
     bound: str = "sparse",
 ) -> CoverageResult:
-    """Score a detector's error coverage under σ-significant injections.
+    """Score a scheme's error coverage under σ-significant injections.
 
     Per trial: draw a fresh operand, compute the clean SpMV, first evaluate
-    the detector on the *clean* result (any flag is a false positive), then
-    corrupt one random element with a σ-significant burst and re-evaluate
-    (flagging the corrupted location is a true positive; flags elsewhere
-    are false positives; silence is a false negative).
+    the scheme's verdict on the *clean* result (any implicated row range is
+    a false positive), then corrupt one random element with a σ-significant
+    burst and re-evaluate (a range covering the corrupted location is a
+    true positive; ranges elsewhere are false positives; silence is a false
+    negative).
+
+    ``detector`` is a registered scheme name (``"block"`` and ``"dense"``
+    resolve to ``"abft"`` and ``"dense_check"``); ``bound="empirical"``
+    calibrates an :class:`~repro.core.calibration.EmpiricalBound` for the
+    block scheme instead of an analytical bound family.
     """
     if trials < 1:
         raise ConfigurationError(f"trials must be >= 1, got {trials}")
+    canonical = canonical_scheme_name(detector)
     rng = np.random.default_rng(seed)
     injector = FaultInjector(rng=rng)
     counts = ConfusionCounts()
 
-    if detector == "block":
-        if bound == "empirical":
-            from repro.core.calibration import EmpiricalBound
+    if bound == "empirical":
+        from repro.core.calibration import EmpiricalBound
 
-            block_detector = BlockAbftDetector(
-                matrix,
-                AbftConfig(block_size=block_size),
-                bound_override=EmpiricalBound.calibrate(
-                    matrix, block_size=block_size, samples=40, seed=seed + 1
-                ),
-            )
-        else:
-            block_detector = BlockAbftDetector(
-                matrix, AbftConfig(block_size=block_size, bound=bound)
-            )
+        scheme = make_scheme(
+            canonical,
+            matrix,
+            config=AbftConfig(block_size=block_size),
+            bound_override=EmpiricalBound.calibrate(
+                matrix, block_size=block_size, samples=40, seed=seed + 1
+            ),
+        )
     else:
-        block_detector = None
-    dense_detector = DenseChecksum(matrix) if detector == "dense" else None
-    if block_detector is None and dense_detector is None:
-        raise ConfigurationError(f"unknown detector kind {detector!r}")
+        scheme = make_scheme(
+            canonical, matrix, config=AbftConfig(block_size=block_size, bound=bound)
+        )
+    verdict = getattr(scheme, "verdict", None)
+    if verdict is None:
+        raise ConfigurationError(
+            f"scheme {canonical!r} exposes no verdict(b, r) method; "
+            "coverage campaigns need one to score detections"
+        )
 
     for _ in range(trials):
         b = rng.standard_normal(matrix.n_cols) * 10.0 ** rng.integers(-2, 3)
         r = matrix.matvec(b)
 
-        if block_detector is not None:
-            t1 = block_detector.operand_checksums(b)
-            beta = block_detector.operand_norm(b)
-            clean_report = block_detector.compare(
-                t1, block_detector.result_checksums(r), beta
-            )
-            counts.false_positives += int(clean_report.flagged.size)
-            if clean_report.clean:
-                counts.true_negatives += 1
+        clean_ranges = verdict(b, r)
+        counts.false_positives += len(clean_ranges)
+        if not clean_ranges:
+            counts.true_negatives += 1
 
-            try:
-                record = injector.corrupt_random_element(r, sigma=sigma)
-            except InjectionError:
-                continue  # pathological element; skip the trial
-            target_block = record.index // block_size
-            report = block_detector.compare(
-                t1, block_detector.result_checksums(r), beta
-            )
-            flagged = set(int(x) for x in report.flagged)
-            if target_block in flagged:
-                counts.true_positives += 1
-            else:
-                counts.false_negatives += 1
-            counts.false_positives += len(flagged - {target_block})
+        try:
+            record = injector.corrupt_random_element(r, sigma=sigma)
+        except InjectionError:
+            continue  # pathological element; skip the trial
+        ranges = verdict(b, r)
+        hit, misses = _ranges_containing(ranges, record.index)
+        if hit:
+            counts.true_positives += 1
         else:
-            clean_report = dense_detector.check(b, r)
-            if clean_report.detected:
-                counts.false_positives += 1
-            else:
-                counts.true_negatives += 1
-
-            try:
-                injector.corrupt_random_element(r, sigma=sigma)
-            except InjectionError:
-                continue
-            report = dense_detector.check(b, r)
-            if report.detected:
-                counts.true_positives += 1
-            else:
-                counts.false_negatives += 1
+            counts.false_negatives += 1
+        counts.false_positives += misses
 
     return CoverageResult(counts=counts, trials=trials, sigma=sigma, detector=detector)
 
@@ -159,7 +155,7 @@ class CorrectionTiming:
 
 def run_correction_campaign(
     matrix: CsrMatrix,
-    scheme: CorrectionScheme,
+    scheme: str,
     trials: int = 50,
     seed: int = 0,
     block_size: int = 32,
@@ -170,22 +166,17 @@ def run_correction_campaign(
     Every trial injects one error large enough that *all* compared methods
     detect it (the paper triggers corrections in every evaluated method),
     then runs the scheme's full pipeline and records simulated time.
+    ``scheme`` is any registered scheme name (aliases accepted).
     """
     if trials < 1:
         raise ConfigurationError(f"trials must be >= 1, got {trials}")
     machine = machine or Machine()
     rng = np.random.default_rng(seed)
 
-    if scheme == "ours":
-        operator = FaultTolerantSpMV(
-            matrix, config=AbftConfig(block_size=block_size), machine=machine
-        )
-    elif scheme == "partial":
-        operator = PartialRecomputationSpMV(matrix, machine=machine)
-    elif scheme == "complete":
-        operator = CompleteRecomputationSpMV(matrix, machine=machine)
-    else:
-        raise ConfigurationError(f"unknown correction scheme {scheme!r}")
+    canonical = canonical_scheme_name(scheme)
+    operator = make_scheme(
+        canonical, matrix, config=AbftConfig(block_size=block_size), machine=machine
+    )
 
     total = 0.0
     for _ in range(trials):
@@ -206,7 +197,7 @@ def run_correction_campaign(
     plain_meter = ExecutionMeter(machine=machine)
     plain_spmv(matrix, rng.standard_normal(matrix.n_cols), meter=plain_meter)
     return CorrectionTiming(
-        scheme=scheme,
+        scheme=canonical,
         mean_protected_seconds=total / trials,
         plain_seconds=plain_meter.seconds,
         trials=trials,

@@ -15,6 +15,7 @@ from repro.analysis.sweeps import (
     DetectionComparison,
     PcgCell,
 )
+from repro.schemes import DEFAULT_CORRECTION_SCHEMES
 
 
 def format_table(
@@ -82,14 +83,15 @@ def render_detection_comparison(comparison: DetectionComparison) -> str:
 
 def render_correction_comparison(comparison: CorrectionComparison) -> str:
     """Figure 6: per-matrix detection+correction overheads."""
+    ours_key, partial_key, complete_key = DEFAULT_CORRECTION_SCHEMES
     rows = []
     for index, name in enumerate(comparison.names):
         rows.append(
             (
                 name,
-                percent(comparison.timings["ours"][index].overhead),
-                percent(comparison.timings["partial"][index].overhead),
-                percent(comparison.timings["complete"][index].overhead),
+                percent(comparison.timings[ours_key][index].overhead),
+                percent(comparison.timings[partial_key][index].overhead),
+                percent(comparison.timings[complete_key][index].overhead),
             )
         )
     table = format_table(
@@ -97,8 +99,8 @@ def render_correction_comparison(comparison: CorrectionComparison) -> str:
         rows,
         title="Figure 6 — runtime overhead for error detection and correction",
     )
-    partial = comparison.average_reduction_vs("partial")
-    complete = comparison.average_reduction_vs("complete")
+    partial = comparison.average_reduction_vs(partial_key)
+    complete = comparison.average_reduction_vs(complete_key)
     return (
         f"{table}\naverage reduction vs partial recomputation: {percent(partial)}"
         f"\naverage reduction vs complete recomputation: {percent(complete)}"

@@ -19,11 +19,16 @@ from repro.analysis.campaign import (
     run_coverage_campaign,
 )
 from repro.analysis.metrics import mean, runtime_overhead, success_rate
-from repro.baselines.dense_check import DenseChecksum
 from repro.core.config import AbftConfig
-from repro.core.detector import BlockAbftDetector
 from repro.errors import ConfigurationError
 from repro.machine import Machine, TaskGraph, spmv_cost
+from repro.schemes import (
+    DEFAULT_CORRECTION_SCHEMES,
+    DEFAULT_PCG_SCHEMES,
+    DEFAULT_SCHEME,
+    canonical_scheme_name,
+    make_scheme,
+)
 from repro.solvers.ft_pcg import FtPcgOptions, run_pcg
 from repro.sparse.csr import CsrMatrix
 from repro.sparse.suite import MatrixSpec
@@ -52,16 +57,20 @@ def detection_overhead(
     block_size: int = 32,
     machine: Machine | None = None,
 ) -> float:
-    """Modeled error-detection overhead of one protected SpMV (Figures 4-5)."""
+    """Modeled error-detection overhead of one protected SpMV (Figures 4-5).
+
+    ``method`` is a registered scheme name (``"block"``/``"dense"``
+    resolve through the registry aliases); the scheme's own
+    ``detection_graph`` provides the modeled cost.
+    """
     machine = machine or Machine()
-    if method == "block":
-        graph = BlockAbftDetector(
-            matrix, AbftConfig(block_size=block_size)
-        ).detection_graph()
-    elif method == "dense":
-        graph = DenseChecksum(matrix).detection_graph()
-    else:
-        raise ConfigurationError(f"unknown detection method {method!r}")
+    scheme = make_scheme(
+        canonical_scheme_name(method),
+        matrix,
+        config=AbftConfig(block_size=block_size),
+        machine=machine,
+    )
+    graph = scheme.detection_graph()
     return runtime_overhead(machine.makespan(graph), plain_spmv_time(matrix, machine))
 
 
@@ -136,18 +145,28 @@ class CorrectionComparison:
     names: Tuple[str, ...]
     timings: Dict[str, Tuple[CorrectionTiming, ...]]
 
-    def overheads(self, scheme: str) -> Tuple[float, ...]:
-        if scheme not in self.timings:
+    def _key(self, scheme: str) -> str:
+        """Resolve a (possibly aliased) scheme name to a timings key."""
+        try:
+            resolved = canonical_scheme_name(scheme)
+        except ConfigurationError:
+            resolved = scheme  # comparisons may hold unregistered labels
+        if resolved not in self.timings:
             raise ConfigurationError(
                 f"unknown correction scheme {scheme!r}; "
                 f"expected one of {tuple(sorted(self.timings))}"
             )
-        return tuple(t.overhead for t in self.timings[scheme])
+        return resolved
+
+    # reprolint: disable=ABFT006 -- _key raises ConfigurationError on unknown schemes
+    def overheads(self, scheme: str) -> Tuple[float, ...]:
+        return tuple(t.overhead for t in self.timings[self._key(scheme)])
 
     def average_reduction_vs(self, baseline: str) -> float:
+        ours_timings = self.timings[self._key(DEFAULT_SCHEME)]
         return mean(
             1.0 - ours.overhead / theirs.overhead
-            for ours, theirs in zip(self.timings["ours"], self.timings[baseline])
+            for ours, theirs in zip(ours_timings, self.timings[self._key(baseline)])
         )
 
 
@@ -156,11 +175,15 @@ def compare_correction_overheads(
     trials: int = 30,
     seed: int = 0,
     machine: Machine | None = None,
+    schemes: Sequence[str] = DEFAULT_CORRECTION_SCHEMES,
 ) -> CorrectionComparison:
-    """Figure 6: detection+correction overhead for ours/partial/complete."""
+    """Figure 6: detection+correction overhead per scheme (default: the
+    paper's abft/bisection/complete triple)."""
     machine = machine or Machine()
     names = tuple(spec.name for spec, _ in suite)
-    timings: Dict[str, list] = {"ours": [], "partial": [], "complete": []}
+    timings: Dict[str, list] = {
+        canonical_scheme_name(scheme): [] for scheme in schemes
+    }
     for index, (spec, matrix) in enumerate(suite):
         for scheme in timings:
             timings[scheme].append(
@@ -183,15 +206,14 @@ class CoverageComparison:
     dense: Dict[float, Tuple[CoverageResult, ...]]
 
     def average_f1(self, detector: str, sigma: float) -> float:
-        if detector == "block":
-            results = self.block[sigma]
-        elif detector == "dense":
-            results = self.dense[sigma]
-        else:
+        by_scheme = {"abft": self.block, "dense_check": self.dense}
+        resolved = canonical_scheme_name(detector)
+        if resolved not in by_scheme:
             raise ConfigurationError(
-                f"unknown detector kind {detector!r}; expected 'block' or 'dense'"
+                f"no coverage data for scheme {detector!r}; "
+                f"expected one of {tuple(sorted(by_scheme))}"
             )
-        return mean(result.f1 for result in results)
+        return mean(result.f1 for result in by_scheme[resolved][sigma])
 
 
 def compare_coverage(
@@ -238,7 +260,7 @@ class PcgCell:
 
 def sweep_pcg(
     suite: Sequence[Tuple[MatrixSpec, CsrMatrix]],
-    schemes: Sequence[str] = ("ours", "partial", "checkpoint"),
+    schemes: Sequence[str] = DEFAULT_PCG_SCHEMES,
     error_rates: Sequence[float] = PCG_ERROR_RATES,
     runs: int = 10,
     seed: int = 0,

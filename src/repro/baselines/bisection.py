@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.baselines.dense_check import DenseChecksum
-from repro.baselines.scheme import BaselineSpmvResult
+from repro.baselines.scheme import BaselineContext
 from repro.core.corrector import TamperHook
 from repro.errors import ConfigurationError
 from repro.machine import (
@@ -33,6 +33,7 @@ from repro.machine import (
     partial_spmv_cost,
     probe_cost,
 )
+from repro.schemes.result import ProtectedSpmvResult
 from repro.sparse.csr import CsrMatrix
 
 #: The early-stop fraction used throughout the paper's evaluation.
@@ -160,10 +161,10 @@ class BisectionLocalizer:
         return graph
 
 
-class PartialRecomputationSpMV:
+class PartialRecomputationSpMV(BaselineContext):
     """Dense check + bisection localization + range recomputation ([30])."""
 
-    name = "partial-recomputation"
+    name = "bisection"
 
     def __init__(
         self,
@@ -172,9 +173,10 @@ class PartialRecomputationSpMV:
         max_rounds: int = 8,
         early_stop_fraction: float = DEFAULT_EARLY_STOP,
         bound_scale: float = 1.0,
+        kernel: object = None,
+        telemetry: object = None,
     ) -> None:
-        self.matrix = matrix
-        self.machine = machine or Machine()
+        super().__init__(matrix, machine=machine, kernel=kernel, telemetry=telemetry)
         self.max_rounds = max_rounds
         self.checker = DenseChecksum(matrix, bound_scale=bound_scale)
         self.localizer = BisectionLocalizer(matrix, early_stop_fraction)
@@ -184,64 +186,67 @@ class PartialRecomputationSpMV:
         b: np.ndarray,
         tamper: Optional[TamperHook] = None,
         meter: Optional[ExecutionMeter] = None,
-    ) -> BaselineSpmvResult:
+    ) -> ProtectedSpmvResult:
         """One protected multiply (same driver contract as the core scheme)."""
         matrix = self.matrix
-        meter = meter if meter is not None else ExecutionMeter(machine=self.machine)
+        meter = self._meter(meter)
         start_seconds, start_flops = meter.snapshot()
         max_row = int(matrix.row_lengths().max(initial=1))
 
-        meter.run_graph(self.checker.detection_graph())
-        r = matrix.matvec(b)
-        if tamper is not None:
-            tamper("result", r, 2.0 * matrix.nnz)
-        report = self.checker.check(b, r, tamper)
-
-        detections = [report.detected]
-        corrections: list[tuple[int, int]] = []
-        rounds = 0
-        exhausted = False
-        while report.detected:
-            if rounds >= self.max_rounds:
-                exhausted = True
-                break
-            rounds += 1
-
-            # Localization phase (the step the proposed scheme avoids).
-            outcome = self.localizer.localize(
-                b, r, report.syndrome, report.threshold, tamper
-            )
-            meter.run_graph(self.localizer.localization_graph(outcome.probes))
-
-            # Partial recomputation of each delimited range.
-            graph = TaskGraph()
-            for index, (start, stop) in enumerate(outcome.ranges):
-                segment = matrix.matvec_rows(start, stop, b)
-                nnz = matrix.nnz_in_rows(start, stop)
-                if tamper is not None:
-                    tamper("corrected", segment, 2.0 * nnz)
-                r[start:stop] = segment
-                corrections.append((start, stop))
-                cost = partial_spmv_cost(nnz, max_row)
-                graph.add(f"recompute{index}", cost.work, cost.span)
-            if len(graph):
-                meter.run_graph(graph)
-
-            # Full dense re-check (c b and tau are reusable; w^T r is not).
-            recheck_graph = TaskGraph()
-            cost = dense_check_cost(matrix.n_rows)
-            recheck_graph.add("wr", cost.work, cost.span)
-            meter.run_graph(recheck_graph)
-            box = np.array([self.checker.result_checksum(r)])
+        with self.telemetry.span(
+            self._span_name, rows=matrix.n_rows, nnz=matrix.nnz
+        ):
+            meter.run_graph(self.checker.detection_graph())
+            r = matrix.matvec(b)
             if tamper is not None:
-                tamper("t2", box, 2.0 * matrix.n_rows)
-            report = self.checker.evaluate(
-                report.operand_checksum, float(box[0]), report.threshold
-            )
-            detections.append(report.detected)
+                tamper("result", r, 2.0 * matrix.nnz)
+            report = self.checker.check(b, r, tamper)
+            self._record_check(report.detected)
+
+            detections = [report.detected]
+            corrections: list[tuple[int, int]] = []
+            rounds = 0
+            exhausted = False
+            while report.detected:
+                if rounds >= self.max_rounds:
+                    exhausted = True
+                    break
+                rounds += 1
+                self._record_correction()
+
+                # Localization phase (the step the proposed scheme avoids).
+                outcome = self.localizer.localize(
+                    b, r, report.syndrome, report.threshold, tamper
+                )
+                meter.run_graph(self.localizer.localization_graph(outcome.probes))
+
+                # Partial recomputation of each delimited range, through the
+                # injected kernel set (bit-identical across kernels).
+                graph = TaskGraph()
+                for index, (start, stop) in enumerate(outcome.ranges):
+                    nnz = self._recompute_rows(b, r, start, stop, tamper)
+                    corrections.append((start, stop))
+                    cost = partial_spmv_cost(nnz, max_row)
+                    graph.add(f"recompute{index}", cost.work, cost.span)
+                if len(graph):
+                    meter.run_graph(graph)
+
+                # Full dense re-check (c b and tau are reusable; w^T r is not).
+                recheck_graph = TaskGraph()
+                cost = dense_check_cost(matrix.n_rows)
+                recheck_graph.add("wr", cost.work, cost.span)
+                meter.run_graph(recheck_graph)
+                box = np.array([self.checker.result_checksum(r)])
+                if tamper is not None:
+                    tamper("t2", box, 2.0 * matrix.n_rows)
+                report = self.checker.evaluate(
+                    report.operand_checksum, float(box[0]), report.threshold
+                )
+                detections.append(report.detected)
+                self._record_check(report.detected)
 
         seconds, flops = meter.snapshot()
-        return BaselineSpmvResult(
+        return ProtectedSpmvResult(
             value=r,
             detections=tuple(detections),
             corrections=tuple(corrections),
@@ -250,3 +255,7 @@ class PartialRecomputationSpMV:
             flops=flops - start_flops,
             exhausted=exhausted,
         )
+
+    def detection_graph(self) -> TaskGraph:
+        """Task graph of one multiply's detection phase."""
+        return self.checker.detection_graph()

@@ -1,21 +1,29 @@
-"""Checkpoint/rollback state store (the paper's checkpointing baseline).
+"""Checkpoint/rollback baseline (the paper's traditional recovery scheme).
 
 The PCG case study compares against a traditional scheme that samples the
 solver state every 20 iterations into ECC-protected memory and, when the
 dense check detects an error, restarts from the last snapshot.  This module
-provides the storage half; the rollback-driving logic lives in
-:mod:`repro.solvers.ft_pcg`.
+provides both halves: the :class:`CheckpointStore` holding snapshots and
+the :class:`CheckpointSpMV` scheme whose detections signal a rollback; the
+rollback-driving loop lives in :mod:`repro.solvers.ft_pcg`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.baselines.dense_check import DenseCheckSpMV
 from repro.errors import ConfigurationError
-from repro.machine import KernelCost, checkpoint_restore_cost, checkpoint_store_cost
+from repro.machine import (
+    KernelCost,
+    Machine,
+    checkpoint_restore_cost,
+    checkpoint_store_cost,
+)
+from repro.sparse.csr import CsrMatrix
 
 #: Checkpoint interval used throughout the paper's evaluation (Section VI).
 DEFAULT_CHECKPOINT_INTERVAL = 20
@@ -81,3 +89,34 @@ class CheckpointStore:
         return int(sum(value.size for value in self._arrays.values())) + len(
             self._scalars
         )
+
+
+class CheckpointSpMV(DenseCheckSpMV):
+    """Dense-checked SpMV whose recovery path is checkpoint rollback.
+
+    The multiply itself is detection-only (numerically identical to
+    :class:`DenseCheckSpMV` — a detection comes back ``exhausted`` because
+    the SpMV cannot repair itself); the scheme carries a
+    :class:`CheckpointStore` (``.store``) that the driving solver saves to
+    every :data:`DEFAULT_CHECKPOINT_INTERVAL` iterations and rolls back to
+    when a multiply reports a detection.
+    """
+
+    name = "checkpoint"
+
+    def __init__(
+        self,
+        matrix: CsrMatrix,
+        machine: Optional[Machine] = None,
+        bound_scale: float = 1.0,
+        kernel: object = None,
+        telemetry: object = None,
+    ) -> None:
+        super().__init__(
+            matrix,
+            machine=machine,
+            bound_scale=bound_scale,
+            kernel=kernel,
+            telemetry=telemetry,
+        )
+        self.store = CheckpointStore()

@@ -12,16 +12,17 @@ from typing import Optional
 import numpy as np
 
 from repro.baselines.dense_check import DenseChecksum
-from repro.baselines.scheme import BaselineSpmvResult
+from repro.baselines.scheme import BaselineContext
 from repro.core.corrector import TamperHook
-from repro.machine import ExecutionMeter, Machine
+from repro.machine import ExecutionMeter, Machine, TaskGraph
+from repro.schemes.result import ProtectedSpmvResult
 from repro.sparse.csr import CsrMatrix
 
 
-class CompleteRecomputationSpMV:
+class CompleteRecomputationSpMV(BaselineContext):
     """Dense check + full recomputation on error."""
 
-    name = "complete-recomputation"
+    name = "complete"
 
     def __init__(
         self,
@@ -29,9 +30,10 @@ class CompleteRecomputationSpMV:
         machine: Optional[Machine] = None,
         max_rounds: int = 8,
         bound_scale: float = 1.0,
+        kernel: object = None,
+        telemetry: object = None,
     ) -> None:
-        self.matrix = matrix
-        self.machine = machine or Machine()
+        super().__init__(matrix, machine=machine, kernel=kernel, telemetry=telemetry)
         self.max_rounds = max_rounds
         self.checker = DenseChecksum(matrix, bound_scale=bound_scale)
 
@@ -40,38 +42,43 @@ class CompleteRecomputationSpMV:
         b: np.ndarray,
         tamper: Optional[TamperHook] = None,
         meter: Optional[ExecutionMeter] = None,
-    ) -> BaselineSpmvResult:
+    ) -> ProtectedSpmvResult:
         """One protected multiply (same driver contract as the core scheme)."""
         matrix = self.matrix
-        meter = meter if meter is not None else ExecutionMeter(machine=self.machine)
+        meter = self._meter(meter)
         start_seconds, start_flops = meter.snapshot()
 
-        meter.run_graph(self.checker.detection_graph())
-        r = matrix.matvec(b)
-        if tamper is not None:
-            tamper("result", r, 2.0 * matrix.nnz)
-        report = self.checker.check(b, r, tamper)
-
-        detections = [report.detected]
-        corrections: list[tuple[int, int]] = []
-        rounds = 0
-        exhausted = False
-        while report.detected:
-            if rounds >= self.max_rounds:
-                exhausted = True
-                break
-            rounds += 1
-            # Full recomputation plus a complete re-check.
+        with self.telemetry.span(
+            self._span_name, rows=matrix.n_rows, nnz=matrix.nnz
+        ):
             meter.run_graph(self.checker.detection_graph())
             r = matrix.matvec(b)
             if tamper is not None:
-                tamper("corrected", r, 2.0 * matrix.nnz)
-            corrections.append((0, matrix.n_rows))
+                tamper("result", r, 2.0 * matrix.nnz)
             report = self.checker.check(b, r, tamper)
-            detections.append(report.detected)
+            self._record_check(report.detected)
+
+            detections = [report.detected]
+            corrections: list[tuple[int, int]] = []
+            rounds = 0
+            exhausted = False
+            while report.detected:
+                if rounds >= self.max_rounds:
+                    exhausted = True
+                    break
+                rounds += 1
+                self._record_correction()
+                # Full recomputation plus a complete re-check, routed through
+                # the injected kernel set (bit-identical across kernels).
+                meter.run_graph(self.checker.detection_graph())
+                self._recompute_rows(b, r, 0, matrix.n_rows, tamper)
+                corrections.append((0, matrix.n_rows))
+                report = self.checker.check(b, r, tamper)
+                detections.append(report.detected)
+                self._record_check(report.detected)
 
         seconds, flops = meter.snapshot()
-        return BaselineSpmvResult(
+        return ProtectedSpmvResult(
             value=r,
             detections=tuple(detections),
             corrections=tuple(corrections),
@@ -80,3 +87,7 @@ class CompleteRecomputationSpMV:
             flops=flops - start_flops,
             exhausted=exhausted,
         )
+
+    def detection_graph(self) -> TaskGraph:
+        """Task graph of one multiply's detection phase."""
+        return self.checker.detection_graph()

@@ -11,18 +11,22 @@ built on it must either recompute everything or run a localization phase.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.baselines.scheme import BaselineContext
 from repro.core.corrector import TamperHook
 from repro.machine import (
+    ExecutionMeter,
+    Machine,
     TaskGraph,
     blocking_norm_cost,
     dense_check_cost,
     dot_cost,
     spmv_cost,
 )
+from repro.schemes.result import ProtectedSpmvResult
 from repro.sparse.csr import CsrMatrix
 
 
@@ -128,3 +132,68 @@ class DenseChecksum:
         cost = dense_check_cost(matrix.n_rows)
         graph.add("wr", cost.work, cost.span, deps=step1)
         return graph
+
+
+class DenseCheckSpMV(BaselineContext):
+    """Detection-only dense-checked SpMV ([30]).
+
+    The dense check carries no location information and this scheme has no
+    recovery phase: a detection leaves the result uncorrected and the
+    ``exhausted`` flag set, signalling the caller (e.g. a checkpointed
+    solver) to recover by other means.
+    """
+
+    name = "dense_check"
+
+    def __init__(
+        self,
+        matrix: CsrMatrix,
+        machine: Optional[Machine] = None,
+        bound_scale: float = 1.0,
+        kernel: object = None,
+        telemetry: object = None,
+    ) -> None:
+        super().__init__(matrix, machine=machine, kernel=kernel, telemetry=telemetry)
+        self.checker = DenseChecksum(matrix, bound_scale=bound_scale)
+
+    def multiply(
+        self,
+        b: np.ndarray,
+        tamper: Optional[TamperHook] = None,
+        meter: Optional[ExecutionMeter] = None,
+    ) -> ProtectedSpmvResult:
+        """One checked multiply; detections are terminal (no correction)."""
+        matrix = self.matrix
+        meter = self._meter(meter)
+        start_seconds, start_flops = meter.snapshot()
+        with self.telemetry.span(
+            self._span_name, rows=matrix.n_rows, nnz=matrix.nnz
+        ):
+            meter.run_graph(self.checker.detection_graph())
+            r = matrix.matvec(b)
+            if tamper is not None:
+                tamper("result", r, 2.0 * matrix.nnz)
+            report = self.checker.check(b, r, tamper)
+            self._record_check(report.detected)
+
+        seconds, flops = meter.snapshot()
+        return ProtectedSpmvResult(
+            value=r,
+            detections=(report.detected,),
+            corrections=(),
+            rounds=0,
+            seconds=seconds - start_seconds,
+            flops=flops - start_flops,
+            exhausted=report.detected,
+        )
+
+    def verdict(self, b: np.ndarray, r: np.ndarray) -> Tuple[Tuple[int, int], ...]:
+        """Row ranges the check implicates — all rows or none (no location)."""
+        report = self.checker.check(b, r)
+        if report.detected:
+            return ((0, self.matrix.n_rows),)
+        return ()
+
+    def detection_graph(self) -> TaskGraph:
+        """Task graph of one multiply's detection phase."""
+        return self.checker.detection_graph()

@@ -1,59 +1,111 @@
-"""Common result type and protocol for baseline fault-tolerance schemes.
+"""Baseline plumbing: the shared result type and execution context.
 
 The baselines mirror :class:`repro.core.FaultTolerantSpMV`'s driver contract
 — ``multiply(b, tamper=None, meter=None)`` with the same tamper-hook stages
-— so campaigns can swap schemes freely.  Their result type differs in one
-way: related-work schemes do not know *blocks*; corrections are recorded as
-row ranges (complete recomputation reports the full range).
+— so campaigns can swap schemes freely through :mod:`repro.schemes`.  Since
+the registry refactor all schemes return the same unified
+:class:`~repro.schemes.result.ProtectedSpmvResult`; ``BaselineSpmvResult``
+remains as a compatibility alias (same field order, plus the block-id
+fields the related-work schemes leave empty).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Protocol, Tuple
+from typing import Optional, Protocol
 
 import numpy as np
 
 from repro.core.corrector import TamperHook
-from repro.machine import ExecutionMeter
+from repro.kernels import KernelSet, resolve_kernels
+from repro.machine import ExecutionMeter, Machine
+from repro.obs import Telemetry, resolve_telemetry
+from repro.schemes.result import ProtectedSpmvResult
+from repro.sparse.csr import CsrMatrix
 
-
-@dataclass(frozen=True)
-class BaselineSpmvResult:
-    """Outcome of one baseline protected multiply.
-
-    Attributes:
-        value: the (possibly corrected) result vector.
-        detections: per check, True if the dense check fired.
-        corrections: row ranges ``(start, stop)`` that were recomputed, in
-            order.
-        rounds: correction rounds performed.
-        seconds: simulated time charged.
-        flops: arithmetic operations charged.
-        exhausted: True if the check still failed when the round budget ran
-            out.
-    """
-
-    value: np.ndarray
-    detections: Tuple[bool, ...]
-    corrections: Tuple[Tuple[int, int], ...]
-    rounds: int
-    seconds: float
-    flops: float
-    exhausted: bool
-
-    @property
-    def clean(self) -> bool:
-        """True when the initial check passed."""
-        return not self.detections[0]
+#: Compatibility alias — the unified result type fixed the historical
+#: ``clean``-on-empty-detections ``IndexError`` of the baseline-only type.
+BaselineSpmvResult = ProtectedSpmvResult
 
 
 class SpmvScheme(Protocol):
-    """Anything that can run one protected SpMV (ours or a baseline)."""
+    """Anything that can run one protected SpMV (ours or a baseline).
+
+    Superseded by the richer :class:`repro.schemes.ProtectionScheme`;
+    kept because the narrower surface (just ``multiply``) is all some
+    campaign code needs.
+    """
 
     def multiply(
         self,
         b: np.ndarray,
         tamper: TamperHook | None = None,
         meter: ExecutionMeter | None = None,
-    ): ...
+    ) -> ProtectedSpmvResult: ...
+
+
+class BaselineContext:
+    """Injected execution context shared by every baseline scheme.
+
+    Resolves the machine model, kernel set and telemetry stream once at
+    construction so baseline hot paths (range recomputation, checksum
+    refreshes) dispatch through the same registered kernels — and emit
+    into the same telemetry stream — as the block-ABFT scheme, making
+    overhead comparisons kernel-for-kernel.
+    """
+
+    #: Registry name; subclasses override.
+    name: str = "baseline"
+
+    def __init__(
+        self,
+        matrix: CsrMatrix,
+        machine: Optional[Machine] = None,
+        kernel: object = None,
+        telemetry: object = None,
+    ) -> None:
+        self.matrix = matrix
+        self.machine = machine or Machine()
+        self.telemetry: Telemetry = resolve_telemetry(telemetry)
+        self.kernels: KernelSet = self.telemetry.wrap_kernels(resolve_kernels(kernel))
+        self._span_name = f"scheme.{self.name}.multiply"
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def _meter(self, meter: Optional[ExecutionMeter]) -> ExecutionMeter:
+        return meter if meter is not None else ExecutionMeter(machine=self.machine)
+
+    def _recompute_rows(
+        self,
+        b: np.ndarray,
+        r: np.ndarray,
+        start: int,
+        stop: int,
+        tamper: Optional[TamperHook],
+    ) -> int:
+        """Recompute result rows ``[start, stop)`` in place via the
+        injected kernel set; returns the nnz touched.
+
+        ``row_checksums`` dots each selected CSR row with ``b`` — the
+        same left-to-right per-row reduction as ``matvec_rows``, so the
+        recomputed segment is bit-identical under every kernel set.
+        """
+        rows = np.arange(start, stop, dtype=np.int64)
+        segment, nnz = self.kernels.row_checksums(self.matrix, rows, b)
+        if tamper is not None:
+            tamper("corrected", segment, 2.0 * nnz)
+        r[start:stop] = segment
+        return nnz
+
+    def _record_check(self, detected: bool) -> None:
+        """Scheme-tagged detection telemetry (``abft.*`` counter family)."""
+        telemetry = self.telemetry
+        if not telemetry.enabled:
+            return
+        telemetry.count("abft.checks", scheme=self.name)
+        if detected:
+            telemetry.count("abft.detections", scheme=self.name)
+
+    def _record_correction(self) -> None:
+        if self.telemetry.enabled:
+            self.telemetry.count("abft.corrections", scheme=self.name)

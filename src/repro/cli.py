@@ -40,6 +40,7 @@ from repro.analysis import (
     sweep_block_sizes,
     sweep_pcg,
 )
+from repro.schemes import DEFAULT_PCG_SCHEMES
 from repro.solvers import FtPcgOptions
 from repro.sparse import QUICK_SUITE, iter_suite
 
@@ -112,7 +113,7 @@ def cmd_fig7(args: argparse.Namespace) -> None:
 
 def cmd_pcg(args: argparse.Namespace) -> None:
     suite = list(iter_suite(names=PCG_MATRICES[:2] if args.quick else PCG_MATRICES))
-    schemes = ("ours", "partial", "checkpoint")
+    schemes = DEFAULT_PCG_SCHEMES
     rates = tuple(args.rates) if args.rates else PCG_ERROR_RATES
     runs = 2 if args.quick else args.runs
     cells = sweep_pcg(

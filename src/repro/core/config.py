@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import ConfigurationError
 from repro.kernels import DEFAULT_KERNEL, available_kernels
@@ -54,6 +55,11 @@ class AbftConfig:
             which a *clean* block's syndrome counts as a near miss
             (``abft.false_positive_candidates``) and fires the detector's
             near-miss hook — the signal adaptive thresholds watch.
+        scheme: registered protection-scheme name (see
+            :mod:`repro.schemes`) used when a caller asks for a default
+            scheme; None keeps the library default (``"abft"``).  The
+            ``REPRO_SCHEME`` environment variable overrides *defaulted*
+            selections process-wide.
     """
 
     block_size: int = DEFAULT_BLOCK_SIZE
@@ -64,6 +70,7 @@ class AbftConfig:
     kernel: str = DEFAULT_KERNEL
     telemetry: str = DEFAULT_EXPORTER
     near_miss_fraction: float = DEFAULT_NEAR_MISS_FRACTION
+    scheme: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.block_size < 1:
@@ -95,3 +102,8 @@ class AbftConfig:
             raise ConfigurationError(
                 f"near_miss_fraction must be >= 0, got {self.near_miss_fraction}"
             )
+        if self.scheme is not None:
+            # Lazy import: the registry depends on this module for defaults.
+            from repro.schemes import canonical_scheme_name
+
+            canonical_scheme_name(self.scheme)

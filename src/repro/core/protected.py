@@ -27,6 +27,7 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (annotations only)
     from repro.perf.plan import ProtectedPlan
 
+from repro.core.blocking import BlockPartition
 from repro.core.config import AbftConfig
 from repro.core.corrector import TamperHook, correct_blocks
 from repro.core.detector import BlockAbftDetector
@@ -41,6 +42,7 @@ from repro.machine import (
     spmv_cost,
 )
 from repro.obs import DEFAULT_FRACTION_BUCKETS, Telemetry
+from repro.schemes.result import ProtectedSpmvResult
 from repro.sparse.csr import CsrMatrix
 
 
@@ -62,34 +64,43 @@ def plain_spmv(
     return r
 
 
-@dataclass(frozen=True)
-class SpmvResult:
-    """Outcome of one protected multiply.
+#: Compatibility alias — protected multiplies now return the unified
+#: result type shared by every scheme in :mod:`repro.schemes`.
+SpmvResult = ProtectedSpmvResult
 
-    Attributes:
-        value: the (possibly corrected) result vector.
-        detected: per check, the tuple of flagged block indices — index 0
-            is the initial detection, later entries are re-verifications.
-        corrected_blocks: sorted distinct blocks that were recomputed.
-        rounds: number of correction rounds performed.
-        seconds: simulated time charged for this multiply.
-        flops: arithmetic operations charged for this multiply.
-        exhausted: True if blocks remained flagged when the round budget
-            ran out (the scheme reports failure rather than looping).
+
+def block_result(
+    partition: BlockPartition,
+    value: np.ndarray,
+    detected: Tuple[Tuple[int, ...], ...],
+    corrected_blocks: Tuple[int, ...],
+    rounds: int,
+    seconds: float,
+    flops: float,
+    exhausted: bool,
+) -> ProtectedSpmvResult:
+    """Build the unified result from block-granular detection state.
+
+    ``detected`` is the per-check tuple of flagged block indices; check
+    ``i`` (for ``i < rounds``) fed correction round ``i + 1``, so the
+    row-range ``corrections`` are exactly the bounds of those blocks, in
+    recomputation order.
     """
-
-    value: np.ndarray
-    detected: Tuple[Tuple[int, ...], ...]
-    corrected_blocks: Tuple[int, ...]
-    rounds: int
-    seconds: float
-    flops: float
-    exhausted: bool
-
-    @property
-    def clean(self) -> bool:
-        """True when the initial detection found nothing."""
-        return not self.detected[0]
+    return ProtectedSpmvResult(
+        value=value,
+        detections=tuple(bool(blocks) for blocks in detected),
+        corrections=tuple(
+            partition.bounds(int(block))
+            for index in range(rounds)
+            for block in detected[index]
+        ),
+        rounds=rounds,
+        seconds=seconds,
+        flops=flops,
+        exhausted=exhausted,
+        detected_blocks=detected,
+        corrected_blocks=corrected_blocks,
+    )
 
 
 class FaultTolerantSpMV:
@@ -103,7 +114,13 @@ class FaultTolerantSpMV:
         telemetry: :mod:`repro.obs` selection — a Telemetry instance or
             exporter name; None resolves ``config.telemetry`` (with the
             ``REPRO_OBS`` environment override).
+        bound_override: optional object exposing ``thresholds(beta, blocks)``
+            replacing the analytical detection bound (e.g. an
+            :class:`~repro.analysis.empirical.EmpiricalBound`).
     """
+
+    #: Registry name in :mod:`repro.schemes` (the paper's scheme).
+    name = "abft"
 
     def __init__(
         self,
@@ -112,6 +129,7 @@ class FaultTolerantSpMV:
         config: Optional[AbftConfig] = None,
         machine: Optional[Machine] = None,
         telemetry: object = None,
+        bound_override: object = None,
     ) -> None:
         if config is not None and block_size is not None and config.block_size != block_size:
             raise ConfigurationError(
@@ -122,7 +140,9 @@ class FaultTolerantSpMV:
             config = AbftConfig(block_size=block_size) if block_size else AbftConfig()
         self.config = config
         self.machine = machine or Machine()
-        self.detector = BlockAbftDetector(matrix, config, telemetry=telemetry)
+        self.detector = BlockAbftDetector(
+            matrix, config, bound_override=bound_override, telemetry=telemetry
+        )
         self._plan: Optional["ProtectedPlan"] = None
 
     @property
@@ -188,7 +208,8 @@ class FaultTolerantSpMV:
             )
 
         seconds, flops = meter.snapshot()
-        return SpmvResult(
+        return block_result(
+            detector.partition,
             value=r,
             detected=tuple(detected),
             corrected_blocks=tuple(sorted(corrected)),
@@ -310,6 +331,21 @@ class FaultTolerantSpMV:
         """Unprotected SpMV on the same machine (overhead baseline)."""
         meter = meter if meter is not None else ExecutionMeter(machine=self.machine)
         return plain_spmv(self.matrix, b, meter=meter, tamper=tamper)
+
+    def detection_graph(self) -> TaskGraph:
+        """Task graph of one multiply's detection phase (cost model)."""
+        return self.detector.detection_graph()
+
+    def verdict(self, b: np.ndarray, r: np.ndarray) -> Tuple[Tuple[int, int], ...]:
+        """Row ranges the detector implicates for a given ``(b, r)`` pair.
+
+        Runs the block check without correcting; each flagged block maps to
+        its row range, so coverage campaigns can score all schemes on the
+        same range-granular confusion counts.
+        """
+        report = self.detector.detect(b, r)
+        partition = self.detector.partition
+        return tuple(partition.bounds(int(block)) for block in report.flagged)
 
     # ------------------------------------------------------------------
     # Internals

@@ -8,6 +8,7 @@ from repro.lint.rules.abft import (
     ExactFloatCompareRule,
     MissingValidationRule,
     ReductionOrderRule,
+    SchemeConstructionRule,
 )
 from repro.lint.rules.base import LintRule, ModuleContext
 
@@ -21,4 +22,5 @@ __all__ = [
     "DtypeDowncastRule",
     "BroadExceptRule",
     "MissingValidationRule",
+    "SchemeConstructionRule",
 ]

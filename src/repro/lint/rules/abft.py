@@ -1,4 +1,4 @@
-"""The built-in ABFT rule pack (ABFT001-ABFT006).
+"""The built-in ABFT rule pack (ABFT001-ABFT007).
 
 Each rule statically enforces one protocol invariant of the block-ABFT
 scheme (Schoell et al., DSN 2016) that the runtime cannot check for
@@ -57,7 +57,15 @@ SELECTOR_PARAMS = frozenset(
 
 #: Calls accepted as delegated validation of a selector (ABFT006).
 VALIDATOR_CALLS = frozenset(
-    {"resolve_kernels", "make_weights", "make_bound", "validate_blocks", "AbftConfig"}
+    {"resolve_kernels", "make_weights", "make_bound", "validate_blocks", "AbftConfig",
+     "make_scheme", "resolve_scheme", "canonical_scheme_name"}
+)
+
+#: Protection-scheme classes that must be built through the
+#: :mod:`repro.schemes` registry outside the registry itself (ABFT007).
+SCHEME_CLASSES = frozenset(
+    {"DenseCheckSpMV", "CheckpointSpMV", "CompleteRecomputationSpMV",
+     "PartialRecomputationSpMV", "DwcSpMV", "TmrSpMV"}
 )
 
 
@@ -418,6 +426,39 @@ class MissingValidationRule(LintRule):
         return selectors
 
 
+class SchemeConstructionRule(LintRule):
+    """ABFT007: scheme classes constructed outside the scheme registry."""
+
+    rule_id = "ABFT007"
+    title = "direct construction of a protection-scheme class outside repro.schemes"
+    rationale = (
+        "The repro.schemes registry is the one place that wires kernels, "
+        "telemetry, and AbftConfig into a protection scheme; a direct "
+        "constructor call bypasses alias resolution, the REPRO_SCHEME "
+        "override, and kernel/telemetry injection, so such code silently "
+        "diverges from registry-selected runs of the same experiment."
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        parts = module.display_path.replace("\\", "/").split("/")
+        if "schemes" in parts or "tests" in parts:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = terminal_name(node.func)
+            if name not in SCHEME_CLASSES:
+                continue
+            yield module.finding(
+                self.rule_id,
+                node,
+                f"direct construction of scheme class '{name}'; resolve it "
+                "through the repro.schemes registry (make_scheme / "
+                "resolve_scheme) so aliases, REPRO_SCHEME, and "
+                "kernel/telemetry injection apply",
+            )
+
+
 #: The rule pack, in id order (registered by :mod:`repro.lint`).
 ABFT_RULES: Tuple[LintRule, ...] = (
     ChecksumRefreshRule(),
@@ -426,4 +467,5 @@ ABFT_RULES: Tuple[LintRule, ...] = (
     DtypeDowncastRule(),
     BroadExceptRule(),
     MissingValidationRule(),
+    SchemeConstructionRule(),
 )

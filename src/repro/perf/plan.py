@@ -303,7 +303,7 @@ class ProtectedPlan:
         The result's ``value`` is the plan's reusable buffer — consume it
         before the next call.
         """
-        from repro.core.protected import SpmvResult
+        from repro.core.protected import block_result
 
         operator = self.operator
         detector = operator.detector
@@ -355,7 +355,8 @@ class ProtectedPlan:
                 )
 
         seconds, flops = meter.snapshot()
-        return SpmvResult(
+        return block_result(
+            detector.partition,
             value=r,
             detected=tuple(detected),
             corrected_blocks=tuple(sorted(corrected)),

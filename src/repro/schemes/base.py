@@ -1,0 +1,64 @@
+"""The protocol every protection scheme satisfies.
+
+A *scheme* is one complete answer to "how do we run a trustworthy SpMV":
+detection, (optional) localization and (optional) correction, bound to one
+input matrix.  The registry (:mod:`repro.schemes.registry`) hands out
+objects satisfying :class:`ProtectionScheme`; campaigns, solvers and the
+CLI program against this protocol only.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.schemes.result import ProtectedSpmvResult
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.machine import ExecutionMeter, TaskGraph
+    from repro.obs import Telemetry
+    from repro.sparse.csr import CsrMatrix
+
+#: Fault-campaign hook: ``tamper(stage, data, work)`` fires after each
+#: numeric stage with a mutable array (mirrors ``repro.core.corrector``).
+TamperHook = Callable[[str, np.ndarray, float], None]
+
+
+@runtime_checkable
+class ProtectionScheme(Protocol):
+    """One protected-SpMV driver bound to an input matrix.
+
+    The driver contract all schemes share:
+
+    * ``multiply(b, tamper=None, meter=None)`` executes one protected
+      multiply and returns the unified :class:`ProtectedSpmvResult`;
+    * the tamper hook fires after every numeric stage (``"result"``,
+      ``"t1"``, ``"beta"``, ``"t2"``, ``"corrected"`` as applicable) so
+      fault campaigns can corrupt detection and correction arithmetic too;
+    * simulated cost is charged to the passed meter (or a fresh one);
+    * ``detection_graph()`` exposes the scheme's per-multiply detection
+      task graph for overhead modeling (Figures 4-5).
+    """
+
+    #: Registry name of the scheme (``"abft"``, ``"bisection"``, ...).
+    name: str
+
+    #: The protected input matrix.
+    matrix: "CsrMatrix"
+
+    #: The scheme's telemetry stream (``repro.obs``).
+    telemetry: "Telemetry"
+
+    def multiply(
+        self,
+        b: np.ndarray,
+        tamper: Optional[TamperHook] = None,
+        meter: Optional["ExecutionMeter"] = None,
+    ) -> ProtectedSpmvResult:
+        """Execute one protected SpMV."""
+        ...
+
+    def detection_graph(self) -> "TaskGraph":
+        """Task graph of one multiply's detection phase (cost model)."""
+        ...

@@ -1,16 +1,13 @@
 """Fault-tolerant PCG drivers — the paper's Section VI case study.
 
-Four variants of the same PCG loop, differing only in how the SpMV
-``q = A p`` is protected:
+One PCG loop, differing only in how the SpMV ``q = A p`` is protected.
+The scheme is selected by name through the :mod:`repro.schemes` registry
+(any registered scheme works, e.g. ``"abft"`` — the proposed block-ABFT
+SpMV of the paper — ``"bisection"``, or ``"checkpoint"``, whose detections
+roll the solver back to the last snapshot taken every 20 iterations into
+reliable storage), plus three solver-level cases:
 
 * ``"unprotected"`` — plain SpMV; errors propagate freely.
-* ``"ours"`` — the proposed block-ABFT SpMV (detect + locate + partially
-  recompute inside the multiply).
-* ``"partial"`` — the dense check with bisection localization and range
-  recomputation of [30].
-* ``"checkpoint"`` — dense check for detection only; on error the solver
-  rolls back to the last snapshot (taken every 20 iterations into reliable
-  storage).
 
 Two extension schemes go beyond the paper:
 
@@ -35,12 +32,9 @@ from typing import Optional
 
 import numpy as np
 
-from repro.baselines.bisection import PartialRecomputationSpMV
 from repro.baselines.checkpoint import DEFAULT_CHECKPOINT_INTERVAL, CheckpointStore
-from repro.baselines.dense_check import DenseChecksum
 from repro.core.algebraic import DualChecksumSpMV
 from repro.core.config import AbftConfig
-from repro.core.protected import FaultTolerantSpMV
 from repro.errors import ConfigurationError
 from repro.faults.injector import FaultInjector
 from repro.faults.process import ErrorProcess
@@ -55,12 +49,17 @@ from repro.machine import (
     spmv_cost,
 )
 from repro.obs import resolve_telemetry
+from repro.schemes import BUILTIN_SCHEMES, canonical_scheme_name, make_scheme
 from repro.solvers.pcg import DEFAULT_TOLERANCE, MAX_ITERATION_FACTOR
 from repro.solvers.preconditioners import make_preconditioner
 from repro.sparse.csr import CsrMatrix
 
-#: Scheme identifiers accepted by :func:`run_pcg`.
-SCHEMES = ("unprotected", "ours", "partial", "checkpoint", "dual", "hybrid")
+#: Solver-level cases handled here rather than by a registered scheme.
+SOLVER_SCHEMES = ("unprotected", "dual", "hybrid")
+
+#: Scheme identifiers accepted by :func:`run_pcg` (registry aliases such as
+#: ``"ours"`` are accepted too; any custom registered scheme also works).
+SCHEMES = SOLVER_SCHEMES + BUILTIN_SCHEMES
 
 
 @dataclass(frozen=True)
@@ -165,8 +164,11 @@ def run_pcg(
     Returns:
         The :class:`FtPcgResult` of the run.
     """
-    if scheme not in SCHEMES:
-        raise ConfigurationError(f"unknown scheme {scheme!r}; expected one of {SCHEMES}")
+    if scheme in SOLVER_SCHEMES:
+        canonical = scheme
+    else:
+        # Registry lookup resolves aliases and rejects unknown names.
+        canonical = canonical_scheme_name(scheme)
     options = options or FtPcgOptions()
     machine = machine or Machine()
     meter = ExecutionMeter(machine=machine)
@@ -185,19 +187,18 @@ def run_pcg(
     max_iterations = options.max_iteration_factor * n
 
     # Protected multiply, per scheme.  Each returns
-    # (q, detected_flag, unrecoverable_flag).
+    # (q, detected_flag, unrecoverable_flag, corrections_performed).
     detections = 0
     corrections = 0
-    if scheme in ("ours", "hybrid"):
-        operator = FaultTolerantSpMV(
-            matrix,
-            config=AbftConfig(
-                block_size=options.block_size,
-                max_correction_rounds=options.max_correction_rounds,
-                kernel=options.kernel,
-            ),
-            machine=machine,
-            telemetry=telemetry,
+    scheme_store: Optional[CheckpointStore] = None
+    config = AbftConfig(
+        block_size=options.block_size,
+        max_correction_rounds=options.max_correction_rounds,
+        kernel=options.kernel,
+    )
+    if canonical in ("abft", "hybrid"):
+        operator = make_scheme(
+            "abft", matrix, config=config, machine=machine, telemetry=telemetry
         )
         # The loop re-executes the same protected multiply every iteration:
         # the planned path reuses shard schedules and buffers instead of
@@ -207,14 +208,13 @@ def run_pcg(
         plan = operator.planned()
         tamper_hook = tamper if error_rate > 0 else None
 
-        def multiply(p_vec: np.ndarray) -> tuple[np.ndarray, bool, bool]:
+        def multiply(p_vec: np.ndarray) -> tuple[np.ndarray, bool, bool, int]:
             result = plan.multiply(p_vec, tamper=tamper_hook, meter=meter)
-            return result.value, bool(result.detected[0]), result.exhausted
+            return result.value, not result.clean, result.exhausted, int(
+                result.rounds > 0
+            )
 
-        def count_corrections(flag: bool) -> int:
-            return 1 if flag else 0
-
-    elif scheme == "dual":
+    elif canonical == "dual":
         operator = DualChecksumSpMV(
             matrix,
             block_size=options.block_size,
@@ -223,45 +223,33 @@ def run_pcg(
             kernel=options.kernel,
         )
 
-        def multiply(p_vec: np.ndarray) -> tuple[np.ndarray, bool, bool]:
+        def multiply(p_vec: np.ndarray) -> tuple[np.ndarray, bool, bool, int]:
             result = operator.multiply(p_vec, tamper=tamper, meter=meter)
-            return result.value, bool(result.detected), result.exhausted
+            detected = bool(result.detected)
+            return result.value, detected, result.exhausted, int(detected)
 
-        def count_corrections(flag: bool) -> int:
-            return 1 if flag else 0
-
-    elif scheme == "partial":
-        operator = PartialRecomputationSpMV(
-            matrix, machine=machine, max_rounds=options.max_correction_rounds
-        )
-
-        def multiply(p_vec: np.ndarray) -> tuple[np.ndarray, bool, bool]:
-            result = operator.multiply(p_vec, tamper=tamper, meter=meter)
-            return result.value, bool(result.detections[0]), result.exhausted
-
-        def count_corrections(flag: bool) -> int:
-            return 1 if flag else 0
-
-    else:  # unprotected / checkpoint share the plain SpMV
-        checker = DenseChecksum(matrix) if scheme == "checkpoint" else None
+    elif canonical == "unprotected":
         plain_cost = spmv_cost(matrix.nnz, int(matrix.row_lengths().max(initial=1)))
 
-        def multiply(p_vec: np.ndarray) -> tuple[np.ndarray, bool, bool]:
-            graph = (
-                checker.detection_graph()
-                if checker is not None
-                else _single_task_graph("spmv", plain_cost)
-            )
-            meter.run_graph(graph)
+        def multiply(p_vec: np.ndarray) -> tuple[np.ndarray, bool, bool, int]:
+            meter.run_graph(_single_task_graph("spmv", plain_cost))
             q = matrix.matvec(p_vec)
             tamper("result", q, plain_cost.work)
-            if checker is None:
-                return q, False, False
-            report = checker.check(p_vec, q, tamper)
-            return q, report.detected, report.detected
+            return q, False, False, 0
 
-        def count_corrections(flag: bool) -> int:
-            return 0
+    else:  # any registered scheme (checkpoint, bisection, dense_check, ...)
+        scheme_obj = make_scheme(
+            canonical, matrix, config=config, machine=machine, telemetry=telemetry
+        )
+        # The checkpoint scheme carries the snapshot store the solver rolls
+        # back to; schemes that correct in place have none.
+        scheme_store = getattr(scheme_obj, "store", None)
+
+        def multiply(p_vec: np.ndarray) -> tuple[np.ndarray, bool, bool, int]:
+            result = scheme_obj.multiply(p_vec, tamper=tamper, meter=meter)
+            return result.value, not result.clean, result.exhausted, int(
+                result.rounds > 0
+            )
 
     # --- initial state (random x0, per the paper) -----------------------
     rng = np.random.default_rng(seed + 1)
@@ -272,9 +260,9 @@ def run_pcg(
     if b_norm == 0.0:
         b_norm = 1.0
 
-    with telemetry.span("pcg.solve", scheme=scheme, n=n, seed=seed):
+    with telemetry.span("pcg.solve", scheme=canonical, n=n, seed=seed):
         with telemetry.span("pcg.setup"):
-            q0, detected0, _ = multiply(x)
+            q0, detected0, _, _ = multiply(x)
         detections += int(detected0)
         # Corrupted values may already be in q0 (undetected errors); let them
         # propagate silently — the iteration / success accounting handles them.
@@ -285,7 +273,7 @@ def run_pcg(
             rz = float(np.dot(r, z))
         state = _PcgState(x, r, p, rz)
 
-        store = CheckpointStore() if scheme in ("checkpoint", "hybrid") else None
+        store = CheckpointStore() if canonical == "hybrid" else scheme_store
         rollbacks = 0
         if store is not None:
             meter.run_kernel(store.save(0, {"x": x, "r": r, "p": p}, {"rz": rz}))
@@ -299,14 +287,14 @@ def run_pcg(
             with telemetry.span("pcg.iteration", i=iterations):
                 if telemetry.enabled:
                     telemetry.count("pcg.iterations")
-                q, detected, unrecoverable = multiply(state.p)
+                q, detected, unrecoverable, corrected = multiply(state.p)
                 detections += int(detected)
-                corrections += count_corrections(detected)
+                corrections += corrected
 
                 # Checkpoint: roll back on *any* detection (it cannot
                 # correct).  Hybrid: roll back only when in-place
                 # correction gave up.
-                roll_back = unrecoverable if scheme == "hybrid" else detected
+                roll_back = unrecoverable if canonical == "hybrid" else detected
                 if store is not None and roll_back:
                     # Discard the iteration, restore the snapshot.
                     _, arrays, scalars, cost = store.restore()

@@ -1,0 +1,12 @@
+"""Bad: builds protection schemes by constructor instead of the registry."""
+
+from repro.baselines import DenseCheckSpMV, DwcSpMV, PartialRecomputationSpMV
+
+
+def compare_overheads(matrix, machine, b):
+    dense = DenseCheckSpMV(matrix, machine=machine)  # MARK:ABFT007
+    partial = PartialRecomputationSpMV(  # MARK:ABFT007
+        matrix, machine=machine
+    )
+    dwc = DwcSpMV(matrix, machine=machine)  # MARK:ABFT007
+    return [s.multiply(b).seconds for s in (dense, partial, dwc)]

@@ -1,0 +1,10 @@
+"""Clean: resolves every protection scheme through the registry."""
+
+from repro.schemes import make_scheme, resolve_scheme
+
+
+def compare_overheads(matrix, machine, b):
+    dense = make_scheme("dense_check", matrix, machine=machine)
+    partial = make_scheme("bisection", matrix, machine=machine)
+    defaulted = resolve_scheme(matrix, machine=machine)
+    return [s.multiply(b).seconds for s in (dense, partial, defaulted)]

@@ -61,6 +61,45 @@ def test_clean_fixture_is_silent(rule_id):
     assert suppressed == 0
 
 
+def run_abft007(relative: str, display: str):
+    """ABFT007 is path-gated, so fixtures run under a simulated src path."""
+    path = FIXTURES / relative
+    source = path.read_text(encoding="utf-8")
+    findings, suppressed, _ = lint_source(
+        source, path, [get_rule("ABFT007")], display_path=display
+    )
+    return source, findings, suppressed
+
+
+def test_abft007_bad_fixture_flags_marked_lines():
+    source, findings, _ = run_abft007(
+        "abft007_bad.py", "src/repro/analysis/abft007_bad.py"
+    )
+    expected = marked_lines(source, "ABFT007")
+    assert expected, "fixture abft007_bad.py has no MARK:ABFT007 lines"
+    assert sorted(f.line for f in findings) == expected
+    for finding in findings:
+        assert finding.rule == "ABFT007"
+        assert finding.message and finding.snippet
+
+
+def test_abft007_clean_fixture_is_silent():
+    _, findings, suppressed = run_abft007(
+        "abft007_ok.py", "src/repro/analysis/abft007_ok.py"
+    )
+    assert findings == []
+    assert suppressed == 0
+
+
+def test_abft007_exempts_registry_and_test_paths():
+    for display in (
+        "src/repro/schemes/builtins.py",
+        "tests/schemes/test_registry.py",
+    ):
+        _, findings, _ = run_abft007("abft007_bad.py", display)
+        assert findings == [], display
+
+
 def test_abft002_only_applies_to_kernel_paths():
     source = (FIXTURES / "kernels/abft002_bad.py").read_text(encoding="utf-8")
     findings, _, _ = lint_source(

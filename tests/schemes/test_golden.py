@@ -1,0 +1,80 @@
+"""Differential golden tests for the scheme refactor.
+
+Every built-in scheme replays a seeded corpus — one clean run and one
+single-burst run — and must match the pre-refactor snapshots under
+``golden/`` bit for bit: values (as float hex), detections, corrections,
+block bookkeeping, simulated seconds, and flops.  A mismatch means the
+registry migration changed the numerics or the cost model of a scheme.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.config import AbftConfig
+from repro.machine import Machine
+from repro.schemes import BUILTIN_SCHEMES, make_scheme
+from repro.sparse import random_spd
+
+GOLDEN = Path(__file__).parent / "golden"
+
+#: Corpus parameters baked into the committed snapshots — do not change
+#: without regenerating every file under golden/.
+N, NNZ, MATRIX_SEED, RHS_SEED = 96, 900, 7, 123
+BLOCK_SIZE = 16
+BURST_INDEX, BURST_MAGNITUDE = 33, 1e4
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    matrix = random_spd(N, NNZ, seed=MATRIX_SEED)
+    b = np.random.default_rng(RHS_SEED).standard_normal(N)
+    return matrix, b
+
+
+def one_shot_burst():
+    state = {"armed": True}
+
+    def hook(stage, data, work):
+        if stage == "result" and state["armed"]:
+            data[BURST_INDEX] += BURST_MAGNITUDE
+            state["armed"] = False
+
+    return hook
+
+
+def test_snapshot_corpus_is_complete():
+    expected = {
+        f"{name}_{scenario}.json"
+        for name in BUILTIN_SCHEMES
+        for scenario in ("clean", "burst")
+    }
+    assert {p.name for p in GOLDEN.glob("*.json")} == expected
+
+
+@pytest.mark.parametrize("scenario", ("clean", "burst"))
+@pytest.mark.parametrize("name", BUILTIN_SCHEMES)
+def test_scheme_matches_golden_snapshot(corpus, name, scenario):
+    matrix, b = corpus
+    golden = json.loads((GOLDEN / f"{name}_{scenario}.json").read_text())
+    scheme = make_scheme(
+        name, matrix, config=AbftConfig(block_size=BLOCK_SIZE), machine=Machine()
+    )
+    tamper = one_shot_burst() if scenario == "burst" else None
+    result = scheme.multiply(b.copy(), tamper=tamper)
+
+    assert [float(v).hex() for v in result.value] == golden["value"]
+    assert [bool(d) for d in result.detections] == golden["detections"]
+    assert [[int(s), int(e)] for s, e in result.corrections] == golden["corrections"]
+    assert [
+        [int(block) for block in blocks] for blocks in result.detected_blocks
+    ] == golden["detected_blocks"]
+    assert [int(block) for block in result.corrected_blocks] == golden[
+        "corrected_blocks"
+    ]
+    assert result.rounds == golden["rounds"]
+    assert float(result.seconds).hex() == golden["seconds"]
+    assert float(result.flops) == golden["flops"]
+    assert bool(result.exhausted) is golden["exhausted"]

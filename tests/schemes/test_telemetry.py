@@ -1,0 +1,77 @@
+"""Scheme-tagged telemetry: spans and counters from every registered scheme."""
+
+import numpy as np
+import pytest
+
+from repro.obs import InMemoryExporter, Telemetry
+from repro.schemes import BUILTIN_SCHEMES, make_scheme
+from repro.sparse import random_spd
+
+BASELINE_SCHEMES = tuple(name for name in BUILTIN_SCHEMES if name != "abft")
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    matrix = random_spd(64, 600, seed=9)
+    b = np.random.default_rng(17).standard_normal(64)
+    return matrix, b
+
+
+def one_shot_burst(index=21, magnitude=1e4):
+    state = {"armed": True}
+
+    def hook(stage, data, work):
+        if stage == "result" and state["armed"]:
+            data[index] += magnitude
+            state["armed"] = False
+
+    return hook
+
+
+@pytest.mark.parametrize("name", BASELINE_SCHEMES)
+def test_baseline_schemes_emit_tagged_multiply_span(corpus, name):
+    matrix, b = corpus
+    telemetry = Telemetry(exporter=InMemoryExporter())
+    make_scheme(name, matrix, telemetry=telemetry).multiply(b)
+    spans = [e for e in telemetry.events() if e["type"] == "span"]
+    assert f"scheme.{name}.multiply" in [s["name"] for s in spans]
+
+
+@pytest.mark.parametrize("name", BASELINE_SCHEMES)
+def test_baseline_schemes_count_checks_by_scheme(corpus, name):
+    matrix, b = corpus
+    telemetry = Telemetry(exporter=InMemoryExporter())
+    make_scheme(name, matrix, telemetry=telemetry).multiply(b)
+    checks = [
+        e
+        for e in telemetry.events()
+        if e["type"] == "counter" and e["name"] == "abft.checks"
+    ]
+    assert checks, f"{name} recorded no abft.checks counter"
+    assert all(e["attrs"].get("scheme") == name for e in checks)
+
+
+@pytest.mark.parametrize("name", BASELINE_SCHEMES)
+def test_burst_runs_count_detections_by_scheme(corpus, name):
+    matrix, b = corpus
+    telemetry = Telemetry(exporter=InMemoryExporter())
+    make_scheme(name, matrix, telemetry=telemetry).multiply(
+        b.copy(), tamper=one_shot_burst()
+    )
+    detections = [
+        e
+        for e in telemetry.events()
+        if e["type"] == "counter" and e["name"] == "abft.detections"
+    ]
+    assert detections, f"{name} detected nothing under a visible burst"
+    assert all(e["attrs"].get("scheme") == name for e in detections)
+
+
+def test_abft_scheme_keeps_its_span_names(corpus):
+    matrix, b = corpus
+    telemetry = Telemetry(exporter=InMemoryExporter())
+    make_scheme("abft", matrix, telemetry=telemetry).multiply(b)
+    span_names = [
+        e["name"] for e in telemetry.events() if e["type"] == "span"
+    ]
+    assert "abft.multiply" in span_names

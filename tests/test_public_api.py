@@ -13,6 +13,7 @@ PACKAGES = [
     "repro.machine",
     "repro.faults",
     "repro.core",
+    "repro.schemes",
     "repro.baselines",
     "repro.solvers",
     "repro.analysis",
