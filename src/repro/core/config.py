@@ -60,6 +60,14 @@ class AbftConfig:
             scheme; None keeps the library default (``"abft"``).  The
             ``REPRO_SCHEME`` environment variable overrides *defaulted*
             selections process-wide.
+        parallel: registered plan-execution backend name (see
+            :mod:`repro.perf.backends`) used by planned protected
+            multiplies: ``"serial"``, ``"threads"`` or ``"processes"``.
+            None keeps the historical default (threads when the kernel
+            set is ``"parallel"``, serial otherwise).  The
+            ``REPRO_PARALLEL`` environment variable overrides it
+            process-wide; an explicit ``ProtectedPlan(parallel=...)``
+            argument beats both.
     """
 
     block_size: int = DEFAULT_BLOCK_SIZE
@@ -71,6 +79,7 @@ class AbftConfig:
     telemetry: str = DEFAULT_EXPORTER
     near_miss_fraction: float = DEFAULT_NEAR_MISS_FRACTION
     scheme: Optional[str] = None
+    parallel: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.block_size < 1:
@@ -107,3 +116,8 @@ class AbftConfig:
             from repro.schemes import canonical_scheme_name
 
             canonical_scheme_name(self.scheme)
+        if self.parallel is not None:
+            # Lazy import: repro.perf depends on core modules.
+            from repro.perf.backends import canonical_backend_name
+
+            canonical_backend_name(self.parallel)

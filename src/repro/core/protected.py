@@ -302,19 +302,26 @@ class FaultTolerantSpMV:
         hit bumps the ``plan.cache_hits`` counter when telemetry is on.
 
         Args:
-            n_shards: shard count; None derives it from the configured
-                kernel set (the worker count for ``"parallel"``, 1 for
-                serial kernel sets).
+            n_shards: shard count; None derives it from the selected
+                execution backend — the worker count for ``"parallel"``
+                kernels or the ``"processes"`` backend, 1 otherwise.
         """
-        from repro.kernels.parallel import ParallelKernels
+        from repro.kernels.parallel import ParallelKernels, default_workers
+        from repro.perf.backends import resolve_backend_name
         from repro.perf.plan import ProtectedPlan
 
         if n_shards is None:
             kernels = self.detector.kernels
             inner = getattr(kernels, "inner", kernels)
-            n_shards = inner.n_workers if isinstance(inner, ParallelKernels) else 1
+            if isinstance(inner, ParallelKernels):
+                n_shards = inner.n_workers
+            else:
+                backend = resolve_backend_name(
+                    getattr(self.config, "parallel", None)
+                )
+                n_shards = default_workers() if backend == "processes" else 1
         plan = self._plan
-        if plan is not None and plan.n_shards == n_shards:
+        if plan is not None and plan.n_shards == n_shards and not plan.backend.closed:
             if self.telemetry.enabled:
                 self.telemetry.count("plan.cache_hits")
             return plan

@@ -14,21 +14,60 @@ well-executed SpMV; this package makes the *execution* side real:
 * :class:`ProtectedPlan` — the planned protected multiply: for a fixed
   ``(matrix, partition, checksum)`` triple the steady-state loop (SpMV,
   operand/result checksums, bound, syndrome compare) runs entirely in
-  preallocated buffers, and with a ``parallel`` kernel backend each
-  shard fuses its multiply with its own detection and first correction
-  round.
+  preallocated buffers, with multi-shard clean multiplies fusing each
+  shard's multiply with its own detection and first correction round;
+* a registry of *execution backends* deciding where those fused shard
+  tasks run (:mod:`repro.perf.backends`): ``"serial"``, ``"threads"``
+  (the shared kernel thread pool) or ``"processes"`` — a persistent
+  multicore worker pool over a :class:`~repro.perf.shm.Arena` of
+  shared memory (:mod:`repro.perf.process_backend`).  Selected via
+  ``AbftConfig(parallel=...)``, the ``REPRO_PARALLEL`` environment
+  variable, or an explicit ``ProtectedPlan(parallel=...)`` argument.
 
 Plans are built via :meth:`repro.core.FaultTolerantSpMV.planned`, which
 caches one plan per operator (``plan.cache_hits`` telemetry counter).
 """
 
-from repro.perf.plan import ProtectedPlan, SpmvPlan
+from repro.perf.backends import (
+    BACKEND_ENV_VAR,
+    BUILTIN_BACKENDS,
+    PlanBackend,
+    ThreadsBackend,
+    available_backends,
+    canonical_backend_name,
+    make_backend,
+    register_backend,
+    resolve_backend_name,
+    unregister_backend,
+)
+from repro.perf.plan import FusedShardBuffers, ProtectedPlan, SpmvPlan
+from repro.perf.process_backend import (
+    ProcessBackend,
+    shutdown_all_process_backends,
+)
 from repro.perf.sharding import balanced_cuts, shard_blocks, shard_rows
+from repro.perf.shm import Arena, ArenaField, ArenaLayout
 
 __all__ = [
     "SpmvPlan",
     "ProtectedPlan",
+    "FusedShardBuffers",
     "balanced_cuts",
     "shard_blocks",
     "shard_rows",
+    "BACKEND_ENV_VAR",
+    "BUILTIN_BACKENDS",
+    "PlanBackend",
+    "ThreadsBackend",
+    "ProcessBackend",
+    "available_backends",
+    "canonical_backend_name",
+    "make_backend",
+    "register_backend",
+    "resolve_backend_name",
+    "unregister_backend",
+    "shutdown_all_process_backends",
+    "Arena",
+    "ArenaField",
+    "ArenaLayout",
 ]

@@ -1,0 +1,289 @@
+"""Named execution backends for the planned protected SpMV.
+
+A :class:`~repro.perf.plan.ProtectedPlan` separates *what* each shard
+computes (the fused SpMV + checksum + comparison pipeline, bit-identical
+across every execution strategy) from *where* the shards run.  The
+latter is a registered **backend**:
+
+* ``"serial"`` — shards run one after another in the calling thread
+  (the reference semantics every other backend is differentially tested
+  against);
+* ``"threads"`` — shards fan out on the process-wide
+  :class:`~concurrent.futures.ThreadPoolExecutor` shared with
+  :class:`repro.kernels.parallel.ParallelKernels`.  NumPy releases the
+  GIL inside the ufunc inner loops, but the Python-level fan-out still
+  serializes on it — threads win only for mid-size inputs;
+* ``"processes"`` — shards run on a persistent pool of worker
+  *processes* mapping the plan's buffers zero-copy from shared memory
+  (:mod:`repro.perf.process_backend`), the true-multicore path.
+
+Selection mirrors :mod:`repro.kernels` and :mod:`repro.schemes`: a
+registered name is chosen via ``AbftConfig(parallel=...)``, overridden
+process-wide by the :data:`BACKEND_ENV_VAR` environment variable
+(``REPRO_PARALLEL``), with an explicit ``parallel=`` argument to
+:class:`~repro.perf.plan.ProtectedPlan` beating both (tests pin a
+backend regardless of the environment that way).  When nothing chooses,
+plans over :class:`~repro.kernels.parallel.ParallelKernels` default to
+``"threads"`` (the pre-registry behaviour) and everything else to
+``"serial"``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (annotations only)
+    from repro.obs import Telemetry
+    from repro.perf.plan import ProtectedPlan, ShardCorrection
+
+#: Environment variable overriding the configured backend process-wide.
+BACKEND_ENV_VAR = "REPRO_PARALLEL"
+
+#: Backend used when neither code nor the environment selects one.
+DEFAULT_BACKEND = "serial"
+
+#: Names that ship built in (and cannot be unregistered).
+BUILTIN_BACKENDS = ("processes", "serial", "threads")
+
+#: ``(shard_id, owned flagged blocks)`` pairs of one correction round.
+Owned = Sequence[Tuple[int, np.ndarray]]
+
+
+class PlanBackend:
+    """Execution strategy bound to one plan.  The base class is serial.
+
+    A backend provides three services to its plan:
+
+    * :meth:`alloc` — allocate a named plan buffer.  The base class
+      hands out ordinary heap arrays; the process backend carves the
+      same buffers out of a :class:`~repro.perf.shm.Arena` so workers
+      can map them;
+    * :meth:`run_detect` / :meth:`run_correct` — execute the fused
+      per-shard tasks.  Implementations may distribute them anywhere
+      but must preserve the per-shard math bit for bit (the
+      cross-backend differential matrix enforces this);
+    * :meth:`close` — release whatever the strategy holds (threads and
+      serial hold nothing; processes hold workers and shared memory).
+    """
+
+    name = "serial"
+
+    def __init__(self, plan: "ProtectedPlan") -> None:
+        self.plan = plan
+
+    @property
+    def parallel_active(self) -> bool:
+        """Whether the plan should take the fused multi-shard path."""
+        return False
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has permanently retired the backend."""
+        return False
+
+    def alloc(self, name: str, shape: Tuple[int, ...], dtype: str) -> np.ndarray:
+        """Allocate the named plan buffer (heap by default)."""
+        return np.empty(shape, dtype=np.dtype(dtype))
+
+    def run_detect(self, b: np.ndarray, telemetry: "Telemetry") -> None:
+        """Run every shard's fused detect task."""
+        for i in range(self.plan.spmv.n_shards):
+            self.plan._detect_shard(i, b, telemetry)
+
+    def run_correct(
+        self, b: np.ndarray, owned: Owned, telemetry: "Telemetry"
+    ) -> List["ShardCorrection"]:
+        """Run the owned correction tasks; results in ``owned`` order."""
+        return [
+            self.plan._correct_shard(shard_id, b, blocks, telemetry)
+            for shard_id, blocks in owned
+        ]
+
+    def close(self) -> None:
+        """Release backend resources (idempotent; no-op by default)."""
+
+    def __enter__(self) -> "PlanBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class ThreadsBackend(PlanBackend):
+    """Shard fan-out on the shared kernel thread pool (the legacy path).
+
+    Worker count follows the operator's
+    :class:`~repro.kernels.parallel.ParallelKernels` when one is
+    configured (so ``REPRO_KERNEL_WORKERS`` keeps steering it),
+    otherwise one thread per shard.
+    """
+
+    name = "threads"
+
+    @property
+    def parallel_active(self) -> bool:
+        return True
+
+    @property
+    def n_workers(self) -> int:
+        parallel = self.plan._parallel
+        if parallel is not None:
+            return parallel.n_workers
+        return max(1, self.plan.spmv.n_shards)
+
+    def run_detect(self, b: np.ndarray, telemetry: "Telemetry") -> None:
+        from repro.kernels.parallel import get_executor
+
+        executor = get_executor(self.n_workers)
+        futures = [
+            executor.submit(self.plan._detect_shard, i, b, telemetry)
+            for i in range(self.plan.spmv.n_shards)
+        ]
+        for future in futures:
+            future.result()
+
+    def run_correct(
+        self, b: np.ndarray, owned: Owned, telemetry: "Telemetry"
+    ) -> List["ShardCorrection"]:
+        if len(owned) == 1:
+            shard_id, blocks = owned[0]
+            return [self.plan._correct_shard(shard_id, b, blocks, telemetry)]
+        from repro.kernels.parallel import get_executor
+
+        executor = get_executor(self.n_workers)
+        futures = [
+            executor.submit(self.plan._correct_shard, shard_id, b, blocks, telemetry)
+            for shard_id, blocks in owned
+        ]
+        return [future.result() for future in futures]
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+BackendFactory = Callable[..., PlanBackend]
+
+_REGISTRY: Dict[str, BackendFactory] = {}
+_PROTECTED: Set[str] = set()
+
+
+def register_backend(
+    name: str, factory: BackendFactory, overwrite: bool = False
+) -> None:
+    """Register a plan-backend factory under ``name``.
+
+    The factory is called as ``factory(plan, **options)`` and must
+    return a :class:`PlanBackend` bound to that plan.
+    """
+    if not name or not isinstance(name, str):
+        raise ConfigurationError(f"backend name must be a non-empty string, got {name!r}")
+    if not callable(factory):
+        raise ConfigurationError(f"backend factory for {name!r} must be callable")
+    if name in _REGISTRY and not overwrite:
+        raise ConfigurationError(
+            f"backend {name!r} is already registered; pass overwrite=True to replace"
+        )
+    if name in _PROTECTED and name not in BUILTIN_BACKENDS:
+        raise ConfigurationError(f"backend {name!r} is protected")
+    _REGISTRY[name] = factory
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a registered backend (built-ins are protected)."""
+    if name in _PROTECTED:
+        raise ConfigurationError(f"built-in backend {name!r} cannot be unregistered")
+    if name not in _REGISTRY:
+        raise ConfigurationError(
+            f"unknown backend {name!r}; expected one of {available_backends()}"
+        )
+    del _REGISTRY[name]
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Sorted names of all registered backends."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_backend_factory(name: str) -> BackendFactory:
+    """Look up a backend factory by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown backend {name!r}; expected one of {available_backends()}"
+        ) from None
+
+
+def canonical_backend_name(name: str) -> str:
+    """Validate ``name`` against the registry and return it."""
+    get_backend_factory(name)
+    return name
+
+
+def resolve_backend_name(
+    configured: Optional[str],
+    explicit: Optional[str] = None,
+    default: str = DEFAULT_BACKEND,
+) -> str:
+    """Resolve a backend selection to a registered name.
+
+    Priority mirrors :func:`repro.kernels.resolve_kernels`:
+
+    1. an ``explicit`` name passed in code (tests pinning a backend);
+    2. the :data:`BACKEND_ENV_VAR` environment variable, which
+       overrides every *configured* name process-wide;
+    3. the ``configured`` name (``AbftConfig.parallel``);
+    4. the caller's ``default``.
+    """
+    if explicit is not None:
+        return canonical_backend_name(explicit)
+    env = os.environ.get(BACKEND_ENV_VAR)
+    if env:
+        try:
+            return canonical_backend_name(env)
+        except ConfigurationError:
+            raise ConfigurationError(
+                f"{BACKEND_ENV_VAR}={env!r} does not name a registered backend; "
+                f"expected one of {available_backends()}"
+            ) from None
+    if configured is not None:
+        return canonical_backend_name(configured)
+    return canonical_backend_name(default)
+
+
+def make_backend(name: str, plan: "ProtectedPlan", **options: object) -> PlanBackend:
+    """Instantiate the named backend for ``plan``."""
+    return get_backend_factory(name)(plan, **options)
+
+
+def _serial_factory(plan: "ProtectedPlan", **options: object) -> PlanBackend:
+    if options:
+        raise ConfigurationError(
+            f"serial backend accepts no options, got {sorted(options)}"
+        )
+    return PlanBackend(plan)
+
+
+def _threads_factory(plan: "ProtectedPlan", **options: object) -> PlanBackend:
+    if options:
+        raise ConfigurationError(
+            f"threads backend accepts no options, got {sorted(options)}"
+        )
+    return ThreadsBackend(plan)
+
+
+def _processes_factory(plan: "ProtectedPlan", **options: object) -> PlanBackend:
+    from repro.perf.process_backend import ProcessBackend
+
+    return ProcessBackend(plan, **options)  # type: ignore[arg-type]
+
+
+register_backend("serial", _serial_factory)
+register_backend("threads", _threads_factory)
+register_backend("processes", _processes_factory)
+_PROTECTED.update(BUILTIN_BACKENDS)

@@ -23,32 +23,53 @@ allocations** (the tracemalloc regression test pins this), and every
 value it produces is bit-identical to the unplanned
 :meth:`repro.core.protected.FaultTolerantSpMV.multiply`.
 
-When the operator is configured with the ``"parallel"`` kernel set and
-the plan has more than one shard, clean multiplies run *fused*: each
-worker executes its shard's SpMV, operand checksum, result checksum and
-invariant comparison in one task, and a flagged block is recomputed by
-the worker that owns it.  Fault campaigns (a tamper hook) fall back to
-the sequential path — the hook-call sequence is part of the contract.
+Multi-shard clean multiplies run *fused*: each shard task executes its
+SpMV, operand checksum, result checksum and invariant comparison in one
+unit, and a flagged block is recomputed by the shard that owns it.
+*Where* those tasks run is delegated to a registered execution backend
+(:mod:`repro.perf.backends`): ``"serial"`` in the calling thread,
+``"threads"`` on the shared kernel thread pool, or ``"processes"`` on a
+persistent multicore worker pool mapping the plan's buffers from shared
+memory (:mod:`repro.perf.process_backend`).  Fault campaigns (a tamper
+hook) always fall back to the sequential path — the hook-call sequence
+is part of the contract.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
+from repro.core.blocking import BlockPartition
 from repro.core.detector import DetectionReport
 from repro.errors import ConfigurationError, ShapeMismatchError
-from repro.kernels.parallel import ParallelKernels, get_executor
+from repro.kernels.parallel import ParallelKernels
 from repro.kernels.vectorized import VectorizedKernels
 from repro.machine import ExecutionMeter
 from repro.obs import DEFAULT_FRACTION_BUCKETS, Telemetry
+from repro.perf.backends import PlanBackend, make_backend, resolve_backend_name
 from repro.perf.sharding import shard_blocks
 from repro.sparse.csr import CsrMatrix
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (annotations only)
     from repro.core.corrector import TamperHook
     from repro.core.protected import FaultTolerantSpMV, SpmvResult
+
+#: ``(rows, nnz, recheck, syndrome, thresholds, exceeded, still_flagged)``
+#: returned by one shard's correction task.  Every member is either a
+#: scalar or a freshly materialized array, so the tuple crosses process
+#: boundaries by value.
+ShardCorrection = Tuple[
+    int, int, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray
+]
+
+#: ``alloc(name, shape, dtype)`` hook deciding where a plan buffer lives.
+BufferAllocator = Callable[[str, Tuple[int, ...], str], np.ndarray]
+
+
+def _heap_alloc(name: str, shape: Tuple[int, ...], dtype: str) -> np.ndarray:
+    return np.empty(shape, dtype=np.dtype(dtype))
 
 
 class _SpmvShard:
@@ -98,6 +119,10 @@ class SpmvPlan:
         row_cuts: explicit strictly increasing shard boundaries
             ``[0, ..., n_rows]`` (e.g. block-aligned cuts); ``None``
             derives nnz-balanced cuts from the matrix.
+        out: preallocated result buffer of shape ``(n_rows,)`` float64
+            (e.g. a shared-memory view); allocated when ``None``.
+        workspace: preallocated product scratch of shape ``(nnz,)``
+            float64; allocated when ``None``.
     """
 
     def __init__(
@@ -105,6 +130,8 @@ class SpmvPlan:
         matrix: CsrMatrix,
         n_shards: int = 1,
         row_cuts: Optional[np.ndarray] = None,
+        out: Optional[np.ndarray] = None,
+        workspace: Optional[np.ndarray] = None,
     ) -> None:
         from repro.perf.sharding import shard_rows
 
@@ -125,8 +152,8 @@ class SpmvPlan:
                 )
         self.matrix = matrix
         self.row_cuts = row_cuts
-        self.out = np.empty(matrix.n_rows, dtype=np.float64)
-        self.workspace = np.empty(matrix.nnz, dtype=np.float64)
+        self.out = self._buffer("out", out, matrix.n_rows)
+        self.workspace = self._buffer("workspace", workspace, matrix.nnz)
         self._shards: List[_SpmvShard] = []
         indptr = matrix.indptr
         lengths = matrix.row_lengths()
@@ -157,6 +184,17 @@ class SpmvPlan:
                     reduced=reduced,
                 )
             )
+
+    @staticmethod
+    def _buffer(name: str, provided: Optional[np.ndarray], size: int) -> np.ndarray:
+        if provided is None:
+            return np.empty(size, dtype=np.float64)
+        if provided.shape != (size,) or provided.dtype != np.float64:
+            raise ConfigurationError(
+                f"provided {name} buffer must be float64 of shape ({size},); "
+                f"got {provided.dtype} {provided.shape}"
+            )
+        return provided
 
     @property
     def n_shards(self) -> int:
@@ -201,6 +239,138 @@ class SpmvPlan:
                 shard.segment[shard.scatter] = shard.reduced
 
 
+class FusedShardBuffers:
+    """Backend-portable state and math of the fused per-shard pipeline.
+
+    Everything a fused detect/correct task touches lives here, allocated
+    through an injectable ``alloc(name, shape, dtype)`` hook: the plan
+    normally allocates on the heap, while the ``processes`` backend maps
+    the same named buffers out of a shared-memory arena so workers can
+    rebuild an identical object over identical bytes
+    (:func:`repro.perf.process_backend._fused_from_arena`).
+
+    The methods preserve the exact op sequence of the sequential
+    protected multiply — the cross-backend bit-identity contract depends
+    on that order, so treat any change here as a numerics change.
+
+    The ``abs`` and ``finite`` comparison masks are deliberately *not*
+    allocated through the hook: they are write-only scratch local to
+    whichever process runs the comparison, so each side keeps a private
+    heap copy.
+    """
+
+    __slots__ = (
+        "matrix", "checksum_matrix", "partition", "weights", "block_cuts",
+        "spmv", "checksum_spmv", "t2", "t2_workspace", "syndrome",
+        "thresholds", "exceeded", "abs", "finite", "t2_starts",
+        "shard_rows", "shard_blocks", "kernels",
+    )
+
+    def __init__(
+        self,
+        matrix: CsrMatrix,
+        checksum_matrix: CsrMatrix,
+        partition: BlockPartition,
+        weights: np.ndarray,
+        block_cuts: np.ndarray,
+        alloc: Optional[BufferAllocator] = None,
+    ) -> None:
+        if alloc is None:
+            alloc = _heap_alloc
+        n_blocks = partition.n_blocks
+        block_starts = partition.block_starts()
+        self.matrix = matrix
+        self.checksum_matrix = checksum_matrix
+        self.partition = partition
+        self.weights = weights
+        self.block_cuts = block_cuts
+        self.spmv = SpmvPlan(
+            matrix,
+            row_cuts=block_starts[block_cuts],
+            out=alloc("r", (matrix.n_rows,), "float64"),
+            workspace=alloc("r_workspace", (matrix.nnz,), "float64"),
+        )
+        self.checksum_spmv = SpmvPlan(
+            checksum_matrix,
+            row_cuts=block_cuts,
+            out=alloc("t1", (n_blocks,), "float64"),
+            workspace=alloc("c_workspace", (checksum_matrix.nnz,), "float64"),
+        )
+        self.t2 = alloc("t2", (n_blocks,), "float64")
+        self.t2_workspace = alloc("t2_workspace", (matrix.n_rows,), "float64")
+        self.syndrome = alloc("syndrome", (n_blocks,), "float64")
+        self.thresholds = alloc("thresholds", (n_blocks,), "float64")
+        self.exceeded = alloc("exceeded", (n_blocks,), "bool")
+        self.abs = np.empty(n_blocks, dtype=np.float64)
+        self.finite = np.empty(n_blocks, dtype=bool)
+        self.kernels = VectorizedKernels()
+
+        # Per-shard t2 reduceat offsets (blocks never span shards).
+        self.t2_starts: List[np.ndarray] = []
+        self.shard_rows: List[Tuple[int, int]] = []
+        self.shard_blocks: List[Tuple[int, int]] = []
+        for i in range(block_cuts.size - 1):
+            c0, c1 = int(block_cuts[i]), int(block_cuts[i + 1])
+            r0, r1 = int(block_starts[c0]), int(block_starts[c1])
+            self.shard_blocks.append((c0, c1))
+            self.shard_rows.append((r0, r1))
+            self.t2_starts.append((block_starts[c0:c1] - r0).astype(np.int64))
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shard_blocks)
+
+    def compare_range(self, c0: int, c1: int) -> None:
+        """Fused invariant comparison over blocks ``[c0, c1)``.
+
+        Elementwise-identical to
+        :meth:`repro.kernels.vectorized.VectorizedKernels.compare_syndromes`
+        (subtract, abs-greater, non-finite flag) on the t1/t2 buffers,
+        writing the syndrome/exceeded buffers instead of allocating.
+        """
+        t1 = self.checksum_spmv.out
+        syndrome = self.syndrome[c0:c1]
+        exceeded = self.exceeded[c0:c1]
+        finite = self.finite[c0:c1]
+        with np.errstate(invalid="ignore", over="ignore"):
+            np.subtract(t1[c0:c1], self.t2[c0:c1], out=syndrome)
+            np.abs(syndrome, out=self.abs[c0:c1])
+            np.greater(self.abs[c0:c1], self.thresholds[c0:c1], out=exceeded)
+            np.isfinite(syndrome, out=finite)
+            np.logical_not(finite, out=finite)
+            np.logical_or(exceeded, finite, out=exceeded)
+
+    def detect_shard(self, i: int, b: np.ndarray) -> None:
+        """One fused task: shard SpMV + t1 + t2 + comparison."""
+        self.spmv.execute_shard(i, b)
+        self.checksum_spmv.execute_shard(i, b)
+        c0, c1 = self.shard_blocks[i]
+        r0, r1 = self.shard_rows[i]
+        with np.errstate(invalid="ignore", over="ignore"):
+            ws = self.t2_workspace[r0:r1]
+            np.multiply(self.weights[r0:r1], self.spmv.out[r0:r1], out=ws)
+            # reprolint: disable=ABFT002 -- same per-block reduceat order
+            # as the vectorized kernels; shards align to block starts
+            np.add.reduceat(ws, self.t2_starts[i], out=self.t2[c0:c1])
+        self.compare_range(c0, c1)
+
+    def correct_shard(self, i: int, b: np.ndarray, blocks: np.ndarray) -> ShardCorrection:
+        """Recompute + re-verify the flagged blocks owned by shard ``i``."""
+        kernels = self.kernels
+        rows, nnz = kernels.correct_blocks(
+            self.matrix, self.partition, b, self.spmv.out, blocks, None
+        )
+        recheck = kernels.result_checksums_for_blocks(
+            self.weights, self.spmv.out, self.partition, blocks
+        )
+        thresholds = self.thresholds[blocks]
+        with np.errstate(invalid="ignore", over="ignore"):
+            syndrome = self.checksum_spmv.out[blocks] - recheck
+            exceeded = np.abs(syndrome) > thresholds
+            exceeded |= ~np.isfinite(syndrome)
+        return rows, nnz, recheck, syndrome, thresholds, exceeded, blocks[exceeded]
+
+
 class ProtectedPlan:
     """A planned, bufferized protected multiply bound to one operator.
 
@@ -221,9 +391,26 @@ class ProtectedPlan:
             to plan for.
         n_shards: requested shard count (block-aligned; the effective
             count can be lower on tiny matrices).
+        parallel: explicit backend name (``"serial"``, ``"threads"``,
+            ``"processes"`` or a registered extension), overriding both
+            ``REPRO_PARALLEL`` and ``AbftConfig.parallel``.  ``None``
+            resolves via :func:`repro.perf.backends.resolve_backend_name`.
+        backend_options: keyword options forwarded to the backend
+            factory (e.g. ``serial_cutoff``/``timeout`` for
+            ``processes``).
+
+    Plans over the ``processes`` backend own worker processes and a
+    shared-memory segment; release them deterministically with
+    :meth:`close` or a ``with`` block (an atexit hook reaps leftovers).
     """
 
-    def __init__(self, operator: "FaultTolerantSpMV", n_shards: int = 1) -> None:
+    def __init__(
+        self,
+        operator: "FaultTolerantSpMV",
+        n_shards: int = 1,
+        parallel: Optional[str] = None,
+        backend_options: Optional[Dict[str, object]] = None,
+    ) -> None:
         if n_shards < 1:
             raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
         detector = operator.detector
@@ -235,32 +422,43 @@ class ProtectedPlan:
 
         block_starts = partition.block_starts()
         self.block_cuts = shard_blocks(matrix.indptr, block_starts, n_shards)
-        self.spmv = SpmvPlan(matrix, row_cuts=block_starts[self.block_cuts])
-        self.checksum_spmv = SpmvPlan(
-            detector.checksum.matrix, row_cuts=self.block_cuts
+
+        inner = getattr(detector.kernels, "inner", detector.kernels)
+        self._parallel: Optional[ParallelKernels] = (
+            inner if isinstance(inner, ParallelKernels) else None
         )
-        self._weights = detector.checksum.weights
 
-        # Per-shard t2 reduceat offsets (blocks never span shards).
-        self._t2_starts: List[np.ndarray] = []
-        self._shard_rows: List[Tuple[int, int]] = []
-        self._shard_blocks: List[Tuple[int, int]] = []
-        cuts = self.block_cuts
-        for i in range(cuts.size - 1):
-            c0, c1 = int(cuts[i]), int(cuts[i + 1])
-            r0, r1 = int(block_starts[c0]), int(block_starts[c1])
-            self._shard_blocks.append((c0, c1))
-            self._shard_rows.append((r0, r1))
-            self._t2_starts.append((block_starts[c0:c1] - r0).astype(np.int64))
+        default = "threads" if self._parallel is not None else "serial"
+        self.backend_name = resolve_backend_name(
+            getattr(operator.config, "parallel", None),
+            explicit=parallel,
+            default=default,
+        )
+        self.backend: PlanBackend = make_backend(
+            self.backend_name, self, **(backend_options or {})
+        )
 
-        # Detection buffers, reused by every call.
-        self._t2 = np.empty(n_blocks, dtype=np.float64)
-        self._t2_workspace = np.empty(matrix.n_rows, dtype=np.float64)
-        self._syndrome = np.empty(n_blocks, dtype=np.float64)
-        self._abs = np.empty(n_blocks, dtype=np.float64)
-        self._thresholds = np.empty(n_blocks, dtype=np.float64)
-        self._exceeded = np.empty(n_blocks, dtype=bool)
-        self._finite = np.empty(n_blocks, dtype=bool)
+        self._fused = FusedShardBuffers(
+            matrix,
+            detector.checksum.matrix,
+            partition,
+            detector.checksum.weights,
+            self.block_cuts,
+            alloc=self.backend.alloc,
+        )
+        self.spmv = self._fused.spmv
+        self.checksum_spmv = self._fused.checksum_spmv
+        self._weights = self._fused.weights
+        self._t2_starts = self._fused.t2_starts
+        self._shard_rows = self._fused.shard_rows
+        self._shard_blocks = self._fused.shard_blocks
+        self._t2 = self._fused.t2
+        self._t2_workspace = self._fused.t2_workspace
+        self._syndrome = self._fused.syndrome
+        self._abs = self._fused.abs
+        self._thresholds = self._fused.thresholds
+        self._exceeded = self._fused.exceeded
+        self._finite = self._fused.finite
         self._all_blocks = np.arange(n_blocks, dtype=np.int64)
         self._empty_blocks = np.empty(0, dtype=np.int64)
         self._beta_box = np.zeros(1, dtype=np.float64)
@@ -282,11 +480,24 @@ class ProtectedPlan:
         self._detect_seconds = operator.machine.makespan(graph)
         self._detect_flops = graph.total_work()
 
-        inner = getattr(detector.kernels, "inner", detector.kernels)
-        self._parallel: Optional[ParallelKernels] = (
-            inner if isinstance(inner, ParallelKernels) else None
-        )
-        self._vectorized = VectorizedKernels()
+        self._vectorized = self._fused.kernels
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release backend resources (worker pool, shared memory).
+
+        Idempotent.  A plan whose buffers live in shared memory must not
+        be used after close — its result/scratch views are dead.
+        """
+        self.backend.close()
+
+    def __enter__(self) -> "ProtectedPlan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Protected multiply
@@ -319,14 +530,14 @@ class ProtectedPlan:
             else:
                 meter.run_graph(detector.detection_graph())
 
-            threaded = (
+            fused = (
                 tamper is None
-                and self._parallel is not None
+                and self.backend.parallel_active
                 and self.spmv.n_shards > 1
             )
-            if threaded:
+            if fused:
                 r, t1, beta, report, detected, corrected, rounds, exhausted = (
-                    self._threaded_multiply(b, meter, telemetry)
+                    self._parallel_multiply(b, meter, telemetry)
                 )
             else:
                 with telemetry.span("abft.detect"):
@@ -388,25 +599,6 @@ class ProtectedPlan:
                     beta, self._all_blocks
                 )
 
-    def _compare_range(self, t1: np.ndarray, t2: np.ndarray, c0: int, c1: int) -> None:
-        """Fused invariant comparison over blocks ``[c0, c1)``.
-
-        Elementwise-identical to
-        :meth:`repro.kernels.vectorized.VectorizedKernels.compare_syndromes`
-        (subtract, abs-greater, non-finite flag), writing the plan's
-        syndrome/exceeded buffers instead of allocating.
-        """
-        syndrome = self._syndrome[c0:c1]
-        exceeded = self._exceeded[c0:c1]
-        finite = self._finite[c0:c1]
-        with np.errstate(invalid="ignore", over="ignore"):
-            np.subtract(t1[c0:c1], t2[c0:c1], out=syndrome)
-            np.abs(syndrome, out=self._abs[c0:c1])
-            np.greater(self._abs[c0:c1], self._thresholds[c0:c1], out=exceeded)
-            np.isfinite(syndrome, out=finite)
-            np.logical_not(finite, out=finite)
-            np.logical_or(exceeded, finite, out=exceeded)
-
     def _flagged(self) -> np.ndarray:
         """Flagged block ids from the exceeded buffer (no alloc when clean)."""
         if bool(self._exceeded.any()):
@@ -432,7 +624,7 @@ class ProtectedPlan:
                 else self._empty_blocks
             )
         else:
-            self._compare_range(t1, t2, 0, self._all_blocks.size)
+            self._fused.compare_range(0, self._all_blocks.size)
             syndrome = self._syndrome
             exceeded = self._exceeded
             flagged = self._flagged()
@@ -446,44 +638,21 @@ class ProtectedPlan:
         return report, exceeded
 
     # ------------------------------------------------------------------
-    # Fused threaded path
+    # Fused parallel path
     # ------------------------------------------------------------------
     def _detect_shard(self, i: int, b: np.ndarray, telemetry: Telemetry) -> None:
         """One worker's fused task: shard SpMV + t1 + t2 + comparison."""
         with telemetry.span("plan.shard", shard=i):
-            self.spmv.execute_shard(i, b)
-            self.checksum_spmv.execute_shard(i, b)
-            c0, c1 = self._shard_blocks[i]
-            r0, r1 = self._shard_rows[i]
-            with np.errstate(invalid="ignore", over="ignore"):
-                ws = self._t2_workspace[r0:r1]
-                np.multiply(self._weights[r0:r1], self.spmv.out[r0:r1], out=ws)
-                # reprolint: disable=ABFT002 -- same per-block reduceat order
-                # as the vectorized kernels; shards align to block starts
-                np.add.reduceat(ws, self._t2_starts[i], out=self._t2[c0:c1])
-            self._compare_range(self.checksum_spmv.out, self._t2, c0, c1)
+            self._fused.detect_shard(i, b)
 
     def _correct_shard(
         self, i: int, b: np.ndarray, blocks: np.ndarray, telemetry: Telemetry
-    ) -> Tuple[int, int, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    ) -> ShardCorrection:
         """Recompute + re-verify the flagged blocks owned by shard ``i``."""
-        detector = self.operator.detector
-        kernels = self._vectorized
         with telemetry.span("plan.shard", shard=i, blocks=int(blocks.size)):
-            rows, nnz = kernels.correct_blocks(
-                detector.matrix, detector.partition, b, self.spmv.out, blocks, None
-            )
-            recheck = kernels.result_checksums_for_blocks(
-                self._weights, self.spmv.out, detector.partition, blocks
-            )
-            thresholds = self._thresholds[blocks]
-            with np.errstate(invalid="ignore", over="ignore"):
-                syndrome = self.checksum_spmv.out[blocks] - recheck
-                exceeded = np.abs(syndrome) > thresholds
-                exceeded |= ~np.isfinite(syndrome)
-            return rows, nnz, recheck, syndrome, thresholds, exceeded, blocks[exceeded]
+            return self._fused.correct_shard(i, b, blocks)
 
-    def _threaded_multiply(
+    def _parallel_multiply(
         self, b: np.ndarray, meter: ExecutionMeter, telemetry: Telemetry
     ) -> Tuple[
         np.ndarray, np.ndarray, float, DetectionReport,
@@ -492,19 +661,12 @@ class ProtectedPlan:
         """Clean-path multiply with detection fused into the shard tasks."""
         operator = self.operator
         detector = operator.detector
-        assert self._parallel is not None
-        executor = get_executor(self._parallel.n_workers)
 
         with telemetry.span("abft.detect"):
             self._beta_box[0] = detector.operand_norm(b)
             beta = float(self._beta_box[0])
             self._fill_thresholds(beta)
-            futures = [
-                executor.submit(self._detect_shard, i, b, telemetry)
-                for i in range(self.spmv.n_shards)
-            ]
-            for future in futures:
-                future.result()
+            self.backend.run_detect(b, telemetry)
             flagged = self._flagged()
             report = DetectionReport(
                 flagged=flagged,
@@ -525,8 +687,8 @@ class ProtectedPlan:
             if operator.config.max_correction_rounds < 1:
                 exhausted = True
             else:
-                remaining = self._threaded_round(
-                    b, beta, flagged, meter, telemetry, executor, corrected
+                remaining = self._parallel_round(
+                    b, beta, flagged, meter, telemetry, corrected
                 )
                 rounds = 1
                 detected.append(tuple(int(x) for x in remaining))
@@ -537,14 +699,13 @@ class ProtectedPlan:
                     )
         return r, t1, beta, report, detected, corrected, rounds, exhausted
 
-    def _threaded_round(
+    def _parallel_round(
         self,
         b: np.ndarray,
         beta: float,
         flagged: np.ndarray,
         meter: ExecutionMeter,
         telemetry: Telemetry,
-        executor: object,
         corrected: Set[int],
     ) -> np.ndarray:
         """First correction round with shard-owner affinity.
@@ -572,20 +733,7 @@ class ProtectedPlan:
                 hi = int(np.searchsorted(flagged, cuts[i + 1]))
                 if hi > lo:
                     owned.append((i, flagged[lo:hi]))
-            if len(owned) == 1:
-                shard_id, blocks = owned[0]
-                results: Sequence[
-                    Tuple[int, int, np.ndarray, np.ndarray, np.ndarray,
-                          np.ndarray, np.ndarray]
-                ] = [self._correct_shard(shard_id, b, blocks, telemetry)]
-            else:
-                futures = [
-                    executor.submit(  # type: ignore[attr-defined]
-                        self._correct_shard, shard_id, b, blocks, telemetry
-                    )
-                    for shard_id, blocks in owned
-                ]
-                results = [future.result() for future in futures]
+            results = self.backend.run_correct(b, owned, telemetry)
             corrected.update(int(x) for x in flagged)
             rows = sum(result[0] for result in results)
             nnz = sum(result[1] for result in results)

@@ -39,6 +39,18 @@ def balanced_cuts(cumulative: np.ndarray, n_shards: int) -> np.ndarray:
         ``n``; shard ``i`` covers units ``[cuts[i], cuts[i+1])``.  Fewer
         than ``n_shards`` spans come back when the work cannot be split
         further (tiny inputs, one giant unit).
+
+    **Imbalance bound.**  Each interior cut is the leftmost position
+    whose prefix reaches its ideal target ``i * total / n_shards``, so
+    ``cumulative[cuts[i]]`` lies within one unit's work *below* target
+    ``i`` and strictly below target ``i`` plus that unit.  Whenever the
+    full ``n_shards + 1`` boundaries survive (no merged cuts), every
+    shard's work is therefore at most ``total / n_shards + max_unit``,
+    where ``max_unit = max(np.diff(cumulative))`` — the ideal share plus
+    one indivisible unit (one row for :func:`shard_rows`, one checksum
+    block for :func:`shard_blocks`).  When cuts merge, the guarantee is
+    the coarser one over the surviving spans: the property tests in
+    ``tests/perf/test_sharding_properties.py`` pin both cases.
     """
     if n_shards < 1:
         raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")

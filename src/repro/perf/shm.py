@@ -1,0 +1,180 @@
+"""Shared-memory arenas for the multicore protected-SpMV backend.
+
+The ``processes`` plan backend maps every array the fused per-shard
+pipeline touches — the CSR triplets of ``A`` and the checksum matrix
+``C``, the weight vector, the operand, and all output/scratch buffers —
+into **one** :class:`multiprocessing.shared_memory.SharedMemory` block.
+Workers attach by name and reconstruct zero-copy NumPy views, so the
+only per-multiply transfer is the operand vector (copied once by the
+parent) and a few bytes of control traffic.
+
+Layout is declared up front (:class:`ArenaLayout`), so the parent and
+every worker resolve byte-identical views from the same spec; the spec
+itself is a plain picklable object that travels to spawned workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+from typing import Dict, Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Byte alignment of every array in an arena (covers int64/float64).
+ARENA_ALIGNMENT = 64
+
+
+def _aligned(offset: int) -> int:
+    return -(-offset // ARENA_ALIGNMENT) * ARENA_ALIGNMENT
+
+
+@dataclass(frozen=True)
+class ArenaField:
+    """One named array inside an arena: dtype, shape and byte offset."""
+
+    name: str
+    dtype: str
+    shape: Tuple[int, ...]
+    offset: int
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.dtype(self.dtype).itemsize * int(np.prod(self.shape, dtype=np.int64)))
+
+
+@dataclass(frozen=True)
+class ArenaLayout:
+    """An ordered, picklable map of array names to arena positions."""
+
+    fields: Tuple[ArenaField, ...]
+    size: int
+
+    @classmethod
+    def build(cls, specs: Iterable[Tuple[str, Tuple[int, ...], str]]) -> "ArenaLayout":
+        """Lay out ``(name, shape, dtype)`` specs back to back, aligned.
+
+        Every arena is at least one byte long so degenerate plans (empty
+        matrices) still allocate a valid segment.
+        """
+        fields = []
+        offset = 0
+        seen = set()
+        for name, shape, dtype in specs:
+            if name in seen:
+                raise ConfigurationError(f"duplicate arena field {name!r}")
+            seen.add(name)
+            offset = _aligned(offset)
+            spec = ArenaField(name=name, dtype=dtype, shape=tuple(int(s) for s in shape), offset=offset)
+            fields.append(spec)
+            offset += spec.nbytes
+        return cls(fields=tuple(fields), size=max(1, offset))
+
+    def field(self, name: str) -> ArenaField:
+        for candidate in self.fields:
+            if candidate.name == name:
+                return candidate
+        raise ConfigurationError(
+            f"unknown arena field {name!r}; expected one of "
+            f"{tuple(f.name for f in self.fields)}"
+        )
+
+
+class Arena:
+    """A :class:`SharedMemory` block carved into named NumPy views.
+
+    The *owner* (the parent process) creates the segment and is the only
+    party that may :meth:`unlink` it; workers :meth:`attach` by name and
+    merely close their mapping on exit.  Views returned by
+    :meth:`array` alias the segment directly — they become invalid the
+    moment the mapping is closed, so the owner must keep the arena open
+    for as long as any plan buffer is alive.
+    """
+
+    def __init__(self, layout: ArenaLayout, shm: shared_memory.SharedMemory, owner: bool) -> None:
+        self.layout = layout
+        self._shm: Optional[shared_memory.SharedMemory] = shm
+        self._owner = owner
+        self._unlinked = False
+        self._views: Dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, layout: ArenaLayout) -> "Arena":
+        """Allocate a fresh segment sized for ``layout`` (parent side)."""
+        shm = shared_memory.SharedMemory(create=True, size=layout.size)
+        return cls(layout, shm, owner=True)
+
+    @classmethod
+    def attach(cls, name: str, layout: ArenaLayout) -> "Arena":
+        """Map an existing segment by name (worker side).
+
+        Workers are always :mod:`multiprocessing` children of the owner,
+        so they share the owner's resource tracker; the attach-side
+        ``register`` is an idempotent no-op on the tracker's name set
+        and the owner's eventual ``unlink`` deregisters it exactly once.
+        (An attach-side *unregister* — the common recipe for unrelated
+        processes with private trackers — would instead strip the
+        owner's registration and make the final unlink warn.)
+        """
+        shm = shared_memory.SharedMemory(name=name)
+        return cls(layout, shm, owner=False)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """The segment name workers attach by."""
+        if self._shm is None:
+            raise ConfigurationError("arena is closed")
+        return self._shm.name
+
+    @property
+    def closed(self) -> bool:
+        return self._shm is None
+
+    def array(self, name: str) -> np.ndarray:
+        """Zero-copy view of field ``name`` (cached per arena)."""
+        view = self._views.get(name)
+        if view is None:
+            if self._shm is None:
+                raise ConfigurationError("arena is closed")
+            spec = self.layout.field(name)
+            view = np.ndarray(
+                spec.shape, dtype=np.dtype(spec.dtype), buffer=self._shm.buf, offset=spec.offset
+            )
+            self._views[name] = view
+        return view
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drop all views and the mapping; owners also unlink the name.
+
+        Idempotent.  After close every previously returned view is
+        dead — callers must not touch plan buffers past this point.
+        """
+        shm = self._shm
+        if shm is None:
+            return
+        self._shm = None
+        self._views.clear()
+        shm.close()
+        if self._owner and not self._unlinked:
+            self._unlinked = True
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already reaped
+                pass
+
+    def __enter__(self) -> "Arena":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,195 @@
+"""Cross-backend differential fault-injection matrix.
+
+Two layers of the bit-identity contract:
+
+1. **Scheme layer** — every registered scheme, configured with every
+   execution backend (``AbftConfig(parallel=...)``), replays the golden
+   corpus of PR 5 (clean + single burst) and must match the committed
+   snapshots bit for bit.  A backend is an execution strategy, never a
+   numerics change — even for schemes that take no planned path at all.
+
+2. **Plan layer** — the planned ABFT multiply with real multi-shard
+   fan-out (``serial_cutoff=0`` so ``processes`` engages on the tiny
+   corpus): clean runs, per-shard injected bursts, and a flag-every-block
+   correction storm must agree with the serial reference on value bits,
+   detection/correction history, simulated seconds and flops.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.config import AbftConfig
+from repro.core.protected import FaultTolerantSpMV
+from repro.machine import Machine
+from repro.perf import BUILTIN_BACKENDS, ProtectedPlan
+from repro.schemes import BUILTIN_SCHEMES, make_scheme
+from repro.sparse import random_spd
+
+GOLDEN = Path(__file__).parent.parent / "schemes" / "golden"
+
+#: Corpus parameters of the committed snapshots (see tests/schemes).
+N, NNZ, MATRIX_SEED, RHS_SEED = 96, 900, 7, 123
+BLOCK_SIZE = 16
+BURST_INDEX, BURST_MAGNITUDE = 33, 1e4
+
+#: Shard count of the plan-layer matrix (4 shards over 6 blocks).
+N_SHARDS = 4
+
+BACKENDS = tuple(sorted(BUILTIN_BACKENDS))
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    matrix = random_spd(N, NNZ, seed=MATRIX_SEED)
+    b = np.random.default_rng(RHS_SEED).standard_normal(N)
+    return matrix, b
+
+
+def one_shot_burst(index=BURST_INDEX, magnitude=BURST_MAGNITUDE):
+    state = {"armed": True}
+
+    def hook(stage, data, work):
+        if stage == "result" and state["armed"]:
+            data[index] += magnitude
+            state["armed"] = False
+
+    return hook
+
+
+def assert_matches_golden(result, golden):
+    assert [float(v).hex() for v in result.value] == golden["value"]
+    assert [bool(d) for d in result.detections] == golden["detections"]
+    assert [[int(s), int(e)] for s, e in result.corrections] == golden["corrections"]
+    assert [
+        [int(block) for block in blocks] for blocks in result.detected_blocks
+    ] == golden["detected_blocks"]
+    assert [int(block) for block in result.corrected_blocks] == golden[
+        "corrected_blocks"
+    ]
+    assert result.rounds == golden["rounds"]
+    assert float(result.seconds).hex() == golden["seconds"]
+    assert float(result.flops) == golden["flops"]
+    assert bool(result.exhausted) is golden["exhausted"]
+
+
+def snapshot(result):
+    """Value-semantics copy of a result whose buffers a plan may reuse."""
+    return {
+        "value": [float(v).hex() for v in result.value],
+        "detected": tuple(tuple(int(x) for x in d) for d in result.detected),
+        "corrected_blocks": tuple(int(x) for x in result.corrected_blocks),
+        "rounds": int(result.rounds),
+        "seconds": float(result.seconds).hex(),
+        "flops": float(result.flops),
+        "exhausted": bool(result.exhausted),
+    }
+
+
+# ----------------------------------------------------------------------
+# Scheme layer: every scheme x backend x scenario vs golden snapshots
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("scenario", ("clean", "burst"))
+@pytest.mark.parametrize("name", BUILTIN_SCHEMES)
+def test_scheme_matches_golden_under_every_backend(corpus, name, scenario, backend):
+    matrix, b = corpus
+    golden = json.loads((GOLDEN / f"{name}_{scenario}.json").read_text())
+    scheme = make_scheme(
+        name,
+        matrix,
+        config=AbftConfig(block_size=BLOCK_SIZE, parallel=backend),
+        machine=Machine(),
+    )
+    tamper = one_shot_burst() if scenario == "burst" else None
+    result = scheme.multiply(b.copy(), tamper=tamper)
+    assert_matches_golden(result, golden)
+
+
+# ----------------------------------------------------------------------
+# Plan layer: multi-shard fan-out across backends
+# ----------------------------------------------------------------------
+def _plan(corpus, backend, **config_kwargs):
+    matrix, _ = corpus
+    config = AbftConfig(block_size=BLOCK_SIZE, **config_kwargs)
+    operator = FaultTolerantSpMV(matrix, config=config)
+    return ProtectedPlan(
+        operator,
+        n_shards=N_SHARDS,
+        parallel=backend,
+        backend_options={"serial_cutoff": 0} if backend == "processes" else None,
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_reference(corpus):
+    """Serial-backend snapshots for every plan-layer scenario."""
+    _, b = corpus
+    reference = {}
+    with _plan(corpus, "serial") as plan:
+        assert plan.spmv.n_shards == N_SHARDS
+        reference["clean"] = snapshot(plan.multiply(b.copy()))
+        for shard, (r0, r1) in enumerate(plan._shard_rows):
+            tamper = one_shot_burst(index=(r0 + r1) // 2)
+            reference[f"burst_shard{shard}"] = snapshot(
+                plan.multiply(b.copy(), tamper=tamper)
+            )
+    with _plan(corpus, "serial", bound_scale=1e-12, max_correction_rounds=2) as plan:
+        reference["flag_all"] = snapshot(plan.multiply(b.copy()))
+    return reference
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_plan_clean_multiply_bit_identical_across_backends(
+    corpus, serial_reference, backend
+):
+    _, b = corpus
+    with _plan(corpus, backend) as plan:
+        if backend != "serial":
+            assert plan.backend.parallel_active
+        assert snapshot(plan.multiply(b.copy())) == serial_reference["clean"]
+        # Steady state: repeated multiplies stay on the same bits.
+        assert snapshot(plan.multiply(b.copy())) == serial_reference["clean"]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_plan_per_shard_burst_bit_identical_across_backends(
+    corpus, serial_reference, backend
+):
+    _, b = corpus
+    with _plan(corpus, backend) as plan:
+        for shard, (r0, r1) in enumerate(plan._shard_rows):
+            tamper = one_shot_burst(index=(r0 + r1) // 2)
+            result = snapshot(plan.multiply(b.copy(), tamper=tamper))
+            assert result == serial_reference[f"burst_shard{shard}"], (
+                f"backend {backend!r} diverged on shard {shard} burst"
+            )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_plan_correction_storm_bit_identical_across_backends(
+    corpus, serial_reference, backend
+):
+    """A microscopic bound flags every block: the fused correction round
+    runs on every backend and must re-verify to the same bits."""
+    _, b = corpus
+    with _plan(
+        corpus, backend, bound_scale=1e-12, max_correction_rounds=2
+    ) as plan:
+        result = snapshot(plan.multiply(b.copy()))
+        assert result == serial_reference["flag_all"]
+        assert result["corrected_blocks"]  # the storm actually corrected
+
+
+def test_plan_clean_matches_unplanned_golden(corpus):
+    """The multi-shard processes plan agrees with the committed unplanned
+    abft snapshot — linking the plan layer back to the PR 5 corpus."""
+    _, b = corpus
+    golden = json.loads((GOLDEN / "abft_clean.json").read_text())
+    with _plan(corpus, "processes") as plan:
+        result = plan.multiply(b.copy())
+        assert [float(v).hex() for v in result.value] == golden["value"]
+        assert float(result.seconds).hex() == golden["seconds"]
+        assert float(result.flops) == golden["flops"]

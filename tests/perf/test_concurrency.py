@@ -20,6 +20,7 @@ from repro.core.blocking import BlockPartition
 from repro.kernels.parallel import ParallelKernels
 from repro.kernels.vectorized import VectorizedKernels
 from repro.obs import InMemoryExporter, Telemetry
+from repro.perf import ProtectedPlan
 from repro.sparse import random_spd
 
 N = 256
@@ -176,7 +177,9 @@ def test_threaded_plan_shard_spans_report_owner(matrix, b):
         telemetry=telemetry,
     )
     op.detector.kernels = op.telemetry.wrap_kernels(_sharded(3))
-    plan = op.planned()
+    # Pin the backend under test: this asserts *thread* span semantics,
+    # which a REPRO_PARALLEL override must not redirect.
+    plan = ProtectedPlan(op, n_shards=3, parallel="threads")
     assert plan.spmv.n_shards == 3
     plan.multiply(b)
     shard_spans = [

@@ -1,0 +1,172 @@
+"""Property-based tests (hypothesis) for nnz-balanced sharding.
+
+The fused parallel pipeline stands on three structural invariants of
+:mod:`repro.perf.sharding`:
+
+* cuts partition the unit range exactly — disjoint, covering, strictly
+  increasing;
+* when the requested shard count survives, per-shard work stays within
+  the documented bound ``total / n_shards + max_unit`` (the ideal share
+  plus one indivisible unit — see :func:`repro.perf.sharding.balanced_cuts`);
+* degenerate inputs (empty rows, all-empty matrices, a single shard,
+  more shards than rows or blocks) plan without error, and the derived
+  :class:`~repro.perf.plan.SpmvPlan` still reproduces ``matvec`` bit for
+  bit.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.blocking import BlockPartition
+from repro.perf import SpmvPlan, balanced_cuts, shard_blocks, shard_rows
+from repro.perf.sharding import row_work
+from repro.sparse import CooMatrix
+
+
+@st.composite
+def indptrs(draw, max_rows=64, max_row_nnz=20):
+    """A CSR indptr with arbitrary (possibly empty, possibly all-empty) rows."""
+    n_rows = draw(st.integers(0, max_rows))
+    lengths = draw(
+        st.lists(st.integers(0, max_row_nnz), min_size=n_rows, max_size=n_rows)
+    )
+    return np.concatenate(([0], np.cumsum(lengths, dtype=np.int64)))
+
+
+@st.composite
+def csr_matrices(draw, max_dim=24, max_entries=120):
+    n_rows = draw(st.integers(1, max_dim))
+    n_cols = draw(st.integers(1, max_dim))
+    n_entries = draw(st.integers(0, max_entries))
+    rows = draw(
+        st.lists(st.integers(0, n_rows - 1), min_size=n_entries, max_size=n_entries)
+    )
+    cols = draw(
+        st.lists(st.integers(0, n_cols - 1), min_size=n_entries, max_size=n_entries)
+    )
+    finite = st.floats(
+        min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+    )
+    vals = draw(st.lists(finite, min_size=n_entries, max_size=n_entries))
+    return CooMatrix(
+        (n_rows, n_cols),
+        np.asarray(rows, dtype=np.int64),
+        np.asarray(cols, dtype=np.int64),
+        np.asarray(vals, dtype=np.float64),
+    ).to_csr()
+
+
+# ----------------------------------------------------------------------
+# Partition exactness
+# ----------------------------------------------------------------------
+@settings(max_examples=100, deadline=None)
+@given(indptr=indptrs(), n_shards=st.integers(1, 12))
+def test_row_cuts_partition_rows_exactly(indptr, n_shards):
+    n_rows = indptr.size - 1
+    cuts = shard_rows(indptr, n_shards)
+    assert cuts.dtype == np.int64
+    assert cuts[0] == 0
+    assert cuts[-1] == n_rows or (n_rows == 0 and cuts.size == 1)
+    assert np.all(np.diff(cuts) > 0)
+    assert cuts.size <= n_shards + 1
+    # Disjoint + covering: the spans concatenate back to range(n_rows).
+    spans = [np.arange(cuts[i], cuts[i + 1]) for i in range(cuts.size - 1)]
+    recovered = np.concatenate(spans) if spans else np.empty(0, dtype=np.int64)
+    np.testing.assert_array_equal(recovered, np.arange(n_rows))
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    indptr=indptrs(),
+    block_size=st.integers(1, 17),
+    n_shards=st.integers(1, 12),
+)
+def test_block_cuts_partition_blocks_and_land_on_block_starts(
+    indptr, block_size, n_shards
+):
+    n_rows = indptr.size - 1
+    partition = BlockPartition(n_rows=n_rows, block_size=block_size)
+    block_starts = partition.block_starts()
+    cuts = shard_blocks(indptr, block_starts, n_shards)
+    n_blocks = partition.n_blocks
+    assert cuts[0] == 0
+    assert cuts[-1] == n_blocks or (n_blocks == 0 and cuts.size == 1)
+    assert np.all(np.diff(cuts) > 0)
+    # Every shard boundary is a block start — a block never straddles
+    # two shards, the property the fused detect/correct relies on.
+    row_cuts = block_starts[cuts]
+    assert np.all(np.isin(row_cuts, block_starts))
+    spans = [np.arange(cuts[i], cuts[i + 1]) for i in range(cuts.size - 1)]
+    recovered = np.concatenate(spans) if spans else np.empty(0, dtype=np.int64)
+    np.testing.assert_array_equal(recovered, np.arange(n_blocks))
+
+
+# ----------------------------------------------------------------------
+# Documented imbalance bound
+# ----------------------------------------------------------------------
+@settings(max_examples=150, deadline=None)
+@given(indptr=indptrs(max_rows=200, max_row_nnz=40), n_shards=st.integers(1, 16))
+def test_shard_work_within_documented_bound(indptr, n_shards):
+    """When all requested cuts survive, every shard's work stays at or
+    below ``total / n_shards + max_unit`` (see ``balanced_cuts``)."""
+    work = row_work(indptr)
+    cuts = balanced_cuts(work, n_shards)
+    if cuts.size != n_shards + 1:
+        return  # merged cuts: covered by the partition-exactness tests
+    shard_work = np.diff(work[cuts])
+    total = float(work[-1] - work[0])
+    max_unit = float(np.diff(work).max())
+    assert shard_work.max() <= total / n_shards + max_unit + 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    indptr=indptrs(max_rows=150, max_row_nnz=30),
+    block_size=st.integers(1, 9),
+    n_shards=st.integers(1, 8),
+)
+def test_block_shard_work_within_documented_bound(indptr, block_size, n_shards):
+    """Block-aligned cuts obey the same bound with one *block* as the
+    indivisible unit."""
+    n_rows = indptr.size - 1
+    partition = BlockPartition(n_rows=n_rows, block_size=block_size)
+    block_starts = partition.block_starts()
+    block_work = row_work(indptr)[block_starts]
+    cuts = shard_blocks(indptr, block_starts, n_shards)
+    if cuts.size != n_shards + 1:
+        return
+    shard_work = np.diff(block_work[cuts])
+    total = float(block_work[-1] - block_work[0])
+    max_unit = float(np.diff(block_work).max())
+    assert shard_work.max() <= total / n_shards + max_unit + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Degenerate inputs plan without error (and still compute correctly)
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(matrix=csr_matrices(), n_shards=st.integers(1, 40))
+def test_degenerate_inputs_plan_and_match_matvec(matrix, n_shards):
+    """Empty rows, all-empty matrices and shard counts far above the row
+    count must all plan cleanly and reproduce ``matvec`` bit for bit."""
+    plan = SpmvPlan(matrix, n_shards=n_shards)
+    assert 1 <= plan.n_shards <= min(n_shards, max(1, matrix.n_rows))
+    rng = np.random.default_rng(matrix.nnz + matrix.n_rows)
+    b = rng.standard_normal(matrix.n_cols)
+    np.testing.assert_array_equal(plan.execute(b), matrix.matvec(b))
+
+
+def test_more_shards_than_rows_or_blocks():
+    indptr = np.array([0, 2, 2, 5], dtype=np.int64)  # 3 rows, one empty
+    cuts = shard_rows(indptr, 100)
+    assert cuts[0] == 0 and cuts[-1] == 3 and np.all(np.diff(cuts) > 0)
+    partition = BlockPartition(n_rows=3, block_size=2)
+    bcuts = shard_blocks(indptr, partition.block_starts(), 100)
+    assert bcuts[0] == 0 and bcuts[-1] == partition.n_blocks
+
+
+def test_all_empty_rows_single_span():
+    indptr = np.zeros(11, dtype=np.int64)  # 10 rows, zero nnz
+    cuts = shard_rows(indptr, 4)
+    assert cuts[0] == 0 and cuts[-1] == 10 and np.all(np.diff(cuts) > 0)
