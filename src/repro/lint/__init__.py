@@ -10,8 +10,19 @@ inline ``# reprolint: disable=RULE -- reason`` suppressions, a committed
 baseline so pre-existing findings warn instead of fail, and text / JSON /
 SARIF reporters.
 
-Run it as ``python -m repro.lint src/`` (see :mod:`repro.lint.cli` for
-exit codes) or programmatically via :func:`lint_paths`.
+A second, project-wide generation of rules (ABFT008-012) lives in
+:mod:`repro.lint.project`: the whole tree is parsed once into per-file
+summaries, linked into a symbol table / import graph / call graph, and
+checked for cross-module hazards — arena-protocol violations, registry
+mutation in workers, interprocedural checksum staleness, unsynchronized
+shared state, hot-path allocation — with a content-hash incremental
+cache so warm runs re-analyze only changed files and their
+reverse-import dependents.
+
+Run it as ``python -m repro.lint src/`` (per-file rules) or
+``python -m repro.lint --project src/`` (project rules); see
+:mod:`repro.lint.cli` for exit codes.  Programmatic entry points:
+:func:`lint_paths` and :func:`analyze_project`.
 """
 
 from repro.lint.baseline import (
@@ -23,6 +34,12 @@ from repro.lint.baseline import (
 )
 from repro.lint.engine import LintResult, lint_paths, lint_source
 from repro.lint.findings import Finding, fingerprint, fingerprint_all
+from repro.lint.project import (
+    PROJECT_RULES,
+    ProjectContext,
+    ProjectResult,
+    analyze_project,
+)
 from repro.lint.registry import (
     BUILTIN_RULES,
     available_rules,
@@ -33,9 +50,10 @@ from repro.lint.registry import (
 )
 from repro.lint.reporters import FORMATS, render, render_json, render_sarif, render_text
 from repro.lint.rules import ABFT_RULES, LintRule, ModuleContext
+from repro.lint.rules.base import ProjectRule
 from repro.lint.suppressions import SuppressionIndex, parse_suppressions
 
-for _rule in ABFT_RULES:
+for _rule in (*ABFT_RULES, *PROJECT_RULES):
     register_rule(_rule, overwrite=True)
 
 __all__ = [
@@ -43,8 +61,10 @@ __all__ = [
     "fingerprint",
     "fingerprint_all",
     "LintRule",
+    "ProjectRule",
     "ModuleContext",
     "ABFT_RULES",
+    "PROJECT_RULES",
     "BUILTIN_RULES",
     "register_rule",
     "unregister_rule",
@@ -54,6 +74,9 @@ __all__ = [
     "LintResult",
     "lint_paths",
     "lint_source",
+    "analyze_project",
+    "ProjectResult",
+    "ProjectContext",
     "SuppressionIndex",
     "parse_suppressions",
     "BaselineComparison",

@@ -116,7 +116,22 @@ def lint_paths(
             display = resolved.relative_to(base).as_posix()
         except ValueError:
             display = resolved.as_posix()
-        source = path.read_text(encoding="utf-8")
+        try:
+            source = path.read_text(encoding="utf-8")
+        except UnicodeDecodeError as exc:
+            result.findings.append(
+                Finding(
+                    path=display,
+                    line=1,
+                    column=1,
+                    rule=PARSE_ERROR_RULE,
+                    message=f"file is not valid UTF-8 ({exc.reason} at byte "
+                    f"{exc.start})",
+                    snippet="",
+                )
+            )
+            result.files_checked += 1
+            continue
         findings, suppressed, reasonless = lint_source(
             source, path, rules, display_path=display
         )

@@ -1,0 +1,289 @@
+"""Project-mode orchestration: discover, cache, link, and run rules.
+
+:func:`analyze_project` is the project-mode counterpart of
+:func:`repro.lint.engine.lint_paths`.  It hashes every file, reuses
+cached summaries for unchanged files (minus reverse-import dependents of
+changed ones), extracts fresh summaries for the rest, links everything
+into a :class:`~repro.lint.project.graph.ProjectContext`, and runs every
+registered :class:`~repro.lint.rules.base.ProjectRule`.
+
+Ingestion is total: a file that fails to decode or parse yields an
+``ABFT000`` diagnostic finding instead of aborting the run — one broken
+file must not blind the analysis to the other two hundred.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.engine import iter_python_files
+from repro.lint.findings import Finding
+from repro.lint.project.cache import (
+    CACHE_FILENAME,
+    SummaryCache,
+    file_digest,
+    match_prefixes,
+    plan_reuse,
+)
+from repro.lint.project.graph import ModuleRecord, ProjectContext
+from repro.lint.project.summary import extract_summary
+from repro.lint.registry import resolve_rules
+from repro.lint.rules.base import ProjectRule
+from repro.lint.suppressions import Suppression, parse_suppressions
+
+#: Rule id for ingestion diagnostics (undecodable or unparsable files).
+DIAGNOSTIC_RULE = "ABFT000"
+
+
+@dataclass
+class ProjectResult:
+    """Outcome of one project-mode run.
+
+    Attributes:
+        findings: surviving findings, sorted by (path, line, column, rule).
+        suppressed: count of findings silenced by inline directives.
+        reasonless_suppressions: directives lacking a ``-- reason`` string
+            (from files that carried candidate findings).
+        files_checked: number of Python files considered.
+        cache_hits: files whose summary was reused from the cache.
+        reanalyzed: files parsed and re-extracted this run (changed files
+            plus reverse-import dependents plus diagnostics).
+    """
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    reasonless_suppressions: List[Tuple[str, Suppression]] = field(default_factory=list)
+    files_checked: int = 0
+    cache_hits: int = 0
+    reanalyzed: int = 0
+
+
+def _package_prefix(root: Path) -> Tuple[str, ...]:
+    """Dotted-package prefix of ``root`` (walks up through ``__init__.py``)."""
+    prefix: List[str] = []
+    current = root.resolve()
+    while (current / "__init__.py").is_file():
+        prefix.append(current.name)
+        parent = current.parent
+        if parent == current:
+            break
+        current = parent
+    return tuple(reversed(prefix))
+
+
+def _module_name(file: Path, root: Path, prefix: Tuple[str, ...]) -> str:
+    """Importable module name of ``file`` relative to ``root``."""
+    rel = file.resolve().relative_to(root.resolve())
+    parts = list(prefix) + list(rel.parts)
+    if parts and parts[-1] == "__init__.py":
+        parts = parts[:-1]
+    elif parts:
+        parts[-1] = parts[-1][: -len(".py")]
+    return ".".join(parts) if parts else file.stem
+
+
+def _display(path: Path, base: Path) -> str:
+    resolved = path.resolve()
+    try:
+        return resolved.relative_to(base).as_posix()
+    except ValueError:
+        return resolved.as_posix()
+
+
+def _discover(
+    paths: Sequence[Path | str], base: Path
+) -> List[Tuple[Path, str, str]]:
+    """Expand ``paths`` to ``(file, display path, module name)`` triples."""
+    out: List[Tuple[Path, str, str]] = []
+    seen: Set[str] = set()
+    for raw in paths:
+        given = Path(raw)
+        root = given if given.is_dir() else given.parent
+        prefix = _package_prefix(root)
+        for file in iter_python_files([given]):
+            display = _display(file, base)
+            if display in seen:
+                continue
+            seen.add(display)
+            out.append((file, display, _module_name(file, root, prefix)))
+    return out
+
+
+def _ingest(
+    path: Path, display: str, module: str
+) -> Tuple[Optional[Dict[str, Any]], Optional[Finding]]:
+    """Parse + summarize one file; diagnostic finding on ingest failure."""
+    try:
+        source = path.read_bytes().decode("utf-8")
+    except OSError as exc:
+        return None, Finding(
+            path=display, line=1, column=1, rule=DIAGNOSTIC_RULE,
+            message=f"file cannot be read: {exc}", snippet="",
+        )
+    except UnicodeDecodeError as exc:
+        return None, Finding(
+            path=display, line=1, column=1, rule=DIAGNOSTIC_RULE,
+            message=f"file is not valid UTF-8 ({exc.reason} at byte {exc.start}); "
+            "project analysis skipped this file", snippet="",
+        )
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return None, Finding(
+            path=display,
+            line=exc.lineno or 1,
+            column=(exc.offset or 0) + 1 if exc.offset is not None else 1,
+            rule=DIAGNOSTIC_RULE,
+            message=f"file does not parse: {exc.msg}; "
+            "project analysis skipped this file",
+            snippet=(exc.text or "").strip(),
+        )
+    return extract_summary(module, tree), None
+
+
+def analyze_project(
+    paths: Sequence[Path | str],
+    select: Tuple[str, ...] | None = None,
+    ignore: Tuple[str, ...] | None = None,
+    cache_path: Optional[Path] = None,
+    base: Optional[Path] = None,
+) -> ProjectResult:
+    """Run every registered project rule over the whole tree under ``paths``.
+
+    Args:
+        paths: directories (or files) forming the project.
+        select/ignore: rule-id selection, as in per-file mode; non-project
+            rules in the selection are simply inert here.
+        cache_path: summary-cache file (:data:`CACHE_FILENAME`); ``None``
+            disables caching (every file re-analyzed).
+        base: directory findings' paths are reported relative to
+            (defaults to the current working directory).
+
+    Raises:
+        ConfigurationError: unknown rule ids or missing paths.
+    """
+    rules = tuple(
+        rule for rule in resolve_rules(select, ignore) if isinstance(rule, ProjectRule)
+    )
+    report_base = (base or Path.cwd()).resolve()
+    entries = _discover(paths, report_base)
+    result = ProjectResult(files_checked=len(entries))
+
+    cache = SummaryCache.load(cache_path)
+    hashes: Dict[str, Tuple[str, str]] = {}
+    raw_bytes: Dict[str, bytes] = {}
+    for file, display, module in entries:
+        try:
+            raw = file.read_bytes()
+        except OSError:
+            raw = b""
+        raw_bytes[display] = raw
+        hashes[display] = (file_digest(raw), module)
+
+    # Pass 1: extract summaries for content-changed files right away.
+    summaries: Dict[str, Optional[Dict[str, Any]]] = {}
+    diagnostics: List[Finding] = []
+    fresh: Set[str] = set()
+    for file, display, module in entries:
+        digest, _ = hashes[display]
+        if cache.lookup(display, digest) is None:
+            summary, diagnostic = _ingest(file, display, module)
+            summaries[display] = summary
+            fresh.add(display)
+            if diagnostic is not None:
+                diagnostics.append(diagnostic)
+        else:
+            cached = cache.lookup(display, digest)
+            assert cached is not None
+            summaries[display] = cached["summary"]
+
+    # Pass 2: changed modules invalidate their reverse-import dependents.
+    known_modules = {
+        summary["module"] for summary in summaries.values() if summary is not None
+    }
+    deps: Dict[str, Set[str]] = {}
+    for summary in summaries.values():
+        if summary is not None:
+            deps[summary["module"]] = match_prefixes(
+                summary["module_deps"], known_modules
+            )
+    hits, stale = plan_reuse(hashes, cache, deps)
+    for file, display, module in entries:
+        if display in stale and display not in fresh:
+            summary, diagnostic = _ingest(file, display, module)
+            summaries[display] = summary
+            fresh.add(display)
+            if diagnostic is not None:
+                diagnostics.append(diagnostic)
+    result.cache_hits = len(hits)
+    result.reanalyzed = len(fresh)
+
+    # Link and run the project rules.
+    records: Dict[str, ModuleRecord] = {}
+    for file, display, module in entries:
+        summary = summaries[display]
+        if summary is not None:
+            records[summary["module"]] = ModuleRecord(
+                name=summary["module"],
+                path=file,
+                display_path=display,
+                summary=summary,
+                from_cache=display in hits,
+            )
+    project = ProjectContext(records)
+    candidates: List[Finding] = list(diagnostics)
+    for rule in rules:
+        candidates.extend(rule.check_project(project))
+
+    # Suppression filtering, tokenizing only files that carry findings.
+    kept: List[Finding] = []
+    suppression_cache: Dict[str, Any] = {}
+    for finding in candidates:
+        if finding.rule == DIAGNOSTIC_RULE:
+            kept.append(finding)
+            continue
+        index = suppression_cache.get(finding.path)
+        if index is None:
+            source_path = next(
+                (f for f, d, _m in entries if d == finding.path), None
+            )
+            try:
+                source = (
+                    source_path.read_text(encoding="utf-8") if source_path else ""
+                )
+            except (OSError, UnicodeDecodeError):
+                source = ""
+            index = parse_suppressions(source)
+            suppression_cache[finding.path] = index
+            result.reasonless_suppressions.extend(
+                (finding.path, directive) for directive in index.reasonless()
+            )
+        if index.is_suppressed(finding.rule, finding.line):
+            result.suppressed += 1
+        else:
+            kept.append(finding)
+    result.findings = sorted(kept)
+
+    # Persist the cache for the next (warm) run.
+    if cache_path is not None:
+        for file, display, module in entries:
+            summary = summaries[display]
+            if summary is not None and display in fresh:
+                cache.store(display, hashes[display][0], module, summary)
+            elif summary is None:
+                # Diagnostic files must never produce stale cache hits.
+                cache.store(display, "", module, {})
+        cache.prune(hashes)
+        cache.save(cache_path)
+    return result
+
+
+__all__ = [
+    "CACHE_FILENAME",
+    "DIAGNOSTIC_RULE",
+    "ProjectResult",
+    "analyze_project",
+]

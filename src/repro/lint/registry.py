@@ -16,6 +16,8 @@ from repro.lint.rules.base import LintRule
 _REGISTRY: Dict[str, LintRule] = {}
 
 #: Rule ids that ship with the package and cannot be unregistered.
+#: ABFT001-007 are per-file rules; ABFT008-012 are project rules that
+#: only fire in project mode (:mod:`repro.lint.project`).
 BUILTIN_RULES = (
     "ABFT001",
     "ABFT002",
@@ -23,6 +25,12 @@ BUILTIN_RULES = (
     "ABFT004",
     "ABFT005",
     "ABFT006",
+    "ABFT007",
+    "ABFT008",
+    "ABFT009",
+    "ABFT010",
+    "ABFT011",
+    "ABFT012",
 )
 
 

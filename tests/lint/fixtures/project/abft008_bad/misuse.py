@@ -1,0 +1,17 @@
+"""Arena writes that break the worker protocol (ABFT008 must fire)."""
+
+from shm import Arena
+
+
+def fill(arena, values):
+    """Writes a view of a borrowed arena from outside any worker."""
+    view = arena.array("x")
+    view[0] = values[0]  # MARK:ABFT008
+
+
+def use_after_close():
+    """Writes a view after the arena's shared memory is unmapped."""
+    arena = Arena.create(8)
+    view = arena.array("x")
+    arena.close()
+    view[0] = 1.0  # MARK:ABFT008

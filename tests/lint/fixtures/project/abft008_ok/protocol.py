@@ -1,0 +1,24 @@
+"""Arena writes that respect the worker protocol (ABFT008 stays quiet)."""
+
+from multiprocessing import Process
+
+from shm import Arena
+
+
+def worker(arena):
+    """A spawned worker entry point may write its result views."""
+    view = arena.array("x")
+    view[0] = 1.0  # ok: inside the worker protocol
+
+
+def build():
+    """The creator initializes its own arena before publishing it."""
+    arena = Arena.create(8)
+    view = arena.array("x")
+    view[0] = 0.0  # ok: owner laying out initial contents
+    return arena
+
+
+def start():
+    arena = build()
+    Process(target=worker, args=(arena,)).start()

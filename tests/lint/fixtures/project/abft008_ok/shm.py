@@ -1,0 +1,23 @@
+"""Minimal stand-in for repro.perf.shm in the ABFT008 fixtures."""
+
+
+class Arena:
+    """Named shared-memory arena with typed array views."""
+
+    def __init__(self, size):
+        self.size = size
+        self.closed = False
+
+    @classmethod
+    def create(cls, size):
+        return cls(size)
+
+    @classmethod
+    def attach(cls, size):
+        return cls(size)
+
+    def array(self, name):
+        return [0.0] * self.size
+
+    def close(self):
+        self.closed = True

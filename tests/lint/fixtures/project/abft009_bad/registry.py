@@ -1,0 +1,11 @@
+"""Minimal runtime registry in the ABFT009 fixtures."""
+
+_SCHEMES = {}
+
+
+def register_scheme(name, cls):
+    _SCHEMES[name] = cls
+
+
+def unregister_scheme(name):
+    _SCHEMES.pop(name, None)

@@ -1,0 +1,23 @@
+"""Registry mutation on the worker path (ABFT009 must fire twice)."""
+
+from multiprocessing import Process
+
+from registry import register_scheme
+
+
+class _LocalScheme:
+    pass
+
+
+register_scheme("local", _LocalScheme)  # MARK:ABFT009
+
+
+def _worker_main(queue):
+    register_scheme("per-worker", _LocalScheme)  # MARK:ABFT009
+    queue.put("ready")
+
+
+def start(queue):
+    process = Process(target=_worker_main, args=(queue,))
+    process.start()
+    return process

@@ -1,0 +1,14 @@
+"""Import-time registration in a plain module (ABFT009 stays quiet).
+
+This module neither defines nor spawns process workers, so its
+import-time registration runs exactly once, in the parent.
+"""
+
+from registry import register_scheme
+
+
+class DenseScheme:
+    pass
+
+
+register_scheme("dense", DenseScheme)  # ok: parent-only module

@@ -1,0 +1,13 @@
+"""A worker module that leaves registries alone (ABFT009 stays quiet)."""
+
+from multiprocessing import Process
+
+
+def _worker_main(queue):
+    queue.put("ready")  # ok: no registry mutation on the worker path
+
+
+def start(queue):
+    process = Process(target=_worker_main, args=(queue,))
+    process.start()
+    return process

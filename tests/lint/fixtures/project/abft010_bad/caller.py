@@ -1,0 +1,8 @@
+"""Non-refreshing caller that makes the stale mutation escape."""
+
+from matrix import ChecksumMatrix
+
+
+def double(matrix: ChecksumMatrix):
+    matrix.scale(2.0)
+    return matrix

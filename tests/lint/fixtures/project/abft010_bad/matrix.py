@@ -1,0 +1,14 @@
+"""Escaping self-mutation without refresh (ABFT010 must fire)."""
+
+
+class ChecksumMatrix:
+    def __init__(self, data):
+        self.data = list(data)
+        self.checksums = [0.0]
+
+    def scale(self, factor):
+        """Mutates protected storage; neither it nor its caller refreshes."""
+        self.data[0] = self.data[0] * factor  # MARK:ABFT010
+
+    def refresh(self):
+        self.checksums = [float(len(self.data))]

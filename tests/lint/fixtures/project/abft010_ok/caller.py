@@ -1,0 +1,15 @@
+"""Callers that refresh checksums after the mutating helper returns."""
+
+from matrix import ChecksumMatrix
+
+
+def double(matrix: ChecksumMatrix):
+    matrix.scale(2.0)
+    matrix.refresh()
+    return matrix
+
+
+def halve(matrix: ChecksumMatrix):
+    matrix.scale(0.5)
+    matrix.refresh()
+    return matrix

@@ -1,0 +1,13 @@
+"""Escaping self-mutation whose callers all refresh (ABFT010 quiet)."""
+
+
+class ChecksumMatrix:
+    def __init__(self, data):
+        self.data = list(data)
+        self.checksums = [0.0]
+
+    def scale(self, factor):
+        self.data[0] = self.data[0] * factor  # ok: every caller refreshes
+
+    def refresh(self):
+        self.checksums = [float(len(self.data))]

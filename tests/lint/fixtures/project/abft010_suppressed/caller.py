@@ -1,0 +1,8 @@
+"""Non-refreshing caller; the finding is silenced at the mutation site."""
+
+from matrix import ChecksumMatrix
+
+
+def double(matrix: ChecksumMatrix):
+    matrix.scale(2.0)
+    return matrix

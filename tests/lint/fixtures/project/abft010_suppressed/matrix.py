@@ -1,0 +1,13 @@
+"""The ABFT010_bad mutation, suppressed at the mutation site."""
+
+
+class ChecksumMatrix:
+    def __init__(self, data):
+        self.data = list(data)
+        self.checksums = [0.0]
+
+    def scale(self, factor):
+        self.data[0] = self.data[0] * factor  # reprolint: disable=ABFT010 -- checksums rebuilt by the sweep driver after batching
+
+    def refresh(self):
+        self.checksums = [float(len(self.data))]

@@ -1,0 +1,17 @@
+"""Unguarded shared-state write on a concurrent path (ABFT011 must fire)."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+_CACHE = {}
+_LOCK = threading.Lock()
+
+
+def record(key, value):
+    _CACHE[key] = value  # MARK:ABFT011
+
+
+def run_all(items):
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        for item in items:
+            pool.submit(record, item, 1)

@@ -1,0 +1,23 @@
+"""Lock-guarded shared-state write on a concurrent path (ABFT011 quiet)."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+_CACHE = {}
+_LOCK = threading.Lock()
+
+
+def record(key, value):
+    with _LOCK:
+        _CACHE[key] = value  # ok: guarded by the module lock
+
+
+def prune(key):
+    # Not reachable from any spawn site: single-threaded maintenance.
+    _CACHE.pop(key, None)
+
+
+def run_all(items):
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        for item in items:
+            pool.submit(record, item, 1)

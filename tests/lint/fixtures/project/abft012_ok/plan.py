@@ -1,0 +1,17 @@
+"""Zero-allocation steady state; build and correction allocate (ABFT012 quiet)."""
+
+import numpy as np
+
+
+class SpmvPlan:
+    def __init__(self, n):
+        self.out = np.zeros(n)  # ok: plan build allocates once
+        self.scratch = np.zeros(n)
+
+    def execute(self, x):
+        np.multiply(x, 2.0, out=self.scratch)
+        np.add(self.scratch, 1.0, out=self.out)
+        return self.out
+
+    def correct_shard(self, x):
+        return np.array(x)  # ok: correction is the rare path, allocates by design

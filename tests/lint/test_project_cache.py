@@ -1,0 +1,100 @@
+"""Incremental-cache behavior: cold, warm, and dependency invalidation."""
+
+import shutil
+from pathlib import Path
+
+from repro.lint import analyze_project
+from repro.lint.project.cache import SummaryCache, reverse_dependents
+
+FIXTURES = Path(__file__).parent / "fixtures" / "project"
+
+
+def copy_fixture(tmp_path: Path, name: str) -> Path:
+    target = tmp_path / name
+    shutil.copytree(FIXTURES / name, target)
+    return target
+
+
+def run(root: Path, cache: Path, base: Path):
+    return analyze_project(
+        [root], select=("ABFT010",), cache_path=cache, base=base
+    )
+
+
+def test_cold_then_warm_run(tmp_path):
+    root = copy_fixture(tmp_path, "abft010_bad")
+    cache = tmp_path / ".reprolint-cache.json"
+
+    cold = run(root, cache, tmp_path)
+    assert (cold.cache_hits, cold.reanalyzed) == (0, 2)
+    assert len(cold.findings) == 1
+
+    warm = run(root, cache, tmp_path)
+    assert (warm.cache_hits, warm.reanalyzed) == (2, 0)
+    # Warm findings are bit-identical: same location, evidence, snippet.
+    assert warm.findings == cold.findings
+    assert warm.findings[0].related == cold.findings[0].related
+    assert warm.findings[0].snippet == cold.findings[0].snippet
+
+
+def test_changed_file_invalidates_reverse_import_dependents(tmp_path):
+    root = copy_fixture(tmp_path, "abft010_bad")
+    cache = tmp_path / ".reprolint-cache.json"
+    run(root, cache, tmp_path)
+
+    # caller.py imports matrix.py: editing matrix re-analyzes both.
+    matrix = root / "matrix.py"
+    matrix.write_text(
+        matrix.read_text(encoding="utf-8") + "\n# trailing comment\n",
+        encoding="utf-8",
+    )
+    result = run(root, cache, tmp_path)
+    assert (result.cache_hits, result.reanalyzed) == (0, 2)
+
+
+def test_leaf_change_reanalyzes_only_that_file(tmp_path):
+    root = copy_fixture(tmp_path, "abft010_bad")
+    cache = tmp_path / ".reprolint-cache.json"
+    run(root, cache, tmp_path)
+
+    # matrix.py imports nothing from the project: editing caller.py
+    # leaves matrix.py's summary reusable.
+    caller = root / "caller.py"
+    caller.write_text(
+        caller.read_text(encoding="utf-8") + "\n# trailing comment\n",
+        encoding="utf-8",
+    )
+    result = run(root, cache, tmp_path)
+    assert (result.cache_hits, result.reanalyzed) == (1, 1)
+    assert len(result.findings) == 1
+
+
+def test_corrupt_or_stale_cache_degrades_to_cold(tmp_path):
+    root = copy_fixture(tmp_path, "abft010_bad")
+    cache = tmp_path / ".reprolint-cache.json"
+    cache.write_text("{definitely not json", encoding="utf-8")
+    result = run(root, cache, tmp_path)
+    assert (result.cache_hits, result.reanalyzed) == (0, 2)
+    cache.write_text('{"version": -1, "files": {}}', encoding="utf-8")
+    result = run(root, cache, tmp_path)
+    assert result.cache_hits == 0
+
+
+def test_vanished_files_are_pruned_from_the_cache(tmp_path):
+    root = copy_fixture(tmp_path, "abft010_bad")
+    cache = tmp_path / ".reprolint-cache.json"
+    run(root, cache, tmp_path)
+    (root / "caller.py").unlink()
+    result = run(root, cache, tmp_path)
+    assert result.files_checked == 1
+    # Without the caller the mutation no longer escapes: no finding.
+    assert result.findings == []
+    loaded = SummaryCache.load(cache)
+    assert loaded.lookup(f"{root.name}/matrix.py", "") is None  # wrong hash misses
+    assert loaded.lookup("abft010_bad/caller.py", "") is None  # pruned entirely
+
+
+def test_reverse_dependents_walks_transitively():
+    deps = {"a": {"b"}, "b": {"c"}, "c": set(), "d": set()}
+    assert reverse_dependents(deps, {"c"}) == {"a", "b"}
+    assert reverse_dependents(deps, {"d"}) == set()

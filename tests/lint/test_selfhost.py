@@ -7,7 +7,7 @@ baseline, and every suppression in the tree carries a reason.
 
 from pathlib import Path
 
-from repro.lint import lint_paths
+from repro.lint import analyze_project, lint_paths
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 SRC = REPO_ROOT / "src"
@@ -33,3 +33,13 @@ def test_lint_package_self_hosts_without_suppressions():
     result = lint_paths([SRC / "repro" / "lint"], root=REPO_ROOT)
     assert result.findings == []
     assert result.suppressed == 0
+
+
+def test_src_tree_is_clean_in_project_mode():
+    """ABFT008-012 over the whole tree: the parallel backends obey their
+    own protocols (or carry reasoned suppressions)."""
+    result = analyze_project([SRC], base=REPO_ROOT)
+    assert result.files_checked > 50
+    locations = [f.location() for f in result.findings]
+    assert locations == [], f"project findings: {locations}"
+    assert result.reasonless_suppressions == []
