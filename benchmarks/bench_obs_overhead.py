@@ -1,32 +1,51 @@
-"""Telemetry overhead benchmark: the disabled path must be ~free.
+"""Telemetry overhead benchmark: off ~free, streaming jsonl bounded.
 
-Times a protected SpMV on a 10k-row random SPD matrix in three telemetry
-configurations — ``off`` (the default), ``memory`` and ``jsonl`` — against
-a hand-inlined uninstrumented multiply (the exact clean-path sequence of
-``FaultTolerantSpMV.multiply`` with every telemetry touchpoint removed).
-Records the table to ``results/bench_obs_overhead.txt`` and enforces the
-acceptance bound: with telemetry off, the instrumented driver stays
-within 3% of the uninstrumented baseline.
+Times a protected SpMV on a 10k-row random SPD matrix in four telemetry
+configurations — ``off`` (the default), ``memory``, ``jsonl`` (synchronous
+batched appends) and ``ring`` (jsonl behind the ring buffer's background
+writer thread) — against a hand-inlined uninstrumented multiply (the
+exact clean-path sequence of ``FaultTolerantSpMV.multiply`` with every
+telemetry touchpoint removed).
+
+Writes the human table to ``results/bench_obs_overhead.txt`` and the
+machine-readable record — per-config timings, multipliers over baseline,
+acceptance bounds and environment metadata — to
+``results/BENCH_obs_overhead.json``.  ``REPRO_BENCH_SMOKE=1`` shrinks the
+workload for CI and skips the timing-sensitive acceptance asserts.
+
+Acceptance (ISSUE 8): ``off`` within 3% of the uninstrumented baseline;
+``ring`` (jsonl streaming through the ring) within 2.0x.
 """
 
+import os
 import time
 
 import numpy as np
 import pytest
 
-from benchmarks.conftest import write_result
+from benchmarks.conftest import bench_env, write_json, write_result
 from repro.core import FaultTolerantSpMV
 from repro.machine import ExecutionMeter
-from repro.obs import InMemoryExporter, JsonlExporter, Telemetry
+from repro.obs import (
+    InMemoryExporter,
+    JsonlExporter,
+    RingBufferExporter,
+    Telemetry,
+)
 from repro.sparse import random_spd
 
-N_ROWS = 10_000
-NNZ = 120_000
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+N_ROWS = 2_000 if SMOKE else 10_000
+NNZ = 24_000 if SMOKE else 120_000
 BLOCK_SIZE = 32
-REPEATS = 30
-#: Acceptance bound: disabled-telemetry overhead over the uninstrumented
-#: baseline (ISSUE: "within 3%").
+REPEATS = 5 if SMOKE else 30
+CONFIGS = ("off", "memory", "jsonl", "ring")
+
+#: Acceptance bounds (ISSUE 8): disabled telemetry within 3% of the
+#: uninstrumented baseline; jsonl streamed through the ring within 2.0x.
 MAX_OFF_OVERHEAD = 1.03
+MAX_RING_OVERHEAD = 2.0
 
 
 @pytest.fixture(scope="module")
@@ -39,12 +58,19 @@ def operand(matrix):
     return np.random.default_rng(18).standard_normal(matrix.n_cols)
 
 
-def _best_of(fn, repeats=REPEATS):
-    best = float("inf")
+def _best_of_interleaved(runners, repeats=REPEATS):
+    """Best-of timings with the configurations interleaved round-robin.
+
+    Sequential per-config loops fold clock-frequency drift into whichever
+    config happens to run during the slow phase; interleaving gives every
+    config a sample in every phase, so best-of compares like with like.
+    """
+    best = {name: float("inf") for name in runners}
     for _ in range(repeats):
-        t0 = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - t0)
+        for name, fn in runners.items():
+            t0 = time.perf_counter()
+            fn()
+            best[name] = min(best[name], time.perf_counter() - t0)
     return best
 
 
@@ -69,34 +95,41 @@ def _baseline_multiply(detector, machine, b):
     return r
 
 
-def test_disabled_telemetry_is_free(matrix, operand, tmp_path):
+def test_telemetry_overhead_bounds(matrix, operand, tmp_path):
+    telemetries = {
+        "off": None,
+        "memory": Telemetry(exporter=InMemoryExporter()),
+        "jsonl": Telemetry(exporter=JsonlExporter(tmp_path / "events.jsonl")),
+        "ring": Telemetry(
+            exporter=RingBufferExporter(
+                sink=JsonlExporter(tmp_path / "ring-events.jsonl")
+            )
+        ),
+    }
     operators = {
-        "off": FaultTolerantSpMV(matrix, block_size=BLOCK_SIZE),
-        "memory": FaultTolerantSpMV(
-            matrix, block_size=BLOCK_SIZE,
-            telemetry=Telemetry(exporter=InMemoryExporter()),
-        ),
-        "jsonl": FaultTolerantSpMV(
-            matrix, block_size=BLOCK_SIZE,
-            telemetry=Telemetry(exporter=JsonlExporter(tmp_path / "events.jsonl")),
-        ),
+        name: FaultTolerantSpMV(matrix, block_size=BLOCK_SIZE, telemetry=tel)
+        for name, tel in telemetries.items()
     }
     assert not operators["off"].telemetry.enabled
 
     detector = operators["off"].detector
     machine = operators["off"].machine
-    timings = {
-        "baseline": _best_of(lambda: _baseline_multiply(detector, machine, operand)),
+    runners = {
+        "baseline": lambda: _baseline_multiply(detector, machine, operand),
     }
-    for name, operator in operators.items():
-        timings[name] = _best_of(lambda op=operator: op.multiply(operand))
-        if name == "memory":
-            operator.telemetry.exporter.clear()  # don't let the buffer grow
+    for name in CONFIGS:
+        runners[name] = lambda op=operators[name]: op.multiply(operand)
+    for fn in runners.values():
+        fn()  # warm every path before any timing
+    operators["memory"].telemetry.exporter.clear()
+    timings = _best_of_interleaved(runners)
+    operators["memory"].telemetry.exporter.clear()  # don't hold the buffer
 
-    overheads = {
-        name: timings[name] / timings["baseline"]
-        for name in ("off", "memory", "jsonl")
-    }
+    multipliers = {name: timings[name] / timings["baseline"] for name in CONFIGS}
+    for tel in telemetries.values():
+        if tel is not None:
+            tel.close()
+
     lines = [
         "Telemetry overhead: protected SpMV "
         f"(random SPD, n={N_ROWS}, nnz={NNZ}, block size {BLOCK_SIZE}, "
@@ -105,19 +138,50 @@ def test_disabled_telemetry_is_free(matrix, operand, tmp_path):
         f"{'configuration':<14} {'multiply [ms]':>14} {'vs baseline':>12}",
         f"{'baseline':<14} {1e3 * timings['baseline']:>14.3f} {'1.00x':>12}",
     ]
-    for name in ("off", "memory", "jsonl"):
+    for name in CONFIGS:
         lines.append(
             f"{name:<14} {1e3 * timings[name]:>14.3f} "
-            f"{overheads[name]:>11.2f}x"
+            f"{multipliers[name]:>11.2f}x"
         )
     lines += [
         "",
         "baseline = hand-inlined uninstrumented clean-path multiply;",
-        f"acceptance: 'off' within {MAX_OFF_OVERHEAD:.2f}x of baseline.",
+        "ring = JsonlExporter behind RingBufferExporter's writer thread;",
+        f"acceptance: off <= {MAX_OFF_OVERHEAD:.2f}x, "
+        f"ring <= {MAX_RING_OVERHEAD:.2f}x.",
     ]
     write_result("bench_obs_overhead", "\n".join(lines))
+    write_json(
+        "obs_overhead",
+        {
+            "workload": {
+                "n_rows": N_ROWS,
+                "nnz": NNZ,
+                "block_size": BLOCK_SIZE,
+                "repeats": REPEATS,
+                "smoke": SMOKE,
+            },
+            "timings_ms": {
+                name: 1e3 * value for name, value in timings.items()
+            },
+            "multipliers": multipliers,
+            "acceptance": {
+                "max_off_overhead": MAX_OFF_OVERHEAD,
+                "max_ring_overhead": MAX_RING_OVERHEAD,
+                "off_ok": multipliers["off"] <= MAX_OFF_OVERHEAD,
+                "ring_ok": multipliers["ring"] <= MAX_RING_OVERHEAD,
+            },
+            "environment": bench_env(),
+        },
+    )
 
-    assert overheads["off"] <= MAX_OFF_OVERHEAD, (
-        f"disabled telemetry costs {overheads['off']:.3f}x the uninstrumented "
-        f"baseline (bound {MAX_OFF_OVERHEAD}x)"
+    if SMOKE:
+        return  # smoke workloads are too small for stable multipliers
+    assert multipliers["off"] <= MAX_OFF_OVERHEAD, (
+        f"disabled telemetry costs {multipliers['off']:.3f}x the "
+        f"uninstrumented baseline (bound {MAX_OFF_OVERHEAD}x)"
+    )
+    assert multipliers["ring"] <= MAX_RING_OVERHEAD, (
+        f"streamed jsonl telemetry costs {multipliers['ring']:.3f}x the "
+        f"uninstrumented baseline (bound {MAX_RING_OVERHEAD}x)"
     )

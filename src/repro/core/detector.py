@@ -242,8 +242,7 @@ class BlockAbftDetector:
             if report.flagged.size:
                 telemetry.count("abft.detections")
                 telemetry.count("abft.blocks_flagged", float(report.flagged.size))
-            for margin in margins:
-                telemetry.observe("abft.syndrome_margin", float(margin))
+            telemetry.observe_many("abft.syndrome_margin", margins)
         fraction = self.config.near_miss_fraction
         with np.errstate(invalid="ignore"):
             near = ~exceeded & np.isfinite(margins) & (margins >= fraction)

@@ -31,6 +31,7 @@ BUILTIN_RULES = (
     "ABFT010",
     "ABFT011",
     "ABFT012",
+    "ABFT013",
 )
 
 

@@ -9,6 +9,7 @@ from repro.lint.rules.abft import (
     MissingValidationRule,
     ReductionOrderRule,
     SchemeConstructionRule,
+    TelemetryGuardRule,
 )
 from repro.lint.rules.base import LintRule, ModuleContext
 
@@ -23,4 +24,5 @@ __all__ = [
     "BroadExceptRule",
     "MissingValidationRule",
     "SchemeConstructionRule",
+    "TelemetryGuardRule",
 ]

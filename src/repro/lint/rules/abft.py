@@ -1,4 +1,4 @@
-"""The built-in ABFT rule pack (ABFT001-ABFT007).
+"""The built-in ABFT rule pack (ABFT001-ABFT007, ABFT013).
 
 Each rule statically enforces one protocol invariant of the block-ABFT
 scheme (Schoell et al., DSN 2016) that the runtime cannot check for
@@ -459,6 +459,119 @@ class SchemeConstructionRule(LintRule):
             )
 
 
+class TelemetryGuardRule(LintRule):
+    """ABFT013: telemetry writes on hot paths outside the enabled guard."""
+
+    rule_id = "ABFT013"
+    title = "telemetry write outside an `if telemetry.enabled` guard"
+    rationale = (
+        "The observability contract (bench_obs_overhead.py) promises the "
+        "disabled path costs one attribute read; an unguarded "
+        "count/observe/gauge still builds the event dict, reads the clock "
+        "and takes the instrument lock even when telemetry is off, so "
+        "every unguarded write erodes the <= 3% off-mode bound."
+    )
+
+    #: Telemetry facade methods that build events (span() returns a
+    #: reusable null object when disabled, so it needs no guard).
+    WRITE_METHODS = frozenset({"count", "gauge", "observe", "observe_many"})
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        yield from self._scan_suite(module, module.tree.body, guarded=False)
+
+    # -- traversal ---------------------------------------------------------
+    def _scan_suite(
+        self, module: ModuleContext, body: List[ast.stmt], guarded: bool
+    ) -> Iterator[Finding]:
+        guarded_rest = guarded
+        for stmt in body:
+            if isinstance(stmt, ast.If) and _mentions_enabled(stmt.test):
+                # Both branches of an enabled-test are considered guarded
+                # (the else branch of `if not tel.enabled: return` style
+                # tests is the enabled path).
+                yield from self._scan_suite(module, stmt.body, guarded=True)
+                yield from self._scan_suite(module, stmt.orelse, guarded=True)
+                if any(
+                    isinstance(s, (ast.Return, ast.Raise, ast.Continue, ast.Break))
+                    for s in stmt.body
+                ):
+                    guarded_rest = True  # early-return guard covers the rest
+                continue
+            if not guarded_rest:
+                for call in self._header_calls(stmt):
+                    method = self._unguarded_write(call)
+                    if method:
+                        yield module.finding(
+                            self.rule_id,
+                            call,
+                            f"telemetry write '{method}' outside an "
+                            "`if telemetry.enabled:` guard; the disabled hot "
+                            "path must cost one attribute read — guard the "
+                            "write or suppress with a reason",
+                        )
+            yield from self._scan_children(module, stmt, guarded_rest)
+
+    def _scan_children(
+        self, module: ModuleContext, stmt: ast.stmt, guarded: bool
+    ) -> Iterator[Finding]:
+        # A nested function does not run where it is defined, so it never
+        # inherits the enclosing guard.
+        nested_scope = isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        )
+        for field in ("body", "orelse", "finalbody"):
+            children = getattr(stmt, field, None)
+            if children and isinstance(children[0], ast.stmt):
+                yield from self._scan_suite(
+                    module, children, guarded=False if nested_scope else guarded
+                )
+        for handler in getattr(stmt, "handlers", ()):  # try/except
+            yield from self._scan_suite(module, handler.body, guarded)
+
+    def _header_calls(self, stmt: ast.stmt) -> List[ast.Call]:
+        """Calls owned by the statement itself, not its nested suites."""
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return []
+        if isinstance(stmt, (ast.If, ast.While)):
+            exprs: List[ast.expr] = [stmt.test]
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            exprs = [stmt.iter]
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            exprs = [item.context_expr for item in stmt.items]
+        elif isinstance(stmt, ast.Try):
+            return []
+        else:
+            exprs = [stmt]  # leaf statement: walk it whole
+        calls: List[ast.Call] = []
+        for expr in exprs:
+            calls.extend(
+                node for node in ast.walk(expr) if isinstance(node, ast.Call)
+            )
+        return calls
+
+    def _unguarded_write(self, call: ast.Call) -> str:
+        if not isinstance(call.func, ast.Attribute):
+            return ""
+        method = call.func.attr
+        if method not in self.WRITE_METHODS:
+            return ""
+        receiver = dotted_name(call.func.value) or terminal_name(call.func.value)
+        if not receiver:
+            return ""
+        last = receiver.split(".")[-1]
+        if last == "tel" or last.endswith("telemetry"):
+            return f"{receiver}.{method}"
+        return ""
+
+
+def _mentions_enabled(test: ast.expr) -> bool:
+    """Does a test expression read some ``.enabled`` attribute?"""
+    return any(
+        isinstance(node, ast.Attribute) and node.attr == "enabled"
+        for node in ast.walk(test)
+    )
+
+
 #: The rule pack, in id order (registered by :mod:`repro.lint`).
 ABFT_RULES: Tuple[LintRule, ...] = (
     ChecksumRefreshRule(),
@@ -468,4 +581,5 @@ ABFT_RULES: Tuple[LintRule, ...] = (
     BroadExceptRule(),
     MissingValidationRule(),
     SchemeConstructionRule(),
+    TelemetryGuardRule(),
 )

@@ -15,8 +15,12 @@ records the numbers the protected hot paths would otherwise discard:
 * pluggable exporters — in-memory, JSONL event log, text summary —
   selected via ``AbftConfig.telemetry`` or the ``REPRO_OBS`` environment
   override, with the registry contract of :mod:`repro.kernels`;
-* ``python -m repro.obs summarize events.jsonl`` to render a recorded
-  run.
+* a cross-process pipeline (:mod:`repro.obs.pipeline`): process-backend
+  workers record into local registries and ship compact deltas back with
+  each result, merged deterministically into the parent registry;
+* ``python -m repro.obs`` tooling: ``summarize`` (text or ``--json``)
+  renders a recorded run, ``report`` writes a markdown campaign report,
+  ``expose`` prints OpenMetrics exposition text.
 
 Telemetry is off by default and the disabled path costs a single
 ``if telemetry.enabled`` guard per update site (verified by
@@ -26,6 +30,9 @@ Telemetry is off by default and the disabled path costs a single
 from repro.obs.exporters import (
     BUILTIN_EXPORTERS,
     DEFAULT_EXPORTER,
+    DEFAULT_FLUSH_EVERY,
+    DEFAULT_RING_CAPACITY,
+    EVENTS_DROPPED_COUNTER,
     OBS_ENV_VAR,
     OBS_PATH_ENV_VAR,
     Event,
@@ -33,6 +40,7 @@ from repro.obs.exporters import (
     InMemoryExporter,
     JsonlExporter,
     NullExporter,
+    RingBufferExporter,
     TextSummaryExporter,
     available_exporters,
     make_exporter,
@@ -49,12 +57,28 @@ from repro.obs.instruments import (
     Registry,
     log_buckets,
 )
+from repro.obs.expose import (
+    metric_name,
+    registry_from_events,
+    render_openmetrics,
+)
+from repro.obs.pipeline import (
+    WorkerRecorder,
+    apply_delta,
+    capture_delta,
+    merge_delta,
+)
+from repro.obs.report import render_report
 from repro.obs.summary import (
+    BucketedHistogram,
     EventSummary,
     SpanStats,
+    WorkerStats,
     aggregate_events,
+    load_events,
     read_events,
     render_summary,
+    summary_as_dict,
 )
 from repro.obs.telemetry import (
     Span,
@@ -91,15 +115,33 @@ __all__ = [
     "NullExporter",
     "InMemoryExporter",
     "JsonlExporter",
+    "RingBufferExporter",
     "TextSummaryExporter",
+    "DEFAULT_RING_CAPACITY",
+    "DEFAULT_FLUSH_EVERY",
+    "EVENTS_DROPPED_COUNTER",
     "register_exporter",
     "unregister_exporter",
     "available_exporters",
     "make_exporter",
+    # cross-process pipeline
+    "WorkerRecorder",
+    "capture_delta",
+    "apply_delta",
+    "merge_delta",
     # summaries
     "EventSummary",
     "SpanStats",
+    "BucketedHistogram",
+    "WorkerStats",
     "aggregate_events",
+    "load_events",
     "read_events",
     "render_summary",
+    "summary_as_dict",
+    # exposition + reports
+    "metric_name",
+    "registry_from_events",
+    "render_openmetrics",
+    "render_report",
 ]

@@ -24,6 +24,8 @@ import threading
 from bisect import bisect_right
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 
 #: Snapshot value type: counters/gauges report floats, histograms a dict.
@@ -170,10 +172,72 @@ class Histogram(Instrument):
             self.min = min(self.min, value)
             self.max = max(self.max, value)
 
+    def observe_many(self, values: Sequence[float]) -> List[float]:
+        """Record a batch of observations in one vectorized pass.
+
+        Equivalent to calling :meth:`observe` per value (same bucketing,
+        same NaN handling) but buckets with one ``searchsorted`` +
+        ``bincount`` instead of a Python-level loop — this is what keeps
+        per-block margin recording off the multiply's critical path.
+
+        Returns:
+            The observations as plain floats (the event payload).
+        """
+        arr = np.asarray(values, dtype=float).ravel()
+        nan_mask = np.isnan(arr)
+        finite = arr[~nan_mask] if nan_mask.any() else arr
+        indexes = np.searchsorted(self.edges, finite, side="right")
+        binned = np.bincount(indexes, minlength=len(self.counts))
+        with np.errstate(over="ignore"):
+            # Fault-injected margins reach float64 extremes; saturating
+            # to inf matches what scalar accumulation does silently.
+            batch_sum = float(finite.sum())
+        with self._lock:
+            for index in np.flatnonzero(binned):
+                self.counts[index] += int(binned[index])
+            self.count += int(finite.size)
+            self.nan_count += int(np.count_nonzero(nan_mask))
+            self.sum += batch_sum
+            if finite.size:
+                self.min = min(self.min, float(finite.min()))
+                self.max = max(self.max, float(finite.max()))
+        return arr.tolist()
+
     @property
     def mean(self) -> float:
         """Mean of the finite observations (NaN when empty)."""
         return self.sum / self.count if self.count else math.nan
+
+    def merge(
+        self,
+        counts: Sequence[int],
+        count: int,
+        nan_count: int,
+        total: float,
+        lo: float,
+        hi: float,
+    ) -> None:
+        """Fold another histogram's delta into this one.
+
+        ``counts``/``count``/``nan_count``/``total`` are per-interval
+        deltas; ``lo``/``hi`` are the *cumulative* min/max of the source
+        histogram, folded with min/max (idempotent, so a re-merged
+        extremum never corrupts the aggregate).  This is the parent-side
+        half of the worker delta pipeline (:mod:`repro.obs.pipeline`).
+        """
+        if len(counts) != len(self.counts):
+            raise ConfigurationError(
+                f"histogram {self.name!r} merge expects {len(self.counts)} "
+                f"bucket counts, got {len(counts)}"
+            )
+        with self._lock:
+            for index, delta in enumerate(counts):
+                self.counts[index] += int(delta)
+            self.count += int(count)
+            self.nan_count += int(nan_count)
+            self.sum += float(total)
+            self.min = min(self.min, float(lo))
+            self.max = max(self.max, float(hi))
 
     def snapshot(self) -> Dict[str, object]:
         return {

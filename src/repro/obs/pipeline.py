@@ -1,0 +1,196 @@
+"""Cross-process telemetry pipeline: worker-side capture, parent-side merge.
+
+The ``processes`` plan backend (:mod:`repro.perf.process_backend`) runs
+the fused detect/correct kernels in worker processes, where the parent's
+:class:`~repro.obs.telemetry.Telemetry` cannot see them.  This module
+closes that gap without any extra IPC machinery:
+
+* each worker owns a :class:`WorkerRecorder` — an always-enabled
+  telemetry writing to a :class:`~repro.obs.exporters.NullExporter`
+  (aggregates only, no event buffering) whose instruments are diffed
+  against a baseline snapshot after every command;
+* the resulting :data:`RegistryDelta` — counter increments, gauge
+  last-values and histogram bucket deltas — is a small picklable dict
+  that rides back to the parent on the existing result pipe, piggybacked
+  on the ``ok`` ack;
+* the parent folds each delta into its own registry with
+  :func:`apply_delta` and emits one ``delta`` event per worker via
+  :func:`merge_delta`, always in ascending worker order, so merged
+  aggregates and event streams stay deterministic regardless of which
+  worker answered first.
+
+Failure semantics fall out of the piggyback design: a crashed or timed
+out worker never acks, so at most its in-flight delta is lost — already
+merged history is never double counted, and a respawned worker starts
+from a fresh (empty) baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.obs.exporters import Event, NullExporter
+from repro.obs.instruments import Counter, Gauge, Histogram, Registry
+from repro.obs.telemetry import Clock, Telemetry
+
+#: One histogram delta: bucket-count increments plus summary increments
+#: (``count``/``nan_count``/``sum``) and cumulative extrema (``min``/``max``).
+HistogramDelta = Dict[str, object]
+
+#: One registry delta: ``{"counters": {...}, "gauges": {...}, "hists": {...}}``.
+RegistryDelta = Dict[str, Dict[str, object]]
+
+#: Baseline snapshot value: counter value, gauge (value, updates) or a
+#: histogram snapshot dict.
+_BaselineValue = object
+
+
+def _histogram_delta(
+    snapshot: Dict[str, object], baseline: Optional[Dict[str, object]]
+) -> Optional[HistogramDelta]:
+    """Bucket/summary increments between two snapshots (None when empty)."""
+    counts = list(snapshot["counts"])  # type: ignore[arg-type]
+    count = int(snapshot["count"])  # type: ignore[arg-type]
+    nan_count = int(snapshot["nan_count"])  # type: ignore[arg-type]
+    total = float(snapshot["sum"])  # type: ignore[arg-type]
+    if baseline is not None:
+        previous = list(baseline["counts"])  # type: ignore[arg-type]
+        counts = [now - then for now, then in zip(counts, previous)]
+        count -= int(baseline["count"])  # type: ignore[arg-type]
+        nan_count -= int(baseline["nan_count"])  # type: ignore[arg-type]
+        total -= float(baseline["sum"])  # type: ignore[arg-type]
+    if count == 0 and nan_count == 0:
+        return None
+    return {
+        "edges": list(snapshot["edges"]),  # type: ignore[arg-type]
+        "counts": counts,
+        "count": count,
+        "nan_count": nan_count,
+        "sum": total,
+        "min": snapshot["min"],
+        "max": snapshot["max"],
+    }
+
+
+def capture_delta(
+    registry: Registry, baseline: Dict[str, _BaselineValue]
+) -> Tuple[Optional[RegistryDelta], Dict[str, _BaselineValue]]:
+    """Diff ``registry`` against ``baseline``; return (delta, new baseline).
+
+    The delta is ``None`` when nothing changed.  Gauges ship their last
+    value whenever the update count moved (value comparison would miss a
+    gauge re-set to NaN).  The returned baseline replaces the old one, so
+    consecutive captures never re-ship history.
+    """
+    counters: Dict[str, object] = {}
+    gauges: Dict[str, object] = {}
+    hists: Dict[str, object] = {}
+    fresh: Dict[str, _BaselineValue] = {}
+    for name in registry.names():
+        instrument = registry.get(name)
+        if isinstance(instrument, Counter):
+            value = instrument.value
+            previous = float(baseline.get(name, 0.0))  # type: ignore[arg-type]
+            if value != previous:
+                counters[name] = value - previous
+            fresh[name] = value
+        elif isinstance(instrument, Gauge):
+            updates = instrument.updates
+            previous_updates = int(baseline.get(name, 0))  # type: ignore[arg-type]
+            if updates != previous_updates:
+                gauges[name] = instrument.value
+            fresh[name] = updates
+        elif isinstance(instrument, Histogram):
+            snapshot = instrument.snapshot()
+            previous_snapshot = baseline.get(name)
+            delta = _histogram_delta(
+                snapshot,
+                previous_snapshot if isinstance(previous_snapshot, dict) else None,
+            )
+            if delta is not None:
+                hists[name] = delta
+            fresh[name] = snapshot
+    if not counters and not gauges and not hists:
+        return None, fresh
+    return {"counters": counters, "gauges": gauges, "hists": hists}, fresh
+
+
+class WorkerRecorder:
+    """Worker-local telemetry whose aggregates ship home as deltas.
+
+    The recorder's :attr:`telemetry` is always enabled but exports to a
+    :class:`~repro.obs.exporters.NullExporter`: instruments aggregate in
+    the worker, nothing is buffered, and :meth:`delta` drains the change
+    since the previous drain into one picklable dict.
+    """
+
+    def __init__(self, clock: Optional[Clock] = None) -> None:
+        self.telemetry = Telemetry(exporter=NullExporter(), clock=clock)
+        self._baseline: Dict[str, _BaselineValue] = {}
+
+    def delta(self) -> Optional[RegistryDelta]:
+        """Changes since the last call (None when nothing was recorded)."""
+        delta, self._baseline = capture_delta(self.telemetry.registry, self._baseline)
+        return delta
+
+
+def apply_delta(registry: Registry, delta: Mapping[str, object]) -> None:
+    """Fold one :data:`RegistryDelta` into ``registry`` (no events).
+
+    Instruments are created on demand with the delta's own bucket edges;
+    names are applied in sorted order so two registries fed the same
+    deltas end up structurally identical.
+    """
+    counters = delta.get("counters") or {}
+    gauges = delta.get("gauges") or {}
+    hists = delta.get("hists") or {}
+    if (
+        not isinstance(counters, Mapping)
+        or not isinstance(gauges, Mapping)
+        or not isinstance(hists, Mapping)
+    ):
+        raise ConfigurationError(f"malformed registry delta: {delta!r}")
+    for name in sorted(counters):
+        registry.counter(str(name)).add(float(counters[name]))  # type: ignore[arg-type]
+    for name in sorted(gauges):
+        registry.gauge(str(name)).set(float(gauges[name]))  # type: ignore[arg-type]
+    for name in sorted(hists):
+        payload = hists[name]
+        if not isinstance(payload, Mapping):
+            raise ConfigurationError(
+                f"malformed histogram delta for {name!r}: {payload!r}"
+            )
+        edges = payload["edges"]
+        registry.histogram(str(name), edges).merge(  # type: ignore[arg-type]
+            payload["counts"],  # type: ignore[arg-type]
+            int(payload["count"]),  # type: ignore[arg-type]
+            int(payload["nan_count"]),  # type: ignore[arg-type]
+            float(payload["sum"]),  # type: ignore[arg-type]
+            float(payload["min"]),  # type: ignore[arg-type]
+            float(payload["max"]),  # type: ignore[arg-type]
+        )
+
+
+def merge_delta(
+    telemetry: Telemetry, worker_id: int, delta: Optional[RegistryDelta]
+) -> None:
+    """Merge one worker's delta into ``telemetry`` and emit a ``delta`` event.
+
+    No-op for ``None`` deltas or disabled telemetry.  Callers must invoke
+    this in ascending worker order — the emitted event order (and the
+    single clock read per event) is part of the deterministic-stream
+    contract.
+    """
+    if delta is None or not telemetry.enabled:
+        return
+    apply_delta(telemetry.registry, delta)
+    event: Event = {
+        "type": "delta",
+        "worker": int(worker_id),
+        "counters": delta.get("counters") or {},
+        "gauges": delta.get("gauges") or {},
+        "hists": delta.get("hists") or {},
+        "t": telemetry.now(),
+    }
+    telemetry.exporter.emit(event)

@@ -3,17 +3,33 @@
 Consumes the event dicts produced by :class:`repro.obs.telemetry.Telemetry`
 (live from an in-memory exporter, or replayed from a JSONL log) and
 renders the human-readable protocol summary: counter totals, log-bucketed
-histogram tables and a span time breakdown drawn with the same
-``|####    |`` bar aesthetic as :func:`repro.machine.trace.render_gantt`.
+histogram tables, a per-worker balance table for cross-process runs and a
+span time breakdown drawn with the same ``|####    |`` bar aesthetic as
+:func:`repro.machine.trace.render_gantt`.
+
+Two histogram sources coexist:
+
+* raw ``hist`` events carry the observed value(s) — scalar ``"value"`` or
+  batched ``"values"`` — and aggregate into :attr:`EventSummary.histogram_values`;
+* ``delta`` events (worker registry deltas merged by the process backend)
+  carry exact bucket counts and fold into
+  :attr:`EventSummary.histograms` as :class:`BucketedHistogram`, whose
+  quantiles come from the bucket counts (upper bucket edge, clamped to
+  the observed extremes).
+
+JSONL logs from crashed or concurrently-written runs may end mid-line;
+:func:`load_events` skips unparseable lines and counts them instead of
+refusing the whole log (:func:`read_events` keeps the strict contract).
 """
 
 from __future__ import annotations
 
 import json
 import math
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Sequence, Tuple, Union
+from typing import Dict, List, Mapping, Sequence, Tuple, Union
 
 from repro.errors import ConfigurationError
 from repro.obs.exporters import Event
@@ -43,14 +59,129 @@ class SpanStats:
 
 
 @dataclass
+class BucketedHistogram:
+    """Fixed-bucket aggregate reconstructed from worker delta events.
+
+    Mirrors :class:`repro.obs.instruments.Histogram` state (``counts`` has
+    ``len(edges) + 1`` slots: underflow first, overflow last) but lives on
+    the analysis side: it folds the per-interval bucket deltas shipped in
+    ``delta`` events and answers quantile queries from the bucket counts.
+    """
+
+    edges: Tuple[float, ...]
+    counts: List[int] = field(default_factory=list)
+    count: int = 0
+    nan_count: int = 0
+    sum: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+
+    def __post_init__(self) -> None:
+        if not self.counts:
+            self.counts = [0] * (len(self.edges) + 1)
+
+    def merge_delta(self, payload: Mapping[str, object]) -> None:
+        """Fold one delta payload (``counts`` are per-interval deltas,
+        ``min``/``max`` cumulative — identical to ``Histogram.merge``)."""
+        counts = payload.get("counts")
+        if not isinstance(counts, (list, tuple)) or len(counts) != len(self.counts):
+            raise ConfigurationError(
+                f"histogram delta expects {len(self.counts)} bucket counts, "
+                f"got {counts!r}"
+            )
+        for index, delta in enumerate(counts):
+            self.counts[index] += int(delta)  # type: ignore[call-overload]
+        self.count += int(payload.get("count", 0))  # type: ignore[arg-type]
+        self.nan_count += int(payload.get("nan_count", 0))  # type: ignore[arg-type]
+        self.sum += float(payload.get("sum", 0.0))  # type: ignore[arg-type]
+        self.min = min(self.min, float(payload.get("min", math.inf)))  # type: ignore[arg-type]
+        self.max = max(self.max, float(payload.get("max", -math.inf)))  # type: ignore[arg-type]
+
+    def observe(self, value: float) -> None:
+        """Record one raw observation (same bucketing as the instrument)."""
+        value = float(value)
+        if math.isnan(value):
+            self.nan_count += 1
+            return
+        self.counts[bisect_right(self.edges, value)] += 1
+        self.count += 1
+        self.sum += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else math.nan
+
+    def quantile(self, q: float) -> float:
+        """Quantile estimate from bucket counts.
+
+        Returns the upper edge of the bucket holding the ``q``-quantile
+        observation, clamped to the observed ``[min, max]`` (so p100 is
+        exactly the maximum and a single-bucket histogram answers with
+        its extremes, not a bucket boundary nobody observed).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return math.nan
+        target = max(q * self.count, 1)
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if bucket_count and cumulative >= target:
+                upper = self.edges[index] if index < len(self.edges) else math.inf
+                return min(max(upper, self.min), self.max)
+        return self.max
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "count": self.count,
+            "nan_count": self.nan_count,
+            "sum": self.sum,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean if self.count else None,
+            "p50": self.quantile(0.5) if self.count else None,
+            "p90": self.quantile(0.9) if self.count else None,
+            "p99": self.quantile(0.99) if self.count else None,
+        }
+
+
+@dataclass
+class WorkerStats:
+    """Per-worker balance derived from that worker's delta events."""
+
+    deltas: int = 0
+    kernel_count: int = 0
+    kernel_seconds: float = 0.0
+    span_count: int = 0
+    span_seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "deltas": self.deltas,
+            "kernel_count": self.kernel_count,
+            "kernel_seconds": self.kernel_seconds,
+            "span_count": self.span_count,
+            "span_seconds": self.span_seconds,
+        }
+
+
+@dataclass
 class EventSummary:
     """Aggregated view of one event stream."""
 
     counters: Dict[str, float] = field(default_factory=dict)
     gauges: Dict[str, float] = field(default_factory=dict)
     histogram_values: Dict[str, List[float]] = field(default_factory=dict)
+    histograms: Dict[str, BucketedHistogram] = field(default_factory=dict)
     spans: Dict[str, SpanStats] = field(default_factory=dict)
+    workers: Dict[int, WorkerStats] = field(default_factory=dict)
     n_events: int = 0
+    skipped_lines: int = 0
 
     def span_count(self, name: str) -> int:
         """Completed spans named ``name`` (0 when never entered)."""
@@ -58,13 +189,31 @@ class EventSummary:
         return stats.count if stats is not None else 0
 
 
-def read_events(path: Union[str, Path]) -> List[Event]:
-    """Load a JSONL event log written by the ``"jsonl"`` exporter."""
+def load_events(
+    path: Union[str, Path], strict: bool = False
+) -> Tuple[List[Event], int]:
+    """Load a JSONL event log, tolerating truncated or corrupt lines.
+
+    A crashed process, a torn write or a half-synced file leaves trailing
+    garbage; refusing the whole log would make exactly those runs — the
+    ones worth diagnosing — unreadable.  Unparseable lines and non-object
+    JSON values are skipped and counted.
+
+    Args:
+        path: the events.jsonl file.
+        strict: raise :class:`~repro.errors.ConfigurationError` on the
+            first bad line instead of skipping.
+
+    Returns:
+        ``(events, skipped)`` — the parsed events and the number of
+        skipped lines (always 0 under ``strict``).
+    """
     path = Path(path)
     if not path.exists():
         raise ConfigurationError(f"event log {path} does not exist")
     events: List[Event] = []
-    with open(path, encoding="utf-8") as stream:
+    skipped = 0
+    with open(path, encoding="utf-8", errors="replace") as stream:
         for lineno, line in enumerate(stream, start=1):
             line = line.strip()
             if not line:
@@ -72,15 +221,61 @@ def read_events(path: Union[str, Path]) -> List[Event]:
             try:
                 event = json.loads(line)
             except json.JSONDecodeError as error:
-                raise ConfigurationError(
-                    f"{path}:{lineno}: not a JSON event: {error}"
-                ) from None
+                if strict:
+                    raise ConfigurationError(
+                        f"{path}:{lineno}: not a JSON event: {error}"
+                    ) from None
+                skipped += 1
+                continue
             if not isinstance(event, dict):
-                raise ConfigurationError(
-                    f"{path}:{lineno}: event must be a JSON object, got {type(event).__name__}"
-                )
+                if strict:
+                    raise ConfigurationError(
+                        f"{path}:{lineno}: event must be a JSON object, "
+                        f"got {type(event).__name__}"
+                    )
+                skipped += 1
+                continue
             events.append(event)
-    return events
+    return events, skipped
+
+
+def read_events(path: Union[str, Path]) -> List[Event]:
+    """Load a JSONL event log, rejecting any malformed line (strict)."""
+    return load_events(path, strict=True)[0]
+
+
+def _fold_delta(summary: EventSummary, event: Event) -> None:
+    """Fold one worker ``delta`` event into the global + per-worker view."""
+    worker = int(event.get("worker", -1))  # type: ignore[arg-type]
+    stats = summary.workers.setdefault(worker, WorkerStats())
+    stats.deltas += 1
+    counters = event.get("counters")
+    if isinstance(counters, dict):
+        for name, value in counters.items():
+            summary.counters[name] = summary.counters.get(name, 0.0) + float(value)
+    gauges = event.get("gauges")
+    if isinstance(gauges, dict):
+        for name, value in gauges.items():
+            summary.gauges[name] = float(value)
+    hists = event.get("hists")
+    if not isinstance(hists, dict):
+        return
+    for name, payload in hists.items():
+        if not isinstance(payload, dict):
+            continue
+        edges = tuple(float(e) for e in payload.get("edges") or ())
+        hist = summary.histograms.get(name)
+        if hist is None:
+            hist = summary.histograms[name] = BucketedHistogram(edges=edges)
+        hist.merge_delta(payload)
+        count = int(payload.get("count", 0))
+        total = float(payload.get("sum", 0.0))
+        if name.startswith("kernel."):
+            stats.kernel_count += count
+            stats.kernel_seconds += total
+        elif name.startswith("span."):
+            stats.span_count += count
+            stats.span_seconds += total
 
 
 def aggregate_events(events: Sequence[Event]) -> EventSummary:
@@ -88,6 +283,10 @@ def aggregate_events(events: Sequence[Event]) -> EventSummary:
     summary = EventSummary()
     for event in events:
         kind = event.get("type")
+        if kind == "delta":
+            summary.n_events += 1
+            _fold_delta(summary, event)
+            continue
         name = event.get("name")
         if not isinstance(name, str):
             continue
@@ -98,15 +297,73 @@ def aggregate_events(events: Sequence[Event]) -> EventSummary:
         elif kind == "gauge":
             summary.gauges[name] = float(event.get("value", math.nan))  # type: ignore[arg-type]
         elif kind == "hist":
-            summary.histogram_values.setdefault(name, []).append(
-                float(event.get("value", math.nan))  # type: ignore[arg-type]
-            )
+            bucket = summary.histogram_values.setdefault(name, [])
+            values = event.get("values")
+            if isinstance(values, (list, tuple)):
+                bucket.extend(float(v) for v in values)
+            else:
+                bucket.append(float(event.get("value", math.nan)))  # type: ignore[arg-type]
         elif kind == "span":
             start = float(event.get("start", 0.0))  # type: ignore[arg-type]
             end = float(event.get("end", start))  # type: ignore[arg-type]
             depth = int(event.get("depth", 0))  # type: ignore[arg-type]
             summary.spans.setdefault(name, SpanStats()).add(end - start, depth)
     return summary
+
+
+def _percentile(ordered: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of a pre-sorted sequence."""
+    if not ordered:
+        return math.nan
+    rank = max(int(math.ceil(q * len(ordered))) - 1, 0)
+    return ordered[min(rank, len(ordered) - 1)]
+
+
+def summary_as_dict(summary: EventSummary) -> Dict[str, object]:
+    """JSON-ready view of a summary (``summarize --json``, CI asserts).
+
+    Raw per-value histograms are reported as order statistics rather than
+    value lists (a campaign log holds millions of margins); bucketed
+    worker histograms keep their exact counts.
+    """
+    histogram_values: Dict[str, object] = {}
+    for name, values in sorted(summary.histogram_values.items()):
+        finite = sorted(v for v in values if math.isfinite(v))
+        histogram_values[name] = {
+            "count": len(values),
+            "nan_count": sum(1 for v in values if math.isnan(v)),
+            "min": finite[0] if finite else None,
+            "p50": _percentile(finite, 0.5) if finite else None,
+            "p90": _percentile(finite, 0.9) if finite else None,
+            "p99": _percentile(finite, 0.99) if finite else None,
+            "max": finite[-1] if finite else None,
+        }
+    return {
+        "n_events": summary.n_events,
+        "skipped_lines": summary.skipped_lines,
+        "counters": dict(sorted(summary.counters.items())),
+        "gauges": dict(sorted(summary.gauges.items())),
+        "histogram_values": histogram_values,
+        "histograms": {
+            name: hist.as_dict()
+            for name, hist in sorted(summary.histograms.items())
+        },
+        "spans": {
+            name: {
+                "count": stats.count,
+                "total": stats.total,
+                "mean": stats.mean,
+                "min": stats.min,
+                "max": stats.max,
+                "depth": stats.depth,
+            }
+            for name, stats in sorted(summary.spans.items())
+        },
+        "workers": {
+            str(worker): stats.as_dict()
+            for worker, stats in sorted(summary.workers.items())
+        },
+    }
 
 
 # ----------------------------------------------------------------------
@@ -139,6 +396,30 @@ def _bucket_edges(values: Sequence[float]) -> Tuple[float, ...]:
     return tuple(10.0 ** e for e in range(lo_exp, hi_exp + 1))
 
 
+def _bucket_label(edges: Sequence[float], index: int) -> str:
+    if index == 0:
+        return f"< {edges[0]:.0e}"
+    if index == len(edges):
+        return f">= {edges[-1]:.0e}"
+    return f"[{edges[index - 1]:.0e}, {edges[index]:.0e})"
+
+
+def _render_bucket_rows(
+    edges: Sequence[float], counts: Sequence[int], width: int
+) -> List[str]:
+    peak = max(counts)
+    bar_width = max(8, width // 2)
+    lines: List[str] = []
+    for index, count in enumerate(counts):
+        if count == 0:
+            continue
+        bar = "#" * max(1, round(bar_width * count / peak))
+        lines.append(
+            f"  {_bucket_label(edges, index):<20s} {bar:<{bar_width}s} {count}"
+        )
+    return lines
+
+
 def _render_histogram(name: str, values: Sequence[float], width: int) -> List[str]:
     finite = [v for v in values if math.isfinite(v)]
     nans = sum(1 for v in values if math.isnan(v))
@@ -160,35 +441,47 @@ def _render_histogram(name: str, values: Sequence[float], width: int) -> List[st
         while index < len(edges) and value >= edges[index]:
             index += 1
         counts[index] += 1
-    peak = max(counts)
-    bar_width = max(8, width // 2)
-    for index, count in enumerate(counts):
-        if count == 0:
-            continue
-        if index == 0:
-            label = f"< {edges[0]:.0e}"
-        elif index == len(edges):
-            label = f">= {edges[-1]:.0e}"
-        else:
-            label = f"[{edges[index - 1]:.0e}, {edges[index]:.0e})"
-        bar = "#" * max(1, round(bar_width * count / peak))
-        lines.append(f"  {label:<20s} {bar:<{bar_width}s} {count}")
+    return lines + _render_bucket_rows(edges, counts, width)
+
+
+def _render_bucketed(name: str, hist: BucketedHistogram, width: int) -> List[str]:
+    lines = [f"{name}  n={hist.count}"]
+    if hist.count:
+        lines[0] += (
+            f"  min={hist.min:.3g}  p50={hist.quantile(0.5):.3g}  "
+            f"max={hist.max:.3g}"
+        )
+    if hist.nan_count:
+        lines[0] += f"  nan={hist.nan_count}"
+    if hist.edges and any(hist.counts):
+        lines += _render_bucket_rows(hist.edges, hist.counts, width)
     return lines
 
 
-def render_summary(events: Sequence[Event], width: int = 48) -> str:
+def render_summary(
+    events: Sequence[Event], width: int = 48, skipped: int = 0
+) -> str:
     """Render an event stream as the full text summary.
 
-    Sections: counters, gauges, histograms, and the span breakdown whose
-    per-name totals are drawn as Gantt-style ``|####    |`` bars scaled
-    to the largest total.
+    Sections: counters, gauges, histograms (raw parent-side observations
+    and worker-side bucketed aggregates), the per-worker balance table
+    for cross-process runs, and the span breakdown whose per-name totals
+    are drawn as Gantt-style ``|####    |`` bars scaled to the largest
+    total.  ``skipped`` (corrupt JSONL lines dropped by
+    :func:`load_events`) is surfaced in the header.
     """
     if width < 16:
         raise ConfigurationError(f"width must be >= 16, got {width}")
     summary = aggregate_events(events)
+    summary.skipped_lines = skipped
     if summary.n_events == 0:
+        if skipped:
+            return f"(no events; {skipped} corrupt line(s) skipped)"
         return "(no events)"
-    lines: List[str] = [f"telemetry summary — {summary.n_events} events"]
+    header = f"telemetry summary — {summary.n_events} events"
+    if skipped:
+        header += f" ({skipped} corrupt line(s) skipped)"
+    lines: List[str] = [header]
 
     if summary.counters:
         lines += ["", "== counters =="]
@@ -208,6 +501,26 @@ def render_summary(events: Sequence[Event], width: int = 48) -> str:
         lines += ["", "== histograms =="]
         for name in sorted(summary.histogram_values):
             lines += _render_histogram(name, summary.histogram_values[name], width)
+
+    if summary.histograms:
+        lines += ["", "== worker histograms =="]
+        for name in sorted(summary.histograms):
+            lines += _render_bucketed(name, summary.histograms[name], width)
+
+    if summary.workers:
+        lines += ["", "== workers =="]
+        lines.append(
+            f"{'worker':>6s} {'deltas':>7s} {'kernels':>8s} "
+            f"{'kernel time':>12s} {'spans':>6s} {'span time':>10s}"
+        )
+        for worker in sorted(summary.workers):
+            stats = summary.workers[worker]
+            lines.append(
+                f"{worker:>6d} {stats.deltas:>7d} {stats.kernel_count:>8d} "
+                f"{_format_seconds(stats.kernel_seconds):>12s} "
+                f"{stats.span_count:>6d} "
+                f"{_format_seconds(stats.span_seconds):>10s}"
+            )
 
     if summary.spans:
         lines += ["", "== spans =="]

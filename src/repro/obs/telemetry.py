@@ -29,7 +29,7 @@ import os
 import threading
 import time
 from types import TracebackType
-from typing import Callable, Dict, List, Optional, Tuple, Type, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type, Union
 
 from repro.errors import ConfigurationError
 from repro.kernels.base import KernelSet
@@ -222,6 +222,31 @@ class Telemetry:
              "t": self._clock()}
         )
 
+    def observe_many(
+        self,
+        name: str,
+        values: Sequence[float],
+        buckets: Optional[Tuple[float, ...]] = None,
+        **attrs: AttrValue,
+    ) -> None:
+        """Record a batch of values into ``name``; emit ONE ``hist`` event.
+
+        The event carries the full value list under ``"values"`` (instead
+        of a scalar ``"value"``), so downstream consumers lose nothing —
+        but the hot path pays one event dict, one clock read and one
+        vectorized bucket update for the whole batch instead of one of
+        each per value.  An empty batch records and emits nothing.
+        """
+        if not self._enabled:
+            return
+        recorded = self.registry.histogram(name, buckets).observe_many(values)
+        if not recorded:
+            return
+        self.exporter.emit(
+            {"type": "hist", "name": name, "values": recorded, "attrs": attrs,
+             "t": self._clock()}
+        )
+
     def span(self, name: str, **attrs: AttrValue) -> Union[Span, _NullSpan]:
         """Context manager tracing one named region (nesting-aware)."""
         if not self._enabled:
@@ -269,6 +294,34 @@ class Telemetry:
 # Resolution
 # ----------------------------------------------------------------------
 _BY_NAME: Dict[str, Telemetry] = {}
+_FLUSH_AT_EXIT_REGISTERED = False
+
+
+def _flush_cached_telemetries() -> None:
+    """Flush every name-resolved telemetry (atexit hook).
+
+    Batched exporters (jsonl, ring) hold a partial batch in memory; a
+    process that never calls ``close()`` would lose its tail without
+    this.  Flush, not close: ``close()`` on the text exporter renders a
+    summary, which an exiting process may not want twice.
+    """
+    for cached in list(_BY_NAME.values()):
+        try:
+            cached.flush()
+        except (OSError, ValueError):  # pragma: no cover - teardown races
+            pass
+
+
+def _register_flush_at_exit() -> None:
+    """Register the atexit flush once, lazily on the first cache insert
+    (importing repro.obs must stay free of interpreter-level side
+    effects)."""
+    global _FLUSH_AT_EXIT_REGISTERED
+    if not _FLUSH_AT_EXIT_REGISTERED:
+        import atexit
+
+        atexit.register(_flush_cached_telemetries)
+        _FLUSH_AT_EXIT_REGISTERED = True
 
 
 def resolve_telemetry(telemetry: object = None) -> Telemetry:
@@ -299,6 +352,7 @@ def resolve_telemetry(telemetry: object = None) -> Telemetry:
     if cached is None:
         cached = Telemetry(exporter=make_exporter(name))
         _BY_NAME[name] = cached
+        _register_flush_at_exit()
     return cached
 
 

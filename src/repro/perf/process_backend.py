@@ -33,10 +33,19 @@ Correctness and failure semantics:
   mapped (plan buffers alias it) until :meth:`ProcessBackend.close`
   or the atexit sweep unlinks it.
 
-Telemetry stays deterministic: the parent emits ``plan.shard`` spans in
-shard-id order after the barrier instead of letting wall-clock races
-order them; per-shard wall times live in the arena's ``shard_seconds``
-field for diagnostics (:meth:`ProcessBackend.last_shard_seconds`).
+Telemetry crosses the process border as registry *deltas*: when the
+parent's telemetry is enabled, each command carries an observe flag, the
+worker records real ``plan.shard`` spans and ``kernel.<op>.seconds``
+timings into a local :class:`~repro.obs.pipeline.WorkerRecorder`, and the
+``ok`` ack piggybacks the delta (counter increments, histogram bucket
+deltas) back over the result pipe.  The parent merges the deltas in
+ascending worker order after the barrier — never in wall-clock answer
+order — so merged aggregates and event streams stay deterministic.  A
+crashed or timed out worker loses at most its in-flight delta (nothing
+already merged is recounted), and a respawned worker starts from a fresh
+baseline.  Per-shard wall times additionally live in the arena's
+``shard_seconds`` field for diagnostics
+(:meth:`ProcessBackend.last_shard_seconds`).
 """
 
 from __future__ import annotations
@@ -59,6 +68,7 @@ from repro.errors import (
     WorkerCrashError,
     WorkerTimeoutError,
 )
+from repro.obs.instruments import DEFAULT_TIME_BUCKETS
 from repro.perf.backends import Owned, PlanBackend
 from repro.perf.shm import Arena, ArenaLayout
 from repro.sparse.csr import CsrMatrix
@@ -69,6 +79,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (annotations only)
     from multiprocessing.process import BaseProcess
 
     from repro.obs import Telemetry
+    from repro.obs.pipeline import WorkerRecorder
     from repro.perf.plan import ProtectedPlan, ShardCorrection
 
 #: Environment variable selecting the multiprocessing start method.
@@ -228,10 +239,18 @@ def _worker_main(worker_id: int, conn: "Connection", arena_name: str, spec: Work
     bumped to the command generation *before* the ack so the parent can
     verify publication.  Exceptions are marshalled back as tracebacks —
     the loop survives them, keeping the pool healthy.
+
+    When a command's observe flag is set, a lazily created
+    :class:`~repro.obs.pipeline.WorkerRecorder` wraps the fused kernels
+    and records a real ``plan.shard`` span; the registry delta since the
+    previous ack rides back as the fourth ack element (``None`` when
+    telemetry is off or nothing was recorded).
     """
     arena = Arena.attach(arena_name, spec.layout)
+    recorder: Optional["WorkerRecorder"] = None
     try:
         fused = _fused_from_arena(arena, spec)
+        plain_kernels = fused.kernels
         b = arena.array("b")
         ring = arena.array("ring")
         shard_seconds = arena.array("shard_seconds")
@@ -245,17 +264,46 @@ def _worker_main(worker_id: int, conn: "Connection", arena_name: str, spec: Work
                 break
             generation = int(message[1])
             try:
+                want_obs = bool(message[-1])
+                if want_obs and recorder is None:
+                    from repro.obs.pipeline import WorkerRecorder
+
+                    recorder = WorkerRecorder()
+                    fused.kernels = recorder.telemetry.wrap_kernels(plain_kernels)
                 started = time.perf_counter()
                 payload: Optional["ShardCorrection"] = None
                 if op == "detect":
-                    fused.detect_shard(worker_id, b)
+                    if want_obs and recorder is not None:
+                        with recorder.telemetry.span("plan.shard", shard=worker_id):
+                            fused.detect_shard(worker_id, b)
+                    else:
+                        fused.detect_shard(worker_id, b)
                 elif op == "correct":
-                    payload = fused.correct_shard(worker_id, b, message[2])
+                    blocks = message[2]
+                    if want_obs and recorder is not None:
+                        with recorder.telemetry.span(
+                            "plan.shard", shard=worker_id, blocks=int(len(blocks))
+                        ):
+                            payload = fused.correct_shard(worker_id, b, blocks)
+                    else:
+                        payload = fused.correct_shard(worker_id, b, blocks)
                 else:
                     raise ConfigurationError(f"unknown worker command {op!r}")
-                shard_seconds[worker_id] = time.perf_counter() - started
+                elapsed = time.perf_counter() - started
+                shard_seconds[worker_id] = elapsed
+                delta = None
+                if want_obs and recorder is not None:
+                    telemetry = recorder.telemetry
+                    if telemetry.enabled:
+                        telemetry.observe(
+                            f"kernel.{op}_shard.seconds",
+                            elapsed,
+                            buckets=DEFAULT_TIME_BUCKETS,
+                            shard=worker_id,
+                        )
+                    delta = recorder.delta()
                 ring[worker_id] = generation
-                conn.send(("ok", generation, payload))
+                conn.send(("ok", generation, payload, delta))
             # reprolint: disable=ABFT005 -- marshalled across the process
             # border; the parent re-raises it as ParallelBackendError
             except BaseException:
@@ -313,9 +361,11 @@ class ProcessPool:
 
     def dispatch(
         self, generation: int, commands: Dict[int, Tuple[object, ...]]
-    ) -> Dict[int, object]:
+    ) -> Dict[int, Tuple[object, object]]:
         """Send one command per targeted worker; gather all acks.
 
+        Each ack unpacks to ``(payload, delta)`` — the shard result and
+        the worker's telemetry delta (``None`` when telemetry is off).
         Raises the typed :class:`~repro.errors.ParallelBackendError`
         family on remote exceptions, dead workers or timeouts.  The
         caller is responsible for reaping the pool afterwards.
@@ -330,14 +380,14 @@ class ProcessPool:
                     f"worker {worker_id} is gone before {op!r} could be sent: {exc}"
                 ) from None
         deadline = time.monotonic() + self._timeout
-        payloads: Dict[int, object] = {}
+        payloads: Dict[int, Tuple[object, object]] = {}
         for worker_id in sorted(commands):
             payloads[worker_id] = self._collect(worker_id, generation, op, deadline)
         return payloads
 
     def _collect(
         self, worker_id: int, generation: int, op: str, deadline: float
-    ) -> object:
+    ) -> Tuple[object, object]:
         worker = self.workers[worker_id]
         while True:
             remaining = deadline - time.monotonic()
@@ -369,14 +419,14 @@ class ProcessPool:
             raise ParallelBackendError(
                 f"worker {worker_id} raised during {op!r}:\n{message[2]}"
             )
-        if message[0] != "ok" or int(message[1]) != generation:
+        if message[0] != "ok" or int(message[1]) != generation or len(message) != 4:
             # Protocol corruption — treat like a crash so the pool is
             # retired rather than trusted with the next command.
             raise WorkerCrashError(
                 f"worker {worker_id} answered out of sequence during {op!r}: "
                 f"expected generation {generation}, got {message[:2]!r}"
             )
-        return message[2]
+        return message[2], message[3]
 
     def stop(self, grace: float = 2.0) -> None:
         """Best-effort graceful shutdown, then terminate stragglers."""
@@ -543,15 +593,13 @@ class ProcessBackend(PlanBackend):
         pool = self._ensure_pool()
         np.copyto(self._arena.array("b"), b)
         generation = self._next_generation()
+        want_obs = telemetry.enabled
         commands: Dict[int, Tuple[object, ...]] = {
-            worker_id: ("detect", generation)
+            worker_id: ("detect", generation, want_obs)
             for worker_id in range(self._spec.n_shards)
         }
-        self._dispatch(pool, generation, commands)
-        if telemetry.enabled:
-            for i in range(self._spec.n_shards):
-                with telemetry.span("plan.shard", shard=i):
-                    pass
+        replies = self._dispatch(pool, generation, commands)
+        self._merge_worker_deltas(telemetry, replies)
 
     def run_correct(
         self, b: np.ndarray, owned: Owned, telemetry: "Telemetry"
@@ -560,17 +608,21 @@ class ProcessBackend(PlanBackend):
         pool = self._ensure_pool()
         np.copyto(self._arena.array("b"), b)
         generation = self._next_generation()
+        want_obs = telemetry.enabled
         commands: Dict[int, Tuple[object, ...]] = {
-            shard_id: ("correct", generation, np.ascontiguousarray(blocks, dtype=np.int64))
+            shard_id: (
+                "correct",
+                generation,
+                np.ascontiguousarray(blocks, dtype=np.int64),
+                want_obs,
+            )
             for shard_id, blocks in owned
         }
-        payloads = self._dispatch(pool, generation, commands)
+        replies = self._dispatch(pool, generation, commands)
+        self._merge_worker_deltas(telemetry, replies)
         results: List["ShardCorrection"] = []
-        for shard_id, blocks in owned:
-            if telemetry.enabled:
-                with telemetry.span("plan.shard", shard=shard_id, blocks=int(blocks.size)):
-                    pass
-            results.append(payloads[shard_id])  # type: ignore[arg-type]
+        for shard_id, _blocks in owned:
+            results.append(replies[shard_id][0])  # type: ignore[arg-type]
         return results
 
     def close(self) -> None:
@@ -625,12 +677,31 @@ class ProcessBackend(PlanBackend):
             self._pool = pool
         return self._pool
 
+    def _merge_worker_deltas(
+        self,
+        telemetry: "Telemetry",
+        replies: Dict[int, Tuple[object, object]],
+    ) -> None:
+        """Fold piggybacked worker deltas into the parent telemetry.
+
+        Always in ascending worker id — never pipe-answer order — so the
+        merged registry and the emitted ``delta`` events are identical
+        run to run for a seeded workload.
+        """
+        if not telemetry.enabled:
+            return
+        from repro.obs.pipeline import RegistryDelta, merge_delta
+
+        for worker_id in sorted(replies):
+            delta: Optional[RegistryDelta] = replies[worker_id][1]  # type: ignore[assignment]
+            merge_delta(telemetry, worker_id, delta)
+
     def _dispatch(
         self,
         pool: ProcessPool,
         generation: int,
         commands: Dict[int, Tuple[object, ...]],
-    ) -> Dict[int, object]:
+    ) -> Dict[int, Tuple[object, object]]:
         try:
             payloads = pool.dispatch(generation, commands)
         except (WorkerCrashError, WorkerTimeoutError):

@@ -1,0 +1,33 @@
+"""Fixture: telemetry writes on hot paths outside the enabled guard."""
+
+
+def multiply(telemetry, result):
+    telemetry.count("abft.checks")  # MARK:ABFT013
+    return result
+
+
+def detect(tel, margins):
+    for margin in margins:
+        tel.observe("abft.syndrome_margin", margin)  # MARK:ABFT013
+
+
+def solve(self, b):
+    self.telemetry.gauge("pcg.residual", 0.5)  # MARK:ABFT013
+    return b
+
+
+def batched(worker_telemetry, margins):
+    worker_telemetry.observe_many("abft.syndrome_margin", margins)  # MARK:ABFT013
+
+
+def guard_too_late(telemetry, result):
+    telemetry.count("abft.checks")  # MARK:ABFT013
+    if telemetry.enabled:
+        telemetry.count("abft.detections")
+    return result
+
+
+def wrong_condition(telemetry, verbose, result):
+    if verbose:
+        telemetry.count("abft.checks")  # MARK:ABFT013
+    return result

@@ -1,0 +1,46 @@
+"""Fixture: guarded telemetry writes and non-telemetry receivers."""
+
+
+def multiply(telemetry, result):
+    if telemetry.enabled:
+        telemetry.count("abft.checks")
+        telemetry.observe("abft.syndrome_margin", 0.5)
+    return result
+
+
+def early_return(telemetry, margins):
+    if not telemetry.enabled:
+        return
+    telemetry.observe_many("abft.syndrome_margin", margins)
+
+
+def early_return_guards_the_rest(tel, result):
+    if not tel.enabled:
+        return result
+    tel.count("abft.checks")
+    tel.gauge("pcg.residual", 0.5)
+    return result
+
+
+def enabled_branch_of_negated_test(telemetry, result):
+    if not telemetry.enabled:
+        pass
+    else:
+        telemetry.count("abft.checks")
+    return result
+
+
+def registry_observe_is_not_an_event(registry, margin):
+    # Registry/instrument updates emit no events; only the Telemetry
+    # facade methods pay the event-dict + clock cost.
+    registry.histogram("abft.syndrome_margin").observe(margin)
+
+
+def other_receivers_are_fine(recorder, margin):
+    recorder.observe("abft.syndrome_margin", margin)
+    recorder.count()
+
+
+def span_needs_no_guard(telemetry):
+    with telemetry.span("abft.multiply"):
+        return 1

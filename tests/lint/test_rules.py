@@ -17,6 +17,7 @@ CORPUS = {
     "ABFT004": ("abft004_bad.py", "abft004_ok.py"),
     "ABFT005": ("abft005_bad.py", "abft005_ok.py"),
     "ABFT006": ("abft006_bad.py", "abft006_ok.py"),
+    "ABFT013": ("abft013_bad.py", "abft013_ok.py"),
 }
 
 

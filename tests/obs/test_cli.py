@@ -53,11 +53,67 @@ def test_summarize_missing_file(tmp_path, capsys):
     assert "error:" in capsys.readouterr().err
 
 
-def test_summarize_malformed_log(tmp_path, capsys):
+def test_summarize_skips_malformed_lines_with_warning(tmp_path, capsys):
     bad = tmp_path / "bad.jsonl"
-    bad.write_text('{"type": "counter"}\nnot json\n')
-    assert main(["summarize", str(bad)]) == EXIT_USAGE
-    assert "not a JSON event" in capsys.readouterr().err
+    bad.write_text(
+        '{"type": "counter", "name": "abft.checks", "value": 2.0}\n'
+        "not json\n"
+        "[1, 2, 3]\n"
+        '{"type": "counter", "name": "abft.checks", "value": 1.0}\n'
+    )
+    assert main(["summarize", str(bad)]) == EXIT_OK
+    captured = capsys.readouterr()
+    assert "skipped 2 corrupt line(s)" in captured.err
+    assert "abft.checks" in captured.out  # the good lines still aggregate
+    assert "3" in captured.out
+
+
+def test_summarize_tolerates_mid_line_truncation(tmp_path, capsys):
+    """A crashed writer leaves a torn final line; the log must still read."""
+    log = tmp_path / "truncated.jsonl"
+    full = '{"type": "counter", "name": "abft.detections", "value": 1.0}\n'
+    log.write_text(full + '{"type": "hist", "name": "abft.syndro')
+    assert main(["summarize", str(log)]) == EXIT_OK
+    captured = capsys.readouterr()
+    assert "skipped 1 corrupt line(s)" in captured.err
+    assert "abft.detections" in captured.out
+
+
+def test_summarize_json_output(event_log, capsys):
+    import json as json_module
+
+    path, result = event_log
+    assert main(["summarize", str(path), "--json"]) == EXIT_OK
+    payload = json_module.loads(capsys.readouterr().out)
+    assert payload["counters"]["abft.detections"] == result.detections
+    assert payload["skipped_lines"] == 0
+    assert "abft.syndrome_margin" in payload["histogram_values"]
+    assert payload["spans"]["pcg.solve"]["count"] == 1
+
+
+def test_report_renders_markdown(event_log, tmp_path, capsys):
+    path, result = event_log
+    out = tmp_path / "report.md"
+    assert main(["report", str(path), "--output", str(out)]) == EXIT_OK
+    text = out.read_text()
+    assert "# Telemetry campaign report" in text
+    assert f"## {path.name}" in text
+    assert "abft.detections" in text
+    assert "### Span breakdown" in text
+    assert "abft.syndrome_margin" in text
+    # Without --output the report prints to stdout.
+    assert main(["report", str(path)]) == EXIT_OK
+    assert "# Telemetry campaign report" in capsys.readouterr().out
+
+
+def test_expose_renders_openmetrics(event_log, capsys):
+    path, result = event_log
+    assert main(["expose", str(path)]) == EXIT_OK
+    out = capsys.readouterr().out
+    assert "# TYPE abft_detections counter" in out
+    assert f"abft_detections_total {result.detections}" in out
+    assert 'abft_syndrome_margin_bucket{le="+Inf"}' in out
+    assert out.rstrip().endswith("# EOF")
 
 
 def test_exporters_subcommand_lists_builtins(capsys):

@@ -95,6 +95,24 @@ def test_histogram_mean_of_empty_is_nan():
     assert math.isnan(Histogram("m").mean)
 
 
+def test_histogram_observe_many_matches_scalar_observe():
+    values = (0.1, 1.0, 5.0, 50.0, 1000.0, math.nan)
+    scalar = Histogram("m", buckets=(1.0, 10.0, 100.0))
+    for value in values:
+        scalar.observe(value)
+    batched = Histogram("m", buckets=(1.0, 10.0, 100.0))
+    returned = batched.observe_many(values)
+    assert batched.snapshot() == scalar.snapshot()
+    assert returned[:5] == [0.1, 1.0, 5.0, 50.0, 1000.0]
+    assert math.isnan(returned[5])
+
+
+def test_histogram_observe_many_empty_batch_is_inert():
+    h = Histogram("m", buckets=(1.0, 10.0))
+    assert h.observe_many(()) == []
+    assert h.count == 0 and h.nan_count == 0
+
+
 def test_histogram_rejects_nonincreasing_edges():
     with pytest.raises(ConfigurationError):
         Histogram("m", buckets=(1.0, 1.0, 2.0))

@@ -1,0 +1,166 @@
+"""Worker-delta merges are deterministic and survive crash + respawn.
+
+The parent merges per-dispatch deltas in ascending worker order, so two
+identical seeded campaigns produce the same merged stream shape for any
+worker count — and the merged registry holds *exact* dispatch counts
+even when a worker is killed mid-campaign and the pool respawns it.
+Deltas ride the dispatch replies all-or-nothing: a crashed dispatch
+merges nothing, so counts never drift by partial increments.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import AbftConfig, FaultTolerantSpMV
+from repro.errors import WorkerCrashError
+from repro.obs import InMemoryExporter, Telemetry
+from repro.perf import ProtectedPlan
+from repro.perf.process_backend import ProcessBackend
+
+from .conftest import FakeClock
+
+N = 96
+NNZ = 900
+BLOCK = 16
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def make_plan(n_shards, telemetry=None, timeout=None):
+    matrix = random_matrix()
+    operator = FaultTolerantSpMV(
+        matrix, config=AbftConfig(block_size=BLOCK), telemetry=telemetry
+    )
+    options = {"serial_cutoff": 0}
+    if timeout is not None:
+        options["timeout"] = timeout
+    return ProtectedPlan(
+        operator, n_shards=n_shards, parallel="processes", backend_options=options
+    )
+
+
+def random_matrix():
+    from repro.sparse import random_spd
+
+    return random_spd(N, NNZ, seed=7)
+
+
+def operand():
+    return np.random.default_rng(123).standard_normal(N)
+
+
+def run_campaign(n_shards, multiplies=3):
+    telemetry = Telemetry(exporter=InMemoryExporter(), clock=FakeClock())
+    with make_plan(n_shards, telemetry=telemetry) as plan:
+        b = operand()
+        for _ in range(multiplies):
+            plan.multiply(b.copy())
+    return telemetry
+
+
+def normalized(event):
+    """Strip real wall-clock payloads; keep merge order and shape."""
+    if event.get("type") != "delta":
+        return event
+    return {
+        "type": "delta",
+        "worker": event["worker"],
+        "counters": event["counters"],
+        "gauges": sorted(event["gauges"]),
+        "hists": {name: hist["count"] for name, hist in event["hists"].items()},
+        "t": event["t"],
+    }
+
+
+@pytest.mark.parametrize("n_shards", WORKER_COUNTS)
+def test_merged_stream_is_deterministic(n_shards):
+    first = run_campaign(n_shards)
+    second = run_campaign(n_shards)
+    assert [normalized(e) for e in first.events()] == [
+        normalized(e) for e in second.events()
+    ]
+    deltas = [e for e in first.events() if e["type"] == "delta"]
+    if n_shards == 1:
+        # A single shard keeps the process backend dormant: the serial
+        # path emits no deltas, and the stream is bit-identical outright.
+        assert deltas == []
+        assert first.events() == second.events()
+        return
+    # Deltas merge in ascending worker id, one per worker per multiply.
+    assert [e["worker"] for e in deltas] == list(range(n_shards)) * 3
+    # The merged registry agrees between the runs, wall clock aside.
+    detect = first.registry.get("kernel.detect_shard.seconds")
+    assert detect.count == second.registry.get("kernel.detect_shard.seconds").count
+    assert detect.count == n_shards * 3
+
+
+def _protocol_events(tel):
+    """The ABFT protocol story: counters and syndrome margins, stripped
+    of clock readings.  Kernel-timing events move between parent and
+    workers depending on engagement, so they are excluded here."""
+    kept = []
+    for event in tel.events():
+        if event.get("type") == "counter" and event["name"].startswith("abft."):
+            kept.append({k: v for k, v in event.items() if k != "t"})
+        elif event.get("type") == "hist" and event["name"] == "abft.syndrome_margin":
+            kept.append({k: v for k, v in event.items() if k != "t"})
+    return kept
+
+
+@pytest.mark.parametrize("n_shards", WORKER_COUNTS[1:])
+def test_protocol_events_match_the_serial_run_bit_for_bit(n_shards):
+    """Sharding redistributes *kernel* work; the protocol events —
+    checks, detections, per-block syndrome margins — must be the ones
+    the serial same-seed run emits, value for value."""
+    serial = _protocol_events(run_campaign(1))
+    assert serial  # the campaign actually exercised the protocol
+    assert _protocol_events(run_campaign(n_shards)) == serial
+
+
+def test_crash_and_respawn_preserve_exact_merge_counts():
+    telemetry = Telemetry(exporter=InMemoryExporter(), clock=FakeClock())
+    with make_plan(4, telemetry=telemetry, timeout=30.0) as plan:
+        b = operand()
+        completed = 0
+        plan.multiply(b.copy())
+        completed += 1
+        backend = plan.backend
+        assert isinstance(backend, ProcessBackend)
+        victim = backend._pool.workers[1].process
+        victim.kill()
+        victim.join(timeout=10.0)
+        with pytest.raises(WorkerCrashError):
+            plan.multiply(b.copy())
+        # The pool respawns lazily; the campaign continues.
+        for _ in range(2):
+            plan.multiply(b.copy())
+            completed += 1
+    # All-or-nothing delta merging: the crashed dispatch contributes
+    # nothing, every completed multiply contributes one delta per worker.
+    detect = telemetry.registry.get("kernel.detect_shard.seconds")
+    assert detect.count == completed * 4
+    deltas = [e for e in telemetry.events() if e.get("type") == "delta"]
+    assert [e["worker"] for e in deltas] == [0, 1, 2, 3] * completed
+    # The respawned worker 1 keeps shipping deltas after the crash.
+    post_crash = [e["worker"] for e in deltas[4:]]
+    assert post_crash.count(1) == completed - 1
+
+
+def test_crash_does_not_drop_prior_merged_state():
+    telemetry = Telemetry(exporter=InMemoryExporter(), clock=FakeClock())
+    with make_plan(2, telemetry=telemetry, timeout=30.0) as plan:
+        b = operand()
+        plan.multiply(b.copy())
+        before = telemetry.registry.get("kernel.detect_shard.seconds").count
+        backend = plan.backend
+        victim = backend._pool.workers[0].process
+        victim.kill()
+        victim.join(timeout=10.0)
+        started = time.monotonic()
+        with pytest.raises(WorkerCrashError):
+            plan.multiply(b.copy())
+        assert time.monotonic() - started < 30.0
+        # Nothing merged from the failed dispatch, nothing un-merged.
+        assert telemetry.registry.get("kernel.detect_shard.seconds").count == before

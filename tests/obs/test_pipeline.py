@@ -1,0 +1,145 @@
+"""Unit tests for the worker delta pipeline (:mod:`repro.obs.pipeline`)."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    DEFAULT_TIME_BUCKETS,
+    InMemoryExporter,
+    Registry,
+    Telemetry,
+)
+from repro.obs.pipeline import (
+    WorkerRecorder,
+    apply_delta,
+    capture_delta,
+    merge_delta,
+)
+
+
+def test_recorder_delta_is_none_when_nothing_recorded():
+    recorder = WorkerRecorder()
+    assert recorder.delta() is None
+
+
+def test_recorder_captures_counters_gauges_and_histograms():
+    recorder = WorkerRecorder()
+    tel = recorder.telemetry
+    tel.count("abft.checks", 2.0)
+    tel.gauge("pcg.residual", 0.5)
+    tel.observe("kernel.spmv.seconds", 1e-3, buckets=DEFAULT_TIME_BUCKETS)
+    delta = recorder.delta()
+    assert delta["counters"] == {"abft.checks": 2.0}
+    assert delta["gauges"] == {"pcg.residual": 0.5}
+    hist = delta["hists"]["kernel.spmv.seconds"]
+    assert hist["count"] == 1
+    assert hist["sum"] == 1e-3
+    assert sum(hist["counts"]) == 1
+    assert tuple(hist["edges"]) == DEFAULT_TIME_BUCKETS
+
+
+def test_consecutive_deltas_never_reship_history():
+    recorder = WorkerRecorder()
+    tel = recorder.telemetry
+    tel.count("abft.checks")
+    tel.observe("abft.syndrome_margin", 1e-6)
+    first = recorder.delta()
+    assert first["counters"] == {"abft.checks": 1.0}
+    assert recorder.delta() is None  # quiescent interval ships nothing
+    tel.count("abft.checks", 3.0)
+    tel.observe("abft.syndrome_margin", 1e-2)
+    second = recorder.delta()
+    assert second["counters"] == {"abft.checks": 3.0}
+    hist = second["hists"]["abft.syndrome_margin"]
+    assert hist["count"] == 1  # only the new observation
+    assert hist["sum"] == pytest.approx(1e-2)
+    # min/max stay cumulative (idempotent under re-merge).
+    assert hist["min"] == 1e-6
+    assert hist["max"] == 1e-2
+
+
+def test_gauge_reset_to_nan_still_ships():
+    recorder = WorkerRecorder()
+    tel = recorder.telemetry
+    tel.gauge("pcg.residual", 1.0)
+    recorder.delta()
+    tel.gauge("pcg.residual", math.nan)
+    delta = recorder.delta()
+    assert math.isnan(delta["gauges"]["pcg.residual"])
+
+
+def test_nan_observations_ride_the_delta():
+    recorder = WorkerRecorder()
+    recorder.telemetry.observe("abft.syndrome_margin", math.nan)
+    delta = recorder.delta()
+    assert delta["hists"]["abft.syndrome_margin"]["nan_count"] == 1
+    assert delta["hists"]["abft.syndrome_margin"]["count"] == 0
+
+
+def test_apply_delta_reconstructs_the_registry():
+    recorder = WorkerRecorder()
+    tel = recorder.telemetry
+    tel.count("abft.checks", 2.0)
+    for value in (1e-6, 1e-3, 5.0):
+        tel.observe("abft.syndrome_margin", value)
+    delta = recorder.delta()
+    target = Registry()
+    apply_delta(target, delta)
+    assert target.counter("abft.checks").value == 2.0
+    merged = target.get("abft.syndrome_margin")
+    source = tel.registry.get("abft.syndrome_margin")
+    assert merged.snapshot() == source.snapshot()
+
+
+def test_apply_delta_accumulates_across_workers():
+    target = Registry()
+    for _ in range(3):
+        recorder = WorkerRecorder()
+        recorder.telemetry.count("abft.checks")
+        recorder.telemetry.observe("abft.syndrome_margin", 1e-4)
+        apply_delta(target, recorder.delta())
+    assert target.counter("abft.checks").value == 3.0
+    assert target.get("abft.syndrome_margin").count == 3
+
+
+def test_apply_delta_rejects_malformed_payloads():
+    with pytest.raises(ConfigurationError):
+        apply_delta(Registry(), {"counters": "nope"})
+    with pytest.raises(ConfigurationError):
+        apply_delta(Registry(), {"hists": {"h": "nope"}})
+
+
+def test_histogram_merge_rejects_bucket_mismatch():
+    registry = Registry()
+    hist = registry.histogram("h", (1.0, 2.0))
+    with pytest.raises(ConfigurationError):
+        hist.merge([0, 1], 1, 0, 1.5, 1.5, 1.5)  # needs len(edges)+1 slots
+
+
+def test_merge_delta_emits_one_event_and_updates_registry():
+    parent = Telemetry(exporter=InMemoryExporter(), clock=iter(range(100)).__next__)
+    recorder = WorkerRecorder()
+    recorder.telemetry.observe("kernel.spmv.seconds", 1e-3, buckets=DEFAULT_TIME_BUCKETS)
+    delta = recorder.delta()
+    merge_delta(parent, 2, delta)
+    assert parent.registry.get("kernel.spmv.seconds").count == 1
+    events = parent.events()
+    assert len(events) == 1
+    event = events[0]
+    assert event["type"] == "delta"
+    assert event["worker"] == 2
+    assert event["hists"]["kernel.spmv.seconds"]["count"] == 1
+    assert "t" in event
+
+
+def test_merge_delta_is_a_noop_for_none_and_disabled():
+    parent = Telemetry(exporter=InMemoryExporter())
+    merge_delta(parent, 0, None)
+    assert parent.events() == []
+    disabled = Telemetry.disabled()
+    recorder = WorkerRecorder()
+    recorder.telemetry.count("abft.checks")
+    merge_delta(disabled, 0, recorder.delta())
+    assert disabled.registry.names() == ()

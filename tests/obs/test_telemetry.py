@@ -46,6 +46,26 @@ def test_span_nesting_depth_and_parent(fake_clock):
     assert tel.registry.histogram("span.inner.seconds").count == 2
 
 
+def test_observe_many_emits_one_event_with_values(fake_clock):
+    tel = Telemetry(exporter=InMemoryExporter(), clock=fake_clock)
+    tel.observe_many("h", [0.25, 0.5, 4.0], shard=1)
+    hist = tel.registry.histogram("h")
+    assert hist.count == 3
+    events = tel.events()
+    assert len(events) == 1
+    assert events[0]["type"] == "hist"
+    assert events[0]["values"] == [0.25, 0.5, 4.0]
+    assert events[0]["attrs"] == {"shard": 1}
+    tel.observe_many("h", [])  # empty batch: nothing recorded or emitted
+    assert hist.count == 3 and len(tel.events()) == 1
+
+
+def test_observe_many_disabled_is_inert():
+    tel = Telemetry.disabled()
+    tel.observe_many("h", [1.0])
+    assert tel.registry.names() == ()
+
+
 def test_events_requires_buffering_exporter():
     from repro.obs import NullExporter
 

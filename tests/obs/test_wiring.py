@@ -49,11 +49,13 @@ def test_clean_multiply_emits_checks_margins_and_spans(matrix):
     counters = event_names(tel, "counter")
     assert "abft.checks" in counters
     assert "abft.detections" not in counters  # nothing flagged
-    margins = [
-        event["value"]
+    margin_events = [
+        event
         for event in tel.events()
         if event["type"] == "hist" and event["name"] == "abft.syndrome_margin"
     ]
+    assert len(margin_events) == 1  # one batched event per invariant check
+    margins = margin_events[0]["values"]
     assert len(margins) == operator.detector.n_blocks
     assert all(0.0 <= m < 1.0 for m in margins)  # clean run: all below bound
 

@@ -14,6 +14,7 @@ import pytest
 
 from repro.core import FaultTolerantSpMV
 from repro.machine import ExecutionMeter
+from repro.obs import Telemetry
 from repro.sparse import random_spd
 
 N = 20_000
@@ -29,7 +30,16 @@ PEAK_BUDGET = 64 * 1024
 
 @pytest.fixture(scope="module")
 def operator():
-    return FaultTolerantSpMV(random_spd(N, NNZ, seed=5), block_size=BLOCK)
+    # Telemetry is pinned off regardless of REPRO_OBS: enabled telemetry
+    # allocates event dicts (and the JSONL exporter buffers pending
+    # batches) by design, which this test would misread as a leak in the
+    # numeric buffer discipline.  Telemetry cost has its own budget in
+    # benchmarks/bench_obs_overhead.py.
+    return FaultTolerantSpMV(
+        random_spd(N, NNZ, seed=5),
+        block_size=BLOCK,
+        telemetry=Telemetry(enabled=False),
+    )
 
 
 @pytest.fixture(scope="module")
