@@ -68,6 +68,14 @@ class AbftConfig:
             ``REPRO_PARALLEL`` environment variable overrides it
             process-wide; an explicit ``ProtectedPlan(parallel=...)``
             argument beats both.
+        sparse_format: storage format planned protected multiplies run
+            on (see :mod:`repro.sparse.formats`): ``"csr"``, ``"bsr"``,
+            ``"ell"``, or ``"auto"`` to let the plan pick by fill/padding
+            heuristics at plan time.  None keeps the library default
+            (``"csr"``).  The ``REPRO_FORMAT`` environment variable
+            overrides *configured* names process-wide; an explicit
+            ``sparse_format=`` argument to a planned entry point beats
+            both.  Unplanned multiplies always run CSR.
     """
 
     block_size: int = DEFAULT_BLOCK_SIZE
@@ -80,6 +88,7 @@ class AbftConfig:
     near_miss_fraction: float = DEFAULT_NEAR_MISS_FRACTION
     scheme: Optional[str] = None
     parallel: Optional[str] = None
+    sparse_format: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.block_size < 1:
@@ -121,3 +130,8 @@ class AbftConfig:
             from repro.perf.backends import canonical_backend_name
 
             canonical_backend_name(self.parallel)
+        if self.sparse_format is not None:
+            # Lazy import: keeps repro.sparse free of config dependencies.
+            from repro.sparse.formats import canonical_format_name
+
+            canonical_format_name(self.sparse_format)

@@ -292,7 +292,11 @@ class FaultTolerantSpMV:
             detected.append(tuple(int(x) for x in flagged))
         return rounds, exhausted
 
-    def planned(self, n_shards: Optional[int] = None) -> "ProtectedPlan":
+    def planned(
+        self,
+        n_shards: Optional[int] = None,
+        sparse_format: Optional[str] = None,
+    ) -> "ProtectedPlan":
         """The cached execution plan for this operator (see
         :class:`repro.perf.ProtectedPlan`).
 
@@ -305,10 +309,16 @@ class FaultTolerantSpMV:
             n_shards: shard count; None derives it from the selected
                 execution backend — the worker count for ``"parallel"``
                 kernels or the ``"processes"`` backend, 1 otherwise.
+            sparse_format: explicit storage format request forwarded to
+                :class:`~repro.perf.plan.ProtectedPlan` (beats
+                ``REPRO_FORMAT`` and ``AbftConfig.sparse_format``).  The
+                cache is keyed on the *resolved request*, so switching
+                formats rebuilds the plan.
         """
         from repro.kernels.parallel import ParallelKernels, default_workers
         from repro.perf.backends import resolve_backend_name
         from repro.perf.plan import ProtectedPlan
+        from repro.sparse.formats import resolve_format_name
 
         if n_shards is None:
             kernels = self.detector.kernels
@@ -320,12 +330,20 @@ class FaultTolerantSpMV:
                     getattr(self.config, "parallel", None)
                 )
                 n_shards = default_workers() if backend == "processes" else 1
+        requested = resolve_format_name(
+            getattr(self.config, "sparse_format", None), explicit=sparse_format
+        )
         plan = self._plan
-        if plan is not None and plan.n_shards == n_shards and not plan.backend.closed:
+        if (
+            plan is not None
+            and plan.n_shards == n_shards
+            and plan.format_choice.requested == requested
+            and not plan.backend.closed
+        ):
             if self.telemetry.enabled:
                 self.telemetry.count("plan.cache_hits")
             return plan
-        plan = ProtectedPlan(self, n_shards=n_shards)
+        plan = ProtectedPlan(self, n_shards=n_shards, sparse_format=requested)
         self._plan = plan
         return plan
 

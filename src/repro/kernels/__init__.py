@@ -1,6 +1,7 @@
 """Named, registry-dispatched implementations of the ABFT hot-path kernels.
 
-Three kernel sets ship built in:
+Registry entries are keyed ``(sparse_format, impl)``.  For the CSR home
+format three impls ship built in:
 
 * ``"naive"`` — the reference per-block Python loops;
 * ``"vectorized"`` — batched segment-sum versions of the same kernels
@@ -9,17 +10,27 @@ Three kernel sets ship built in:
   thread pool (bit-identical results; worker count via
   ``REPRO_KERNEL_WORKERS``).
 
-Selection: ``AbftConfig(kernel="...")`` (or the ``kernel=`` argument the
-core entry points accept), overridden process-wide by the
-``REPRO_KERNELS`` environment variable.  ``tests/kernels`` differentially
-tests every registered pair over a corpus of edge-case matrices.
+The ``"bsr"`` and ``"ell"`` formats each ship ``"naive"`` and
+``"vectorized"`` sets whose recompute kernels replay the format's own
+multiply pipeline (see :mod:`repro.kernels.bsr` / :mod:`repro.kernels.ell`).
+
+Selection: the impl axis via ``AbftConfig(kernel="...")`` (or the
+``kernel=`` argument the core entry points accept), overridden
+process-wide by the ``REPRO_KERNELS`` environment variable; the format
+axis via ``AbftConfig(sparse_format="...")`` / ``REPRO_FORMAT``, resolved
+by :mod:`repro.sparse.formats` and passed as ``sparse_format`` by
+format-aware callers.  ``tests/kernels`` differentially tests every
+registered pair over a corpus of edge-case matrices.
 """
 
 from repro.kernels.base import (
+    BUILTIN_KERNEL_KEYS,
     BUILTIN_KERNELS,
     DEFAULT_KERNEL,
+    DEFAULT_KERNEL_FORMAT,
     KERNEL_ENV_VAR,
     KernelSet,
+    available_kernel_keys,
     available_kernels,
     flat_segment_indices,
     get_kernels,
@@ -29,6 +40,8 @@ from repro.kernels.base import (
     unregister_kernels,
     validate_blocks,
 )
+from repro.kernels.bsr import BsrNaiveKernels, BsrVectorizedKernels
+from repro.kernels.ell import EllNaiveKernels, EllVectorizedKernels
 from repro.kernels.naive import NaiveKernels
 from repro.kernels.parallel import ParallelKernels
 from repro.kernels.vectorized import VectorizedKernels
@@ -36,16 +49,27 @@ from repro.kernels.vectorized import VectorizedKernels
 register_kernels(NaiveKernels())
 register_kernels(VectorizedKernels())
 register_kernels(ParallelKernels())
+register_kernels(BsrNaiveKernels())
+register_kernels(BsrVectorizedKernels())
+register_kernels(EllNaiveKernels())
+register_kernels(EllVectorizedKernels())
 
 __all__ = [
     "BUILTIN_KERNELS",
+    "BUILTIN_KERNEL_KEYS",
     "DEFAULT_KERNEL",
+    "DEFAULT_KERNEL_FORMAT",
     "KERNEL_ENV_VAR",
     "KernelSet",
     "NaiveKernels",
     "ParallelKernels",
     "VectorizedKernels",
+    "BsrNaiveKernels",
+    "BsrVectorizedKernels",
+    "EllNaiveKernels",
+    "EllVectorizedKernels",
     "available_kernels",
+    "available_kernel_keys",
     "get_kernels",
     "register_kernels",
     "unregister_kernels",

@@ -8,7 +8,14 @@ Python loops (``"naive"``) and the batched/vectorized NumPy versions
 (``"vectorized"``) — grouped into a :class:`KernelSet` and selected by
 name through a process-wide registry.
 
-Selection order (first match wins):
+Registry entries are keyed ``(sparse_format, impl)``: the same impl name
+exists once per storage format it supports — ``("csr", "vectorized")``,
+``("bsr", "vectorized")``, ``("ell", "naive")`` and so on — so a format
+decision (see :mod:`repro.sparse.formats`) and a kernel decision compose
+orthogonally.  CSR remains the home format: format-agnostic callers see
+the historical single-axis registry unchanged.
+
+Selection order for the impl axis (first match wins):
 
 1. an explicit :class:`KernelSet` instance passed to ``resolve_kernels``;
 2. the :data:`KERNEL_ENV_VAR` environment variable (``REPRO_KERNELS``),
@@ -16,6 +23,10 @@ Selection order (first match wins):
    without touching code;
 3. the name passed in (usually ``AbftConfig.kernel``);
 4. :data:`DEFAULT_KERNEL`.
+
+The format axis never comes from ``REPRO_KERNELS``; it is resolved
+separately (``AbftConfig.sparse_format`` / ``REPRO_FORMAT``) and passed
+as ``sparse_format`` by format-aware callers.
 
 Every implementation pair is held to the differential-testing contract of
 ``tests/kernels``: structural outputs (sparsity patterns, flag masks,
@@ -136,8 +147,14 @@ class KernelSet(abc.ABC):
     under every kernel set).
     """
 
-    #: Registry key; subclasses override.
+    #: Impl half of the registry key; subclasses override.
     name: str = "abstract"
+
+    #: Storage format this set's matrix-touching kernels expect (the
+    #: format half of the registry key).  CSR sets take
+    #: :class:`~repro.sparse.csr.CsrMatrix`; ``"bsr"``/``"ell"`` sets
+    #: take the matching format matrix in ``encode``/``correct_*``.
+    sparse_format: str = "csr"
 
     # -- weights / encoding ------------------------------------------------
     @abc.abstractmethod
@@ -267,71 +284,118 @@ class KernelSet(abc.ABC):
         """
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<KernelSet {self.name!r}>"
+        return f"<KernelSet {self.sparse_format}:{self.name}>"
 
 
 # ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
-_REGISTRY: Dict[str, KernelSet] = {}
+#: Format used when a caller does not qualify the kernel lookup.
+DEFAULT_KERNEL_FORMAT = "csr"
+
+_REGISTRY: Dict[Tuple[str, str], KernelSet] = {}
 
 
 def register_kernels(impl: KernelSet, overwrite: bool = False) -> KernelSet:
-    """Register ``impl`` under ``impl.name``; returns it for chaining."""
+    """Register ``impl`` under ``(impl.sparse_format, impl.name)``."""
     if not isinstance(impl, KernelSet):
         raise ConfigurationError(
             f"kernel sets must subclass KernelSet, got {type(impl).__name__}"
         )
-    if impl.name in _REGISTRY and not overwrite:
+    key = (impl.sparse_format, impl.name)
+    if key in _REGISTRY and not overwrite:
         raise ConfigurationError(
-            f"kernel set {impl.name!r} already registered (pass overwrite=True)"
+            f"kernel set {impl.sparse_format}:{impl.name} already registered "
+            f"(pass overwrite=True)"
         )
-    _REGISTRY[impl.name] = impl
+    _REGISTRY[key] = impl
     return impl
 
 
-#: Kernel sets that ship with the library and can never be unregistered.
+#: CSR kernel sets that ship with the library (the historical single-axis
+#: registry view; see :data:`BUILTIN_KERNEL_KEYS` for the full matrix).
 BUILTIN_KERNELS = ("naive", "vectorized", "parallel")
 
+#: Every built-in ``(sparse_format, impl)`` entry; none can be unregistered.
+BUILTIN_KERNEL_KEYS = (
+    ("csr", "naive"),
+    ("csr", "vectorized"),
+    ("csr", "parallel"),
+    ("bsr", "naive"),
+    ("bsr", "vectorized"),
+    ("ell", "naive"),
+    ("ell", "vectorized"),
+)
 
-def unregister_kernels(name: str) -> None:
+
+def unregister_kernels(name: str, sparse_format: str = DEFAULT_KERNEL_FORMAT) -> None:
     """Remove a registered kernel set (primarily for test isolation)."""
-    if name in BUILTIN_KERNELS:
-        raise ConfigurationError(f"built-in kernel set {name!r} cannot be removed")
-    _REGISTRY.pop(name, None)
+    if (sparse_format, name) in BUILTIN_KERNEL_KEYS:
+        raise ConfigurationError(
+            f"built-in kernel set {sparse_format}:{name} cannot be removed"
+        )
+    _REGISTRY.pop((sparse_format, name), None)
 
 
-def available_kernels() -> Tuple[str, ...]:
-    """Registered kernel-set names, sorted."""
+def available_kernels(sparse_format: str = DEFAULT_KERNEL_FORMAT) -> Tuple[str, ...]:
+    """Registered impl names for one storage format, sorted.
+
+    The default keeps the historical behavior: format-agnostic callers
+    (config validation, benchmarks) see the CSR impl names.
+    """
+    names = tuple(sorted(
+        name for fmt, name in _REGISTRY if fmt == sparse_format
+    ))
+    if not names:
+        known = ", ".join(sorted({fmt for fmt, _ in _REGISTRY}))
+        raise ConfigurationError(
+            f"no kernels registered for format {sparse_format!r}; "
+            f"registered formats: {known}"
+        )
+    return names
+
+
+def available_kernel_keys() -> Tuple[Tuple[str, str], ...]:
+    """Every registered ``(sparse_format, impl)`` pair, sorted."""
     return tuple(sorted(_REGISTRY))
 
 
-def get_kernels(name: str) -> KernelSet:
-    """Look up a kernel set by name."""
+def get_kernels(
+    name: str, sparse_format: Optional[str] = None
+) -> KernelSet:
+    """Look up a kernel set by ``(sparse_format, name)`` (format defaults
+    to CSR)."""
+    fmt = DEFAULT_KERNEL_FORMAT if sparse_format is None else sparse_format
     try:
-        return _REGISTRY[name]
+        return _REGISTRY[(fmt, name)]
     except KeyError:
+        known = tuple(sorted(n for f, n in _REGISTRY if f == fmt))
         raise ConfigurationError(
-            f"unknown kernel set {name!r}; expected one of {available_kernels()}"
+            f"unknown kernel set {name!r} for format {fmt!r}; expected one "
+            f"of {known or available_kernel_keys()}"
         ) from None
 
 
-def resolve_kernels(kernel: object = None) -> KernelSet:
+def resolve_kernels(
+    kernel: object = None, sparse_format: Optional[str] = None
+) -> KernelSet:
     """Resolve a kernel selection to a concrete :class:`KernelSet`.
 
     ``kernel`` may be a :class:`KernelSet` (returned as-is), a registered
-    name, or ``None``.  The :data:`KERNEL_ENV_VAR` environment variable
-    overrides any *name* (but never an explicit instance).
+    impl name, or ``None``.  The :data:`KERNEL_ENV_VAR` environment
+    variable overrides any *name* (but never an explicit instance).
+    ``sparse_format`` picks the format axis of the registry key; ``None``
+    keeps the historical CSR resolution.
     """
     if isinstance(kernel, KernelSet):
         return kernel
     env = os.environ.get(KERNEL_ENV_VAR)
     if env:
-        return get_kernels(env)
+        return get_kernels(env, sparse_format)
     if kernel is None:
-        return get_kernels(DEFAULT_KERNEL)
+        return get_kernels(DEFAULT_KERNEL, sparse_format)
     if not isinstance(kernel, str):
         raise ConfigurationError(
             f"kernel must be a name or KernelSet, got {type(kernel).__name__}"
         )
-    return get_kernels(kernel)
+    return get_kernels(kernel, sparse_format)

@@ -1,0 +1,31 @@
+"""ELL kernel sets: fixed-width padded-row recompute.
+
+The ``("ell", ...)`` registry entries.  Structure mirrors
+:mod:`repro.kernels.bsr`: detection-side kernels operate on the result
+vector and the CSR checksum matrix and are inherited unchanged; the
+source-matrix kernels come from the shared format-protocol mixin, whose
+recompute path is :meth:`repro.sparse.ell.EllMatrix.matvec_rows` — the
+row-wise pairwise reduction over the fixed width, bit-identical to any
+slice of the full :meth:`~repro.sparse.ell.EllMatrix.matvec`.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.bsr import _FormatRecomputeMixin
+from repro.kernels.naive import NaiveKernels
+from repro.kernels.vectorized import VectorizedKernels
+
+
+class EllNaiveKernels(_FormatRecomputeMixin, NaiveKernels):
+    """Reference ELL set: per-block loops over padded-row slices."""
+
+    name = "naive"
+    sparse_format = "ell"
+
+
+class EllVectorizedKernels(_FormatRecomputeMixin, VectorizedKernels):
+    """Batched ELL set: detection inherits the fused CSR reductions;
+    recompute is one padded-row reduction per corrected block."""
+
+    name = "vectorized"
+    sparse_format = "ell"

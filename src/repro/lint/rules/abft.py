@@ -52,13 +52,15 @@ NARROW_DTYPES = frozenset({"float32", "float16", "half", "single"})
 #: a validation-error path (ABFT006).
 SELECTOR_PARAMS = frozenset(
     {"kind", "weight_kind", "bound_kind", "mode", "scheme", "strategy", "method",
-     "detector"}
+     "detector", "sparse_format"}
 )
 
 #: Calls accepted as delegated validation of a selector (ABFT006).
 VALIDATOR_CALLS = frozenset(
     {"resolve_kernels", "make_weights", "make_bound", "validate_blocks", "AbftConfig",
-     "make_scheme", "resolve_scheme", "canonical_scheme_name"}
+     "make_scheme", "resolve_scheme", "canonical_scheme_name",
+     "canonical_format_name", "resolve_format_name", "select_format",
+     "build_format"}
 )
 
 #: Protection-scheme classes that must be built through the

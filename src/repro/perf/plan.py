@@ -44,6 +44,7 @@ import numpy as np
 from repro.core.blocking import BlockPartition
 from repro.core.detector import DetectionReport
 from repro.errors import ConfigurationError, ShapeMismatchError
+from repro.kernels.base import KernelSet
 from repro.kernels.parallel import ParallelKernels
 from repro.kernels.vectorized import VectorizedKernels
 from repro.machine import ExecutionMeter
@@ -55,6 +56,9 @@ from repro.sparse.csr import CsrMatrix
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (annotations only)
     from repro.core.corrector import TamperHook
     from repro.core.protected import FaultTolerantSpMV, SpmvResult
+    from repro.sparse.bsr import BsrMatrix
+    from repro.sparse.ell import EllMatrix
+    from repro.sparse.formats import FormatMatrix
 
 #: ``(rows, nnz, recheck, syndrome, thresholds, exceeded, still_flagged)``
 #: returned by one shard's correction task.  Every member is either a
@@ -103,6 +107,89 @@ class _SpmvShard:
         self.reduced = reduced
 
 
+class _BsrShard:
+    """Buffered replay of ``BsrMatrix._block_rows_matvec`` for one row range.
+
+    The shard covers the block rows spanning ``[row_start, row_stop)``;
+    when a cut falls inside a block row, neighbouring shards recompute the
+    shared tiles but each writes only its own rows — every buffer below is
+    shard-private, so shards stay thread-safe.  Ops and their order match
+    the allocating pipeline exactly (gather, ``einsum`` into ``prod``,
+    per-block-row ``reduceat``), which is what keeps planned BSR execution
+    bit-identical to :meth:`repro.sparse.bsr.BsrMatrix.matvec`.
+    """
+
+    __slots__ = (
+        "segment", "offset", "n_rows", "indices", "data", "tiles", "prod",
+        "out2d", "starts", "scatter", "reduced",
+    )
+
+    def __init__(self, storage: "BsrMatrix", r0: int, r1: int, segment: np.ndarray) -> None:
+        br, bc = storage.block_shape
+        b0, b1 = r0 // br, -(-r1 // br)
+        lo, hi = int(storage.indptr[b0]), int(storage.indptr[b1])
+        self.segment = segment
+        self.offset = r0 - b0 * br
+        self.n_rows = r1 - r0
+        self.indices = storage.indices[lo:hi]
+        self.data = storage.data[lo:hi]
+        self.tiles = np.empty((hi - lo, bc), dtype=np.float64)
+        self.prod = np.empty((hi - lo, br), dtype=np.float64)
+        self.out2d = np.zeros((b1 - b0, br), dtype=np.float64)
+        local_ptr = storage.indptr[b0 : b1 + 1] - lo
+        nonempty = np.diff(local_ptr) > 0
+        if bool(nonempty.all()):
+            self.starts = local_ptr[:-1].astype(np.int64)
+            self.scatter = None
+            self.reduced = None
+        else:
+            self.scatter = np.flatnonzero(nonempty).astype(np.int64)
+            self.starts = local_ptr[:-1][nonempty].astype(np.int64)
+            self.reduced = np.empty((self.scatter.size, br), dtype=np.float64)
+
+    def execute(self, bview: np.ndarray) -> None:
+        """``bview`` is the padded operand reshaped ``(n_block_cols, bc)``."""
+        if self.indices.size == 0:
+            self.segment[:] = 0.0
+            return
+        np.take(bview, self.indices, axis=0, out=self.tiles, mode="clip")
+        np.einsum("nij,nj->ni", self.data, self.tiles, out=self.prod)
+        if self.scatter is None:
+            # reprolint: disable=ABFT002 -- same per-block-row reduceat
+            # order as BsrMatrix._block_rows_matvec (the bit contract)
+            np.add.reduceat(self.prod, self.starts, axis=0, out=self.out2d)
+        else:
+            # Empty block rows keep their construction-time zeros.
+            # reprolint: disable=ABFT002 -- same reduction, scatter variant
+            np.add.reduceat(self.prod, self.starts, axis=0, out=self.reduced)
+            self.out2d[self.scatter] = self.reduced
+        self.segment[:] = self.out2d.reshape(-1)[
+            self.offset : self.offset + self.n_rows
+        ]
+
+
+class _EllShard:
+    """Buffered ELL row-slice executor (``EllMatrix.matvec_rows``)."""
+
+    __slots__ = ("segment", "indices", "data", "workspace")
+
+    def __init__(self, storage: "EllMatrix", r0: int, r1: int, segment: np.ndarray) -> None:
+        self.segment = segment
+        self.indices = storage.indices[r0:r1]
+        self.data = storage.data[r0:r1]
+        self.workspace = np.empty(self.indices.shape, dtype=np.float64)
+
+    def execute(self, b: np.ndarray) -> None:
+        if self.indices.size == 0:
+            self.segment[:] = 0.0
+            return
+        np.take(b, self.indices, out=self.workspace, mode="clip")
+        np.multiply(self.workspace, self.data, out=self.workspace)
+        # reprolint: disable=ABFT002 -- the row-wise pairwise sum over the
+        # fixed width IS the ELL summation contract (see EllMatrix.matvec)
+        np.sum(self.workspace, axis=1, out=self.segment)
+
+
 class SpmvPlan:
     """A reusable, sharded SpMV schedule for one CSR matrix.
 
@@ -122,7 +209,15 @@ class SpmvPlan:
         out: preallocated result buffer of shape ``(n_rows,)`` float64
             (e.g. a shared-memory view); allocated when ``None``.
         workspace: preallocated product scratch of shape ``(nnz,)``
-            float64; allocated when ``None``.
+            float64; allocated when ``None``.  Only meaningful for CSR
+            execution; must stay ``None`` when ``storage`` is given.
+        storage: optional non-CSR storage (:class:`~repro.sparse.bsr.BsrMatrix`
+            or :class:`~repro.sparse.ell.EllMatrix`) of the *same* logical
+            matrix; shards then execute the format's own pipeline (with
+            shard-private scratch) and results are bit-identical to that
+            format's ``matvec`` instead of CSR's.  Callers must invoke
+            :meth:`prepare_operand` before :meth:`execute_shard`
+            (``execute`` does it internally).
     """
 
     def __init__(
@@ -132,6 +227,7 @@ class SpmvPlan:
         row_cuts: Optional[np.ndarray] = None,
         out: Optional[np.ndarray] = None,
         workspace: Optional[np.ndarray] = None,
+        storage: Optional["FormatMatrix"] = None,
     ) -> None:
         from repro.perf.sharding import shard_rows
 
@@ -153,8 +249,64 @@ class SpmvPlan:
         self.matrix = matrix
         self.row_cuts = row_cuts
         self.out = self._buffer("out", out, matrix.n_rows)
-        self.workspace = self._buffer("workspace", workspace, matrix.nnz)
-        self._shards: List[_SpmvShard] = []
+        if storage is not None and getattr(storage, "format_name", "csr") == "csr":
+            storage = None
+        self.storage = storage
+        self.sparse_format: str = (
+            "csr" if storage is None else storage.format_name
+        )
+        self._padded: Optional[np.ndarray] = None
+        self._bview: Optional[np.ndarray] = None
+        self.workspace: Optional[np.ndarray] = None
+        self._shards: List[object] = []
+        if storage is None:
+            self.workspace = self._buffer("workspace", workspace, matrix.nnz)
+            self._build_csr_shards(row_cuts)
+            return
+        if workspace is not None:
+            raise ConfigurationError(
+                "workspace buffers apply to CSR execution only; "
+                f"got one with storage format {self.sparse_format!r}"
+            )
+        if storage.shape != matrix.shape:
+            raise ConfigurationError(
+                f"storage shape {storage.shape} does not match matrix "
+                f"shape {matrix.shape}"
+            )
+        if self.sparse_format == "bsr":
+            bc = storage.block_shape[1]
+            self._padded = np.zeros(
+                storage.n_block_cols * bc, dtype=np.float64
+            )
+            self._bview = self._padded.reshape(storage.n_block_cols, bc)
+            self._shards = [
+                _BsrShard(
+                    storage,
+                    int(row_cuts[i]),
+                    int(row_cuts[i + 1]),
+                    self.out[row_cuts[i] : row_cuts[i + 1]],
+                )
+                for i in range(row_cuts.size - 1)
+            ]
+        elif self.sparse_format == "ell":
+            self._shards = [
+                _EllShard(
+                    storage,
+                    int(row_cuts[i]),
+                    int(row_cuts[i + 1]),
+                    self.out[row_cuts[i] : row_cuts[i + 1]],
+                )
+                for i in range(row_cuts.size - 1)
+            ]
+        else:
+            raise ConfigurationError(
+                f"unsupported plan storage format {self.sparse_format!r}"
+            )
+
+    def _build_csr_shards(self, row_cuts: np.ndarray) -> None:
+        matrix = self.matrix
+        assert self.workspace is not None
+        self._shards = []
         indptr = matrix.indptr
         lengths = matrix.row_lengths()
         for i in range(row_cuts.size - 1):
@@ -203,7 +355,7 @@ class SpmvPlan:
 
     def execute(self, b: np.ndarray) -> np.ndarray:
         """Run all shards sequentially; overwrite and return :attr:`out`."""
-        b = self.check_operand(b)
+        b = self.prepare_operand(b)
         for i in range(len(self._shards)):
             self.execute_shard(i, b)
         return self.out
@@ -217,14 +369,31 @@ class SpmvPlan:
             )
         return b
 
+    def prepare_operand(self, b: np.ndarray) -> np.ndarray:
+        """Validate ``b`` and stage any format-level operand state.
+
+        For BSR storage this copies ``b`` into the plan's zero-padded
+        operand buffer (the tail was zeroed at construction and padding
+        never shrinks, so one copy per multiply suffices); shards then
+        only *read* it, keeping the fan-out thread-safe.  A no-op beyond
+        validation for CSR and ELL.
+        """
+        b = self.check_operand(b)
+        if self._padded is not None:
+            self._padded[: self.matrix.n_cols] = b
+        return b
+
     def execute_shard(self, i: int, b: np.ndarray) -> None:
         """Compute result rows of shard ``i`` into the shared :attr:`out`.
 
-        ``b`` must already be a float64 vector of length ``n_cols``
-        (see :meth:`check_operand`); thread-safe across distinct shards —
-        every buffer a shard touches is owned by that shard.
+        ``b`` must already have passed :meth:`prepare_operand` for this
+        multiply; thread-safe across distinct shards — every buffer a
+        shard touches is owned by that shard.
         """
         shard = self._shards[i]
+        if type(shard) is not _SpmvShard:
+            shard.execute(self._bview if self._bview is not None else b)
+            return
         ws = shard.workspace
         # mode="clip" writes the gather straight into the workspace; the
         # default mode buffers a temporary (indices are pre-validated).
@@ -263,7 +432,7 @@ class FusedShardBuffers:
         "matrix", "checksum_matrix", "partition", "weights", "block_cuts",
         "spmv", "checksum_spmv", "t2", "t2_workspace", "syndrome",
         "thresholds", "exceeded", "abs", "finite", "t2_starts",
-        "shard_rows", "shard_blocks", "kernels",
+        "shard_rows", "shard_blocks", "kernels", "storage",
     )
 
     def __init__(
@@ -274,6 +443,8 @@ class FusedShardBuffers:
         weights: np.ndarray,
         block_cuts: np.ndarray,
         alloc: Optional[BufferAllocator] = None,
+        storage: Optional["FormatMatrix"] = None,
+        kernels: Optional[KernelSet] = None,
     ) -> None:
         if alloc is None:
             alloc = _heap_alloc
@@ -284,11 +455,20 @@ class FusedShardBuffers:
         self.partition = partition
         self.weights = weights
         self.block_cuts = block_cuts
+        self.storage = storage
+        # Non-CSR storage keeps its scratch shard-private inside SpmvPlan;
+        # the flat nnz workspace is a CSR-only buffer.  The checksum
+        # multiply below always stays CSR regardless of storage.
         self.spmv = SpmvPlan(
             matrix,
             row_cuts=block_starts[block_cuts],
             out=alloc("r", (matrix.n_rows,), "float64"),
-            workspace=alloc("r_workspace", (matrix.nnz,), "float64"),
+            workspace=(
+                alloc("r_workspace", (matrix.nnz,), "float64")
+                if storage is None
+                else None
+            ),
+            storage=storage,
         )
         self.checksum_spmv = SpmvPlan(
             checksum_matrix,
@@ -303,7 +483,7 @@ class FusedShardBuffers:
         self.exceeded = alloc("exceeded", (n_blocks,), "bool")
         self.abs = np.empty(n_blocks, dtype=np.float64)
         self.finite = np.empty(n_blocks, dtype=bool)
-        self.kernels = VectorizedKernels()
+        self.kernels = kernels if kernels is not None else VectorizedKernels()
 
         # Per-shard t2 reduceat offsets (blocks never span shards).
         self.t2_starts: List[np.ndarray] = []
@@ -355,10 +535,17 @@ class FusedShardBuffers:
         self.compare_range(c0, c1)
 
     def correct_shard(self, i: int, b: np.ndarray, blocks: np.ndarray) -> ShardCorrection:
-        """Recompute + re-verify the flagged blocks owned by shard ``i``."""
+        """Recompute + re-verify the flagged blocks owned by shard ``i``.
+
+        With non-CSR storage the recompute runs the format's own kernels
+        over the format matrix, so corrected rows are bit-identical to the
+        clean planned multiply (both replay the format's partial-multiply
+        contract).
+        """
         kernels = self.kernels
+        source = self.storage if self.storage is not None else self.matrix
         rows, nnz = kernels.correct_blocks(
-            self.matrix, self.partition, b, self.spmv.out, blocks, None
+            source, self.partition, b, self.spmv.out, blocks, None
         )
         recheck = kernels.result_checksums_for_blocks(
             self.weights, self.spmv.out, self.partition, blocks
@@ -398,6 +585,22 @@ class ProtectedPlan:
         backend_options: keyword options forwarded to the backend
             factory (e.g. ``serial_cutoff``/``timeout`` for
             ``processes``).
+        sparse_format: explicit storage format for the planned multiply
+            (``"csr"``, ``"bsr"``, ``"ell"`` or ``"auto"``), overriding
+            both ``REPRO_FORMAT`` and ``AbftConfig.sparse_format``.
+            ``None`` resolves via
+            :func:`repro.sparse.formats.resolve_format_name`.  The chosen
+            format, the request that led to it and the heuristic ratios
+            are recorded in :attr:`format_choice` and emitted as a
+            ``plan.format`` telemetry span.  The ``processes`` backend
+            shares CSR buffers between processes, so it coerces any
+            non-CSR request back to CSR (recorded as the choice reason).
+            Detection always compares against the CSR-encoded checksum
+            matrix; non-CSR results agree with CSR within the scheme's
+            own rounding-error bounds (summation association differs),
+            and any correction round run by the sequential fallback
+            recomputes flagged blocks with the CSR reference kernels —
+            still within bounds, re-verified against the same thresholds.
 
     Plans over the ``processes`` backend own worker processes and a
     shared-memory segment; release them deterministically with
@@ -410,7 +613,14 @@ class ProtectedPlan:
         n_shards: int = 1,
         parallel: Optional[str] = None,
         backend_options: Optional[Dict[str, object]] = None,
+        sparse_format: Optional[str] = None,
     ) -> None:
+        from repro.sparse.formats import (
+            FormatChoice,
+            resolve_format_name,
+            select_format,
+        )
+
         if n_shards < 1:
             raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
         detector = operator.detector
@@ -434,9 +644,38 @@ class ProtectedPlan:
             explicit=parallel,
             default=default,
         )
+
+        requested = resolve_format_name(
+            getattr(operator.config, "sparse_format", None),
+            explicit=sparse_format,
+        )
+        storage: Optional["FormatMatrix"] = None
+        if requested != "csr" and self.backend_name == "processes":
+            self.format_choice = FormatChoice(
+                format="csr",
+                requested=requested,
+                reason=(
+                    "processes backend maps CSR buffers from shared "
+                    "memory; non-CSR request coerced to csr"
+                ),
+            )
+        else:
+            self.format_choice, built = select_format(
+                matrix, requested, measure=True
+            )
+            if self.format_choice.format != "csr":
+                storage = built
+        self.sparse_format = self.format_choice.format
+
         self.backend: PlanBackend = make_backend(
             self.backend_name, self, **(backend_options or {})
         )
+
+        format_kernels: Optional[KernelSet] = None
+        if storage is not None:
+            from repro.kernels.base import get_kernels
+
+            format_kernels = get_kernels("vectorized", self.sparse_format)
 
         self._fused = FusedShardBuffers(
             matrix,
@@ -445,7 +684,24 @@ class ProtectedPlan:
             detector.checksum.weights,
             self.block_cuts,
             alloc=self.backend.alloc,
+            storage=storage,
+            kernels=format_kernels,
         )
+        # Emitted only when format machinery is in play: a default-CSR
+        # plan keeps its telemetry stream byte-identical to the unplanned
+        # operator's (the telemetry-equivalence test pins this).
+        telemetry = detector.telemetry
+        if telemetry.enabled and requested != "csr":
+            choice = self.format_choice
+            with telemetry.span(
+                "plan.format",
+                format=choice.format,
+                requested=choice.requested,
+                reason=choice.reason,
+                fill_ratio=float(choice.fill_ratio),
+                padding_ratio=float(choice.padding_ratio),
+            ):
+                pass
         self.spmv = self._fused.spmv
         self.checksum_spmv = self._fused.checksum_spmv
         self._weights = self._fused.weights
@@ -522,7 +778,10 @@ class ProtectedPlan:
         telemetry = detector.telemetry
         meter = meter if meter is not None else ExecutionMeter(machine=operator.machine)
         start_seconds, start_flops = meter.snapshot()
-        b = self.spmv.check_operand(b)
+        # Staging the operand here (validation + BSR padding copy) covers
+        # both execution paths: fused shard fan-out reads the prepared
+        # buffer, the sequential path re-stages idempotently in execute().
+        b = self.spmv.prepare_operand(b)
 
         with telemetry.span("abft.multiply", rows=matrix.n_rows, nnz=matrix.nnz):
             if meter.machine is self._machine:

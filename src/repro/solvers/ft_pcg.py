@@ -73,6 +73,11 @@ class FtPcgOptions:
     preconditioner: str = "jacobi"
     max_correction_rounds: int = 8
     kernel: str = DEFAULT_KERNEL
+    #: Storage format for the planned protected multiply ("csr", "bsr",
+    #: "ell" or "auto"); None keeps the CSR default.  Resolution follows
+    #: :func:`repro.sparse.formats.resolve_format_name` (REPRO_FORMAT
+    #: overrides configured names).
+    sparse_format: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.tol <= 0:
@@ -89,6 +94,10 @@ class FtPcgOptions:
             raise ConfigurationError(
                 f"unknown kernel {self.kernel!r}; expected one of {available_kernels()}"
             )
+        if self.sparse_format is not None:
+            from repro.sparse.formats import canonical_format_name
+
+            canonical_format_name(self.sparse_format)
 
 
 @dataclass(frozen=True)
@@ -195,6 +204,7 @@ def run_pcg(
         block_size=options.block_size,
         max_correction_rounds=options.max_correction_rounds,
         kernel=options.kernel,
+        sparse_format=options.sparse_format,
     )
     if canonical in ("abft", "hybrid"):
         operator = make_scheme(

@@ -8,9 +8,30 @@ from repro.sparse.construct import add, diags, identity, shift, subtract
 from repro.sparse.coo import CooMatrix
 from repro.sparse.ell import EllMatrix
 from repro.sparse.csr import CsrMatrix
+from repro.sparse.bsr import BsrMatrix
+from repro.sparse.formats import (
+    AUTO_FORMAT,
+    BSR_BLOCK_CANDIDATES,
+    BSR_MIN_FILL,
+    BUILTIN_FORMATS,
+    DEFAULT_FORMAT,
+    ELL_MAX_PADDING,
+    FORMAT_ENV_VAR,
+    FormatChoice,
+    SparseFormat,
+    available_formats,
+    bsr_fill_ratio,
+    build_format,
+    canonical_format_name,
+    ell_padding_ratio,
+    probe_block_shape,
+    resolve_format_name,
+    select_format,
+)
 from repro.sparse.generators import (
     arrowhead_spd,
     banded_spd,
+    block_stencil_spd,
     poisson2d,
     poisson3d,
     random_spd,
@@ -49,8 +70,27 @@ __all__ = [
     "shift",
     "CsrMatrix",
     "EllMatrix",
+    "BsrMatrix",
+    "SparseFormat",
+    "FormatChoice",
+    "FORMAT_ENV_VAR",
+    "DEFAULT_FORMAT",
+    "BUILTIN_FORMATS",
+    "AUTO_FORMAT",
+    "BSR_BLOCK_CANDIDATES",
+    "BSR_MIN_FILL",
+    "ELL_MAX_PADDING",
+    "available_formats",
+    "canonical_format_name",
+    "resolve_format_name",
+    "select_format",
+    "build_format",
+    "bsr_fill_ratio",
+    "ell_padding_ratio",
+    "probe_block_shape",
     "arrowhead_spd",
     "banded_spd",
+    "block_stencil_spd",
     "poisson2d",
     "poisson3d",
     "random_spd",

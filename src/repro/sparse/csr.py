@@ -143,6 +143,9 @@ class CsrMatrix:
     # ------------------------------------------------------------------
     # Basic properties
     # ------------------------------------------------------------------
+    #: Registry / dispatch name of this storage format.
+    format_name = "csr"
+
     @property
     def nnz(self) -> int:
         """Number of stored entries."""
@@ -368,6 +371,23 @@ class CsrMatrix:
         from repro.sparse.coo import CooMatrix
 
         return CooMatrix(self.shape, self.entry_rows().copy(), self.indices.copy(), self.data.copy())
+
+    def to_csr(self) -> "CsrMatrix":
+        """Return self (completes the :class:`~repro.sparse.formats.SparseFormat`
+        protocol; CSR is its own canonical form)."""
+        return self
+
+    def to_bsr(self, block_shape):
+        """Convert to :class:`repro.sparse.bsr.BsrMatrix` at ``block_shape``."""
+        from repro.sparse.bsr import BsrMatrix
+
+        return BsrMatrix.from_csr(self, block_shape)
+
+    def to_ell(self):
+        """Convert to :class:`repro.sparse.ell.EllMatrix` (max-width padding)."""
+        from repro.sparse.ell import EllMatrix
+
+        return EllMatrix.from_csr(self)
 
     def to_dense(self) -> np.ndarray:
         """Materialize as a dense float64 array."""

@@ -3,17 +3,22 @@
 The GPU-friendly counterpart to CSR: every row stores exactly ``width``
 (column, value) slots, padding short rows, so threads across rows access
 memory with perfect coalescing.  The cost is padding waste on irregular
-matrices — quantified by :meth:`EllMatrix.padding_ratio`, and the reason
-CSR remains the paper's (and this library's) primary format.
+matrices — quantified by :meth:`EllMatrix.padding_ratio`, the number the
+plan-time format heuristics reject ELL on
+(:data:`repro.sparse.formats.ELL_MAX_PADDING`).
 
-Provided for substrate completeness and for the measured-time kernel
-benchmarks; the ABFT layer itself is format-agnostic at the math level but
-implemented against CSR.
+ELL is a first-class dispatchable format: the planned executors in
+:mod:`repro.perf.plan` and the ``("ell", ...)`` kernel sets in
+:mod:`repro.kernels.ell` run the protected multiply directly on the
+padded layout.  The summation contract is the row-wise pairwise ``sum``
+over the fixed width — it depends only on ``width``, so
+:meth:`EllMatrix.matvec_rows` reproduces any slice of
+:meth:`EllMatrix.matvec` bit for bit.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -33,7 +38,7 @@ class EllMatrix:
         mask: ``(n_rows, width)`` bool; True for real entries.
     """
 
-    __slots__ = ("shape", "indices", "data", "mask")
+    __slots__ = ("shape", "indices", "data", "mask", "_row_nnz")
 
     def __init__(
         self,
@@ -46,6 +51,7 @@ class EllMatrix:
         self.indices = np.ascontiguousarray(indices, dtype=np.int64)
         self.data = np.ascontiguousarray(data, dtype=np.float64)
         self.mask = np.ascontiguousarray(mask, dtype=bool)
+        self._row_nnz: Optional[np.ndarray] = None
         self._validate()
 
     def _validate(self) -> None:
@@ -80,12 +86,14 @@ class EllMatrix:
         indices = np.zeros((n_rows, width), dtype=np.int64)
         data = np.zeros((n_rows, width), dtype=np.float64)
         mask = np.zeros((n_rows, width), dtype=bool)
-        for row in range(n_rows):
-            lo, hi = csr.indptr[row], csr.indptr[row + 1]
-            count = hi - lo
-            indices[row, :count] = csr.indices[lo:hi]
-            data[row, :count] = csr.data[lo:hi]
-            mask[row, :count] = True
+        if csr.nnz:
+            rows = csr.entry_rows()
+            slots = np.arange(csr.nnz, dtype=np.int64) - np.repeat(
+                csr.indptr[:-1], lengths
+            )
+            indices[rows, slots] = csr.indices
+            data[rows, slots] = csr.data
+            mask[rows, slots] = True
         return cls(csr.shape, indices, data, mask)
 
     def to_csr(self) -> CsrMatrix:
@@ -98,6 +106,9 @@ class EllMatrix:
     # ------------------------------------------------------------------
     # Properties
     # ------------------------------------------------------------------
+    #: Registry / dispatch name of this storage format.
+    format_name = "ell"
+
     @property
     def width(self) -> int:
         """Stored slots per row (the maximum row length of the source)."""
@@ -114,19 +125,104 @@ class EllMatrix:
         slots = self.mask.size
         return 1.0 - self.nnz / slots if slots else 0.0
 
+    def row_nnz(self) -> np.ndarray:
+        """Real entries per row (cached; read-only)."""
+        if self._row_nnz is None:
+            counts = self.mask.sum(axis=1).astype(np.int64)
+            counts.flags.writeable = False
+            self._row_nnz = counts
+        return self._row_nnz
+
+    def nnz_in_rows(self, row_start: int, row_stop: int) -> int:
+        """Real-entry count of the row range ``[row_start, row_stop)``."""
+        row_start, row_stop = self._check_row_range(row_start, row_stop)
+        return int(self.row_nnz()[row_start:row_stop].sum())
+
+    def _check_row_range(self, row_start: int, row_stop: int) -> Tuple[int, int]:
+        row_start, row_stop = int(row_start), int(row_stop)
+        if not (0 <= row_start <= row_stop <= self.shape[0]):
+            raise ShapeMismatchError(
+                f"row range [{row_start}, {row_stop}) invalid for {self.shape[0]} rows"
+            )
+        return row_start, row_stop
+
     # ------------------------------------------------------------------
     # Kernels
     # ------------------------------------------------------------------
-    def matvec(self, b: np.ndarray) -> np.ndarray:
-        """SpMV; padded slots contribute exactly zero."""
+    def matvec(
+        self,
+        b: np.ndarray,
+        out: Optional[np.ndarray] = None,
+        workspace: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """SpMV; padded slots contribute exactly zero.
+
+        ``out`` (float64, length ``n_rows``) and ``workspace`` (float64,
+        shape ``(n_rows, width)``) let planned callers reuse buffers; the
+        buffered path is bit-identical to the allocating one (elementwise
+        multiply commutes; the row-wise pairwise sum depends only on
+        ``width``).
+        """
         b = np.asarray(b, dtype=np.float64)
         if b.shape != (self.shape[1],):
             raise ShapeMismatchError(
                 f"operand has shape {b.shape}, expected ({self.shape[1]},)"
             )
         if self.indices.size == 0:
-            return np.zeros(self.shape[0])
-        return (self.data * b[self.indices]).sum(axis=1)
+            if out is None:
+                return np.zeros(self.shape[0])
+            out[:] = 0.0
+            return out
+        if workspace is None:
+            products = self.data * b[self.indices]
+        else:
+            # mode="clip": gather in place (indices are validated in-range
+            # at construction, so clipping never fires).
+            np.take(b, self.indices, out=workspace, mode="clip")
+            np.multiply(workspace, self.data, out=workspace)
+            products = workspace
+        if out is None:
+            return products.sum(axis=1)
+        return np.sum(products, axis=1, out=out)
+
+    def matvec_rows(
+        self,
+        row_start: int,
+        row_stop: int,
+        b: np.ndarray,
+        out: Optional[np.ndarray] = None,
+        workspace: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Partial SpMV over rows ``[row_start, row_stop)``.
+
+        Bit-identical, row for row, to the corresponding slice of
+        :meth:`matvec`: each row's pairwise reduction depends only on the
+        fixed ``width``, not on which rows are computed.
+        """
+        row_start, row_stop = self._check_row_range(row_start, row_stop)
+        b = np.asarray(b, dtype=np.float64)
+        if b.shape != (self.shape[1],):
+            raise ShapeMismatchError(
+                f"operand has shape {b.shape}, expected ({self.shape[1]},)"
+            )
+        n_local = row_stop - row_start
+        if self.indices.size == 0 or n_local == 0:
+            if out is None:
+                return np.zeros(n_local)
+            out[:] = 0.0
+            return out
+        indices = self.indices[row_start:row_stop]
+        data = self.data[row_start:row_stop]
+        if workspace is None:
+            products = data * b[indices]
+        else:
+            view = workspace[:n_local]
+            np.take(b, indices, out=view, mode="clip")
+            np.multiply(view, data, out=view)
+            products = view
+        if out is None:
+            return products.sum(axis=1)
+        return np.sum(products, axis=1, out=out)
 
     def __matmul__(self, b: np.ndarray) -> np.ndarray:
         return self.matvec(b)

@@ -1,0 +1,394 @@
+"""Sparse-format registry, selection heuristics and the dispatch protocol.
+
+The kernel engine executes planned SpMVs against one of three storage
+formats — ``"csr"`` (the paper's baseline and the library default),
+``"bsr"`` (dense tiles; wins on block-structured matrices) and ``"ell"``
+(fixed-width padded rows; wins on very regular row lengths) — plus the
+pseudo-format ``"auto"`` which picks one at plan time from structural
+heuristics with an optional measured fallback to CSR.
+
+Selection order mirrors the kernel registry (first match wins):
+
+1. an explicit ``sparse_format=`` argument to
+   :meth:`repro.core.FaultTolerantSpMV.planned` or
+   :class:`repro.perf.ProtectedPlan` — never overridden;
+2. the :data:`FORMAT_ENV_VAR` environment variable (``REPRO_FORMAT``),
+   which overrides any *configured* name process-wide;
+3. ``AbftConfig.sparse_format``;
+4. :data:`DEFAULT_FORMAT` (``"csr"`` — historic behavior: existing
+   callers see bit-identical results until they opt in).
+
+Auto-selection heuristics (each threshold is part of the documented
+contract, tested in ``tests/sparse/test_formats.py``):
+
+* BSR is chosen when some candidate tile edge in
+  :data:`BSR_BLOCK_CANDIDATES` reaches a fill ratio of at least
+  :data:`BSR_MIN_FILL` — below that, fill-slot arithmetic burns the tile
+  pipeline's advantage (measured crossover on the benchmark hardware).
+  Tile edges below 8 never pay for the gather/einsum overhead on the
+  measured NumPy pipeline, which is why smaller candidates are not
+  probed.
+* ELL is chosen only when BSR was rejected *and* the padding ratio is at
+  most :data:`ELL_MAX_PADDING`; above the threshold the padded slots
+  (computed, then discarded) cost more than CSR's segment reduction.
+* Everything else falls back to CSR.  With ``measure=True`` a BSR/ELL
+  candidate must additionally beat a timed CSR probe by
+  :data:`MEASURED_MIN_GAIN`; the measured fallback protects against
+  matrices that satisfy the structural heuristics but lose on the
+  actual pipeline.
+
+Every decision is recorded as a :class:`FormatChoice` (format, reason,
+fill/padding ratios) which planned executors attach to the plan and emit
+as ``plan.format`` telemetry.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Optional, Protocol, Tuple, Union, runtime_checkable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sparse.bsr import BsrMatrix
+from repro.sparse.csr import CsrMatrix
+from repro.sparse.ell import EllMatrix
+
+#: Environment variable that overrides the configured sparse format.
+FORMAT_ENV_VAR = "REPRO_FORMAT"
+
+#: Format used when neither a name nor the environment selects one.
+DEFAULT_FORMAT = "csr"
+
+#: Storage formats that ship with the library.
+BUILTIN_FORMATS = ("csr", "bsr", "ell")
+
+#: Pseudo-format: pick a storage format at plan time from the heuristics.
+AUTO_FORMAT = "auto"
+
+#: Names accepted by the format selector.
+FORMAT_NAMES = BUILTIN_FORMATS + (AUTO_FORMAT,)
+
+#: Tile edges probed by auto-selection.  Edges below 8 never recover the
+#: gather/einsum overhead of the tile pipeline on the measured hardware
+#: (a 4x4-tile FEM matrix runs ~0.8x CSR), so they are not candidates.
+BSR_BLOCK_CANDIDATES = (8, 16)
+
+#: Minimum BSR fill ratio for auto-selection.  Fill slots are computed
+#: and discarded, so effective arithmetic scales with 1/fill; below ~0.85
+#: the tile pipeline's win on block-structured matrices evaporates.
+BSR_MIN_FILL = 0.85
+
+#: Maximum ELL padding ratio for auto-selection; above it the padded
+#: (computed, discarded) slots cost more than CSR's segment reduction.
+ELL_MAX_PADDING = 0.25
+
+#: Measured fallback: a candidate format must beat the timed CSR probe
+#: by this factor, or auto-selection falls back to CSR.
+MEASURED_MIN_GAIN = 1.05
+
+#: Matrices below this nnz skip the timed probe (measurement noise would
+#: dominate; the structural heuristics decide alone).
+MEASURE_MIN_NNZ = 200_000
+
+
+@runtime_checkable
+class SparseFormat(Protocol):
+    """Structural protocol every dispatchable storage format satisfies.
+
+    :class:`~repro.sparse.csr.CsrMatrix`,
+    :class:`~repro.sparse.bsr.BsrMatrix` and
+    :class:`~repro.sparse.ell.EllMatrix` all implement it; the planned
+    executors and the (format × impl) kernel sets program against this
+    surface only.
+    """
+
+    format_name: str
+    shape: Tuple[int, int]
+
+    @property
+    def nnz(self) -> int: ...
+
+    def matvec(self, b: np.ndarray) -> np.ndarray: ...
+
+    def matvec_rows(
+        self, row_start: int, row_stop: int, b: np.ndarray
+    ) -> np.ndarray: ...
+
+    def nnz_in_rows(self, row_start: int, row_stop: int) -> int: ...
+
+    def to_csr(self) -> CsrMatrix: ...
+
+
+FormatMatrix = Union[CsrMatrix, BsrMatrix, EllMatrix]
+
+
+@dataclass(frozen=True)
+class FormatChoice:
+    """One plan-time format decision, with its evidence.
+
+    Attributes:
+        format: the storage format the plan executes (``csr``/``bsr``/``ell``).
+        requested: what the caller asked for (may be ``"auto"``).
+        reason: one-line human-readable justification.
+        fill_ratio: BSR fill ratio at ``block_shape`` (NaN when not probed).
+        padding_ratio: ELL padding ratio (NaN when not probed).
+        block_shape: tile shape used/probed for BSR, or None.
+        measured_gain: timed speedup of the chosen format over CSR when
+            the measured fallback ran (NaN otherwise).
+    """
+
+    format: str
+    requested: str
+    reason: str
+    fill_ratio: float = float("nan")
+    padding_ratio: float = float("nan")
+    block_shape: Optional[Tuple[int, int]] = None
+    measured_gain: float = float("nan")
+
+
+def canonical_format_name(name: object) -> str:
+    """Validate a format selection, returning its canonical name.
+
+    Accepts the builtin storage formats plus ``"auto"``; anything else
+    raises :class:`~repro.errors.ConfigurationError`.
+    """
+    if not isinstance(name, str):
+        raise ConfigurationError(
+            f"sparse format must be a name, got {type(name).__name__}"
+        )
+    canonical = name.strip().lower()
+    if canonical not in FORMAT_NAMES:
+        raise ConfigurationError(
+            f"unknown sparse format {name!r}; expected one of {FORMAT_NAMES}"
+        )
+    return canonical
+
+
+def available_formats() -> Tuple[str, ...]:
+    """Selectable format names, sorted (storage formats plus ``auto``)."""
+    return tuple(sorted(FORMAT_NAMES))
+
+
+def resolve_format_name(
+    configured: Optional[str] = None,
+    explicit: Optional[str] = None,
+    default: str = DEFAULT_FORMAT,
+) -> str:
+    """Resolve a format selection to a canonical name (maybe ``"auto"``).
+
+    ``explicit`` (a programmatic argument) beats everything; the
+    :data:`FORMAT_ENV_VAR` environment variable beats the ``configured``
+    name (usually ``AbftConfig.sparse_format``); ``default`` applies last.
+    """
+    if explicit is not None:
+        return canonical_format_name(explicit)
+    env = os.environ.get(FORMAT_ENV_VAR)
+    if env:
+        return canonical_format_name(env)
+    if configured is not None:
+        return canonical_format_name(configured)
+    return canonical_format_name(default)
+
+
+# ----------------------------------------------------------------------
+# Structural probes
+# ----------------------------------------------------------------------
+def bsr_fill_ratio(csr: CsrMatrix, block_shape: Union[int, Tuple[int, int]]) -> float:
+    """Fill ratio a BSR conversion at ``block_shape`` would achieve.
+
+    Computed from the sparsity pattern alone — O(nnz) with one sort, no
+    tile materialization — so plan-time probing stays cheap.
+    """
+    if isinstance(block_shape, int):
+        br, bc = block_shape, block_shape
+    else:
+        br, bc = int(block_shape[0]), int(block_shape[1])
+    if csr.nnz == 0:
+        return 0.0
+    brow = csr.entry_rows() // br
+    bcol = csr.indices // bc
+    n_block_cols = max(-(-csr.n_cols // bc), 1)
+    n_tiles = np.unique(brow * n_block_cols + bcol).size
+    return csr.nnz / (n_tiles * br * bc)
+
+
+def ell_padding_ratio(csr: CsrMatrix) -> float:
+    """Padding ratio an ELL conversion would have (0 = perfectly regular)."""
+    width = int(csr.row_lengths().max(initial=0))
+    slots = csr.n_rows * width
+    return 1.0 - csr.nnz / slots if slots else 0.0
+
+
+def probe_block_shape(
+    csr: CsrMatrix,
+    candidates: Tuple[int, ...] = BSR_BLOCK_CANDIDATES,
+) -> Tuple[Tuple[int, int], float]:
+    """Best square tile shape among ``candidates`` by fill ratio.
+
+    Ties break toward the larger edge (fewer, larger tiles amortize the
+    pipeline's per-tile overhead better).
+    """
+    best_shape: Tuple[int, int] = (candidates[0], candidates[0])
+    best_fill = -1.0
+    for edge in candidates:
+        fill = bsr_fill_ratio(csr, edge)
+        if fill >= best_fill:
+            best_fill = fill
+            best_shape = (edge, edge)
+    return best_shape, max(best_fill, 0.0)
+
+
+def _measured_gain(csr: CsrMatrix, candidate: FormatMatrix, repeats: int = 3) -> float:
+    """Timed speedup of ``candidate.matvec`` over ``csr.matvec`` (best-of)."""
+    b = np.linspace(-1.0, 1.0, num=csr.n_cols)
+    best_csr = best_fmt = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        csr.matvec(b)
+        best_csr = min(best_csr, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        candidate.matvec(b)
+        best_fmt = min(best_fmt, time.perf_counter() - t0)
+    return best_csr / best_fmt if best_fmt > 0 else float("inf")
+
+
+# ----------------------------------------------------------------------
+# Selection + construction
+# ----------------------------------------------------------------------
+def build_format(
+    csr: CsrMatrix,
+    sparse_format: str,
+    block_shape: Optional[Union[int, Tuple[int, int]]] = None,
+) -> FormatMatrix:
+    """Materialize ``csr`` in a concrete storage format.
+
+    ``block_shape`` applies to BSR only; None probes the candidates and
+    takes the densest.  Unknown names raise
+    :class:`~repro.errors.ConfigurationError`.
+    """
+    name = canonical_format_name(sparse_format)
+    if name == "csr":
+        return csr
+    if name == "bsr":
+        if block_shape is None:
+            block_shape, _ = probe_block_shape(csr)
+        return BsrMatrix.from_csr(csr, block_shape)
+    if name == "ell":
+        return EllMatrix.from_csr(csr)
+    raise ConfigurationError(
+        f"{AUTO_FORMAT!r} is not a storage format; resolve it through "
+        f"select_format() first"
+    )
+
+
+def select_format(
+    csr: CsrMatrix,
+    requested: str,
+    measure: bool = False,
+) -> Tuple[FormatChoice, FormatMatrix]:
+    """Resolve ``requested`` to a concrete storage matrix plus the evidence.
+
+    Explicit names are honored as-is (probing only to pick BSR's tile
+    shape); ``"auto"`` applies the documented heuristics, optionally
+    backed by the measured CSR fallback (``measure=True``; skipped below
+    :data:`MEASURE_MIN_NNZ` nnz where timing noise dominates).
+    """
+    requested = canonical_format_name(requested)
+
+    if requested == "csr":
+        return FormatChoice("csr", requested, "requested explicitly"), csr
+
+    if requested == "bsr":
+        block_shape, fill = probe_block_shape(csr)
+        matrix = BsrMatrix.from_csr(csr, block_shape)
+        choice = FormatChoice(
+            "bsr", requested, "requested explicitly",
+            fill_ratio=fill, block_shape=block_shape,
+        )
+        return choice, matrix
+
+    if requested == "ell":
+        matrix = EllMatrix.from_csr(csr)
+        choice = FormatChoice(
+            "ell", requested, "requested explicitly",
+            padding_ratio=matrix.padding_ratio,
+        )
+        return choice, matrix
+
+    # --- auto ---------------------------------------------------------
+    block_shape, fill = probe_block_shape(csr)
+    padding = ell_padding_ratio(csr)
+    measurable = measure and csr.nnz >= MEASURE_MIN_NNZ
+
+    if fill >= BSR_MIN_FILL:
+        matrix = BsrMatrix.from_csr(csr, block_shape)
+        if measurable:
+            gain = _measured_gain(csr, matrix)
+            if gain >= MEASURED_MIN_GAIN:
+                choice = FormatChoice(
+                    "bsr", requested,
+                    f"fill {fill:.2f} >= {BSR_MIN_FILL} at "
+                    f"{block_shape[0]}x{block_shape[1]} tiles; measured "
+                    f"{gain:.2f}x >= {MEASURED_MIN_GAIN}x over CSR",
+                    fill_ratio=fill, padding_ratio=padding,
+                    block_shape=block_shape, measured_gain=gain,
+                )
+                return choice, matrix
+            choice = FormatChoice(
+                "csr", requested,
+                f"measured fallback: BSR at {block_shape[0]}x{block_shape[1]} "
+                f"tiles reached only {gain:.2f}x < {MEASURED_MIN_GAIN}x over CSR",
+                fill_ratio=fill, padding_ratio=padding,
+                block_shape=block_shape, measured_gain=gain,
+            )
+            return choice, csr
+        choice = FormatChoice(
+            "bsr", requested,
+            f"fill {fill:.2f} >= {BSR_MIN_FILL} at "
+            f"{block_shape[0]}x{block_shape[1]} tiles",
+            fill_ratio=fill, padding_ratio=padding, block_shape=block_shape,
+        )
+        return choice, matrix
+
+    if padding <= ELL_MAX_PADDING and csr.nnz > 0:
+        matrix = EllMatrix.from_csr(csr)
+        if measurable:
+            gain = _measured_gain(csr, matrix)
+            if gain >= MEASURED_MIN_GAIN:
+                choice = FormatChoice(
+                    "ell", requested,
+                    f"padding {padding:.2f} <= {ELL_MAX_PADDING}; measured "
+                    f"{gain:.2f}x >= {MEASURED_MIN_GAIN}x over CSR",
+                    fill_ratio=fill, padding_ratio=padding, measured_gain=gain,
+                )
+                return choice, matrix
+            choice = FormatChoice(
+                "csr", requested,
+                f"measured fallback: ELL reached only {gain:.2f}x "
+                f"< {MEASURED_MIN_GAIN}x over CSR",
+                fill_ratio=fill, padding_ratio=padding, measured_gain=gain,
+            )
+            return choice, csr
+        choice = FormatChoice(
+            "ell", requested,
+            f"padding {padding:.2f} <= {ELL_MAX_PADDING}",
+            fill_ratio=fill, padding_ratio=padding,
+        )
+        return choice, matrix
+
+    reason = (
+        f"fill {fill:.2f} < {BSR_MIN_FILL} and padding {padding:.2f} "
+        f"> {ELL_MAX_PADDING}; CSR is the safe default"
+        if csr.nnz
+        else "empty matrix; CSR is the safe default"
+    )
+    return (
+        FormatChoice(
+            "csr", requested, reason,
+            fill_ratio=fill, padding_ratio=padding, block_shape=block_shape,
+        ),
+        csr,
+    )

@@ -9,3 +9,9 @@ def make_detector(matrix, kind="block"):  # MARK:ABFT006
 
 def pick_scheme(matrix, scheme: str = "abft"):  # MARK:ABFT006
     return {"abft": matrix, "dense": None}.get(scheme)
+
+
+def stage_matrix(matrix, sparse_format="csr"):  # MARK:ABFT006
+    if sparse_format == "bsr":
+        return ("bsr", matrix)
+    return ("csr", matrix)  # unknown names silently fall through to CSR

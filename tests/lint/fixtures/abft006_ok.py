@@ -1,6 +1,7 @@
 """Fixture: selector parameters with a validation-error path."""
 
 from repro.core import make_bound
+from repro.sparse import canonical_format_name
 
 
 def make_detector(matrix, kind="block"):
@@ -11,6 +12,11 @@ def make_detector(matrix, kind="block"):
 
 def delegated(checksum, kind="sparse"):
     return make_bound(kind, checksum)
+
+
+def stage_matrix(matrix, sparse_format="csr"):
+    name = canonical_format_name(sparse_format)
+    return (name, matrix)
 
 
 def _private_helper(matrix, kind="block"):

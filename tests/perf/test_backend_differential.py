@@ -120,6 +120,10 @@ def _plan(corpus, backend, **config_kwargs):
         n_shards=N_SHARDS,
         parallel=backend,
         backend_options={"serial_cutoff": 0} if backend == "processes" else None,
+        # The golden snapshots are CSR products; pin the format so a
+        # REPRO_FORMAT override can't diverge the serial/threads legs from
+        # the processes leg (which always coerces to CSR).
+        sparse_format="csr",
     )
 
 

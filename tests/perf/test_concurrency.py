@@ -119,7 +119,9 @@ def test_planned_multiply_identical_across_worker_counts(matrix, b):
             matrix, config=AbftConfig(block_size=BLOCK, kernel="parallel")
         )
         op.detector.kernels = _sharded(n_workers)
-        planned = op.planned().multiply(b)
+        # Bit-identity with the unplanned reference is the CSR contract;
+        # pin it against REPRO_FORMAT overrides.
+        planned = op.planned(sparse_format="csr").multiply(b)
         np.testing.assert_array_equal(planned.value, reference.value)
         assert planned.detected == reference.detected
         assert planned.seconds == reference.seconds
@@ -142,7 +144,7 @@ def test_shared_telemetry_counts_every_multiply_exactly_once(matrix, b):
     def run(op):
         try:
             barrier.wait()
-            plan = op.planned()
+            plan = op.planned(sparse_format="csr")
             for _ in range(repeats):
                 value = plan.multiply(b).value
                 np.testing.assert_array_equal(value, matrix.matvec(b))
@@ -179,7 +181,7 @@ def test_threaded_plan_shard_spans_report_owner(matrix, b):
     op.detector.kernels = op.telemetry.wrap_kernels(_sharded(3))
     # Pin the backend under test: this asserts *thread* span semantics,
     # which a REPRO_PARALLEL override must not redirect.
-    plan = ProtectedPlan(op, n_shards=3, parallel="threads")
+    plan = ProtectedPlan(op, n_shards=3, parallel="threads", sparse_format="csr")
     assert plan.spmv.n_shards == 3
     plan.multiply(b)
     shard_spans = [

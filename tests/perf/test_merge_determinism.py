@@ -46,6 +46,10 @@ def _campaign(n_shards, parallel, n_multiplies=3, crash_after=None):
         n_shards=n_shards,
         parallel=parallel,
         backend_options={"serial_cutoff": 0} if parallel == "processes" else None,
+        # Cross-backend determinism is asserted on the CSR shard pipeline;
+        # pin it against REPRO_FORMAT overrides (the processes backend
+        # would coerce to CSR anyway, skewing the comparison).
+        sparse_format="csr",
     )
     b = np.random.default_rng(123).standard_normal(N)
     with plan:

@@ -139,7 +139,10 @@ def _assert_results_identical(planned, unplanned):
 def test_clean_multiply_bit_identical(matrix, b, kernel):
     config = AbftConfig(block_size=BLOCK, kernel=kernel)
     op = FaultTolerantSpMV(matrix, config=config)
-    plan = op.planned()
+    # Bit-identity with the unplanned operator is the *CSR* contract;
+    # pin it so a REPRO_FORMAT override doesn't change the storage under
+    # test (format coverage lives in test_format_plan.py).
+    plan = op.planned(sparse_format="csr")
     planned = plan.multiply(b)
     value = planned.value.copy()
     unplanned = op.multiply(b)
@@ -151,7 +154,7 @@ def test_clean_multiply_bit_identical(matrix, b, kernel):
 def test_tampered_multiply_bit_identical(matrix, b, kernel):
     config = AbftConfig(block_size=BLOCK, kernel=kernel)
     op = FaultTolerantSpMV(matrix, config=config)
-    plan = op.planned()
+    plan = op.planned(sparse_format="csr")
 
     def mutate(d):
         d[0] += 1.0
@@ -174,7 +177,7 @@ def test_persistent_tamper_exhausts_identically(matrix, b):
     round budget and report exhaustion with identical history."""
     config = AbftConfig(block_size=BLOCK, max_correction_rounds=3)
     op = FaultTolerantSpMV(matrix, config=config)
-    plan = op.planned()
+    plan = op.planned(sparse_format="csr")
 
     def persistent(stage, data, work):
         if stage in ("result", "corrected"):
@@ -203,7 +206,7 @@ def test_plan_without_beta_coefficients_matches(matrix, b):
     op = FaultTolerantSpMV(matrix, block_size=BLOCK)
     reference = op.multiply(b)
     op.detector.bound = _OpaqueBound(op.detector.bound)
-    plan = ProtectedPlan(op)
+    plan = ProtectedPlan(op, sparse_format="csr")
     assert plan._beta_coefficients is None
     planned = plan.multiply(b)
     np.testing.assert_array_equal(planned.value, reference.value)
@@ -212,7 +215,7 @@ def test_plan_without_beta_coefficients_matches(matrix, b):
 
 def test_result_value_is_the_plan_buffer(matrix, b):
     op = FaultTolerantSpMV(matrix, block_size=BLOCK)
-    plan = op.planned()
+    plan = op.planned(sparse_format="csr")
     first = plan.multiply(b).value
     second = plan.multiply(2.0 * b).value
     assert first is second  # documented buffer reuse
@@ -261,7 +264,7 @@ def test_threaded_clean_multiply_matches_sequential(matrix, b):
         matrix, config=AbftConfig(block_size=BLOCK, kernel="vectorized")
     ).multiply(b)
     op = parallel_operator(n_workers=3)
-    plan = op.planned()
+    plan = op.planned(sparse_format="csr")
     assert plan.spmv.n_shards > 1  # the fused path is actually exercised
     for _ in range(3):
         planned = plan.multiply(b)
@@ -281,7 +284,7 @@ def test_threaded_correction_matches_sequential(matrix, b):
     ).multiply(b)
     assert reference.exhausted  # the scenario really does flag blocks
     op = parallel_operator(n_workers=3, **{k: v for k, v in scaled.items() if k != "block_size"})
-    plan = op.planned()
+    plan = op.planned(sparse_format="csr")
     assert plan.spmv.n_shards > 1
     planned = plan.multiply(b)
     _assert_results_identical(planned, reference)
@@ -318,7 +321,7 @@ def test_plan_telemetry_stream_matches_operator(matrix, b):
     tel_plan = Telemetry(exporter=InMemoryExporter())
     op = FaultTolerantSpMV(matrix, config=config, telemetry=tel_op)
     planned_op = FaultTolerantSpMV(matrix, config=config, telemetry=tel_plan)
-    plan = planned_op.planned()
+    plan = planned_op.planned(sparse_format="csr")
     for _ in range(3):
         op.multiply(b)
         plan.multiply(b)

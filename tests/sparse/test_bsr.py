@@ -1,0 +1,167 @@
+"""Unit tests for the BSR format."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeMismatchError, SparseFormatError
+from repro.sparse import CooMatrix, block_stencil_spd, random_spd
+from repro.sparse.bsr import BsrMatrix
+
+
+@pytest.fixture
+def csr():
+    return random_spd(70, 600, seed=417)
+
+
+# ----------------------------------------------------------------------
+# Round trips
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("block_shape", [1, 2, 3, 8, (2, 3), (7, 5)])
+def test_round_trip_csr_bsr_csr(csr, block_shape):
+    bsr = BsrMatrix.from_csr(csr, block_shape)
+    assert bsr.to_csr() == csr
+    assert bsr.nnz == csr.nnz
+
+
+def test_round_trip_non_divisible_edges():
+    # 70 rows with 16x16 tiles: the last block row/column is ragged.
+    csr = random_spd(70, 600, seed=3)
+    bsr = BsrMatrix.from_csr(csr, 16)
+    assert bsr.n_block_rows == 5 and bsr.n_block_cols == 5
+    assert bsr.to_csr() == csr
+
+
+def test_explicit_zero_survives_round_trip():
+    coo = CooMatrix.from_entries((6, 6), [(0, 1, 0.0), (2, 3, 5.0)])
+    csr = coo.to_csr()
+    bsr = BsrMatrix.from_csr(csr, 4)
+    assert bsr.nnz == 2  # the explicit zero is a real (masked) entry
+    assert bsr.to_csr() == csr
+
+
+def test_from_coo_sums_duplicates():
+    coo = CooMatrix(
+        (4, 4),
+        np.array([1, 1, 2]),
+        np.array([2, 2, 0]),
+        np.array([1.5, 2.5, -1.0]),
+    )
+    bsr = BsrMatrix.from_coo(coo, 2)
+    assert bsr.to_csr() == coo.to_csr()
+    assert bsr.nnz == 2
+
+
+def test_to_dense_matches_csr(csr):
+    bsr = BsrMatrix.from_csr(csr, 8)
+    np.testing.assert_array_equal(bsr.to_dense(), csr.to_dense())
+
+
+# ----------------------------------------------------------------------
+# Kernels
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("block_shape", [1, 4, 16, (3, 5)])
+def test_matvec_matches_csr(csr, block_shape):
+    bsr = BsrMatrix.from_csr(csr, block_shape)
+    b = np.random.default_rng(0).standard_normal(csr.n_cols)
+    np.testing.assert_allclose(bsr.matvec(b), csr.matvec(b), rtol=1e-12)
+    np.testing.assert_allclose(bsr @ b, csr @ b, rtol=1e-12)
+
+
+@pytest.mark.parametrize("row_range", [(0, 70), (0, 1), (5, 29), (63, 70), (16, 16)])
+def test_matvec_rows_bit_identical_to_full(csr, row_range):
+    """Partial recomputation is the correction kernel; it must reproduce
+    the full multiply's bits row for row, even across tile boundaries."""
+    bsr = BsrMatrix.from_csr(csr, 8)
+    b = np.random.default_rng(1).standard_normal(csr.n_cols)
+    full = bsr.matvec(b)
+    start, stop = row_range
+    np.testing.assert_array_equal(bsr.matvec_rows(start, stop, b), full[start:stop])
+
+
+def test_matvec_rows_rejects_bad_range(csr):
+    bsr = BsrMatrix.from_csr(csr, 8)
+    b = np.zeros(csr.n_cols)
+    with pytest.raises(ShapeMismatchError):
+        bsr.matvec_rows(5, 3, b)
+    with pytest.raises(ShapeMismatchError):
+        bsr.matvec_rows(0, csr.n_rows + 1, b)
+
+
+def test_padded_operand_buffer_reuse(csr):
+    bsr = BsrMatrix.from_csr(csr, 16)
+    b = np.random.default_rng(2).standard_normal(csr.n_cols)
+    out = np.zeros(bsr.n_block_cols * bsr.block_shape[1])
+    returned = bsr.padded_operand(b, out=out)
+    assert returned is out
+    np.testing.assert_array_equal(out[: csr.n_cols], b)
+    assert not out[csr.n_cols :].any()
+    with pytest.raises(ShapeMismatchError):
+        bsr.padded_operand(np.zeros(csr.n_cols + 1))
+
+
+def test_matvec_out_buffer(csr):
+    bsr = BsrMatrix.from_csr(csr, 8)
+    b = np.random.default_rng(3).standard_normal(csr.n_cols)
+    out = np.empty(csr.n_rows)
+    returned = bsr.matvec(b, out=out)
+    assert returned is out
+    np.testing.assert_array_equal(out, bsr.matvec(b))
+
+
+# ----------------------------------------------------------------------
+# Accounting
+# ----------------------------------------------------------------------
+def test_fill_ratio_is_exact_on_block_structured_matrix():
+    csr = block_stencil_spd(36, 8, seed=5)
+    bsr = BsrMatrix.from_csr(csr, 8)
+    assert bsr.fill_ratio == 1.0
+
+
+def test_fill_ratio_low_on_diagonal():
+    diag = CooMatrix.from_dense(np.eye(16)).to_csr()
+    bsr = BsrMatrix.from_csr(diag, 8)
+    # Two 8x8 tiles hold 8 real entries each: fill = 8/64.
+    assert bsr.fill_ratio == pytest.approx(8 / 64)
+
+
+def test_row_nnz_accounting(csr):
+    bsr = BsrMatrix.from_csr(csr, 8)
+    np.testing.assert_array_equal(bsr.row_nnz(), csr.row_lengths())
+    assert bsr.nnz_in_rows(0, csr.n_rows) == csr.nnz
+    assert bsr.nnz_in_rows(10, 20) == int(csr.row_lengths()[10:20].sum())
+
+
+def test_empty_matrix():
+    csr = CooMatrix.from_entries((9, 9), []).to_csr()
+    bsr = BsrMatrix.from_csr(csr, 4)
+    assert bsr.n_tiles == 0 and bsr.nnz == 0 and bsr.fill_ratio == 0.0
+    np.testing.assert_array_equal(bsr.matvec(np.ones(9)), np.zeros(9))
+    assert bsr.to_csr() == csr
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+def test_rejects_bad_block_shape():
+    with pytest.raises(SparseFormatError, match="block shape"):
+        BsrMatrix((4, 4), 0, np.zeros(5, dtype=np.int64), np.empty(0, dtype=np.int64),
+                  np.empty((0, 1, 1)))
+
+
+def test_rejects_inconsistent_indptr():
+    with pytest.raises(SparseFormatError, match="indptr"):
+        BsrMatrix((4, 4), 2, np.array([0, 1]), np.empty(0, dtype=np.int64),
+                  np.empty((0, 2, 2)))
+
+
+def test_rejects_nonzero_fill_slot():
+    data = np.ones((1, 2, 2))
+    mask = np.zeros((1, 2, 2), dtype=bool)
+    mask[0, 0, 0] = True
+    with pytest.raises(SparseFormatError, match="fill slots"):
+        BsrMatrix((2, 2), 2, np.array([0, 1]), np.array([0]), data, mask)
+
+
+def test_rejects_block_column_out_of_range():
+    with pytest.raises(SparseFormatError, match="block-column"):
+        BsrMatrix((2, 2), 2, np.array([0, 1]), np.array([3]), np.ones((1, 2, 2)))
