@@ -35,6 +35,21 @@ from repro.core.detector import (
     DetectionReport,
     NearMiss,
     NearMissHook,
+    ReportHook,
+)
+from repro.core.dtypes import (
+    BUILTIN_DTYPES,
+    DEFAULT_DTYPE,
+    DTYPE_ENV_VAR,
+    DtypePolicy,
+    available_dtypes,
+    canonical_dtype_name,
+    coerce_array,
+    get_dtype_policy,
+    register_dtype_policy,
+    resolve_dtype_name,
+    resolve_dtype_policy,
+    unregister_dtype_policy,
 )
 from repro.core.multivector import ProtectedSpMM, SpmmResult
 from repro.core.triangular import ProtectedTriangularSolve, TriangularSolveResult
@@ -68,6 +83,19 @@ __all__ = [
     "DetectionReport",
     "NearMiss",
     "NearMissHook",
+    "ReportHook",
+    "BUILTIN_DTYPES",
+    "DEFAULT_DTYPE",
+    "DTYPE_ENV_VAR",
+    "DtypePolicy",
+    "available_dtypes",
+    "canonical_dtype_name",
+    "coerce_array",
+    "get_dtype_policy",
+    "register_dtype_policy",
+    "resolve_dtype_name",
+    "resolve_dtype_policy",
+    "unregister_dtype_policy",
     "CorrectionOutcome",
     "TamperHook",
     "correct_blocks",

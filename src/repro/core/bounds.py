@@ -36,6 +36,7 @@ import numpy as np
 from repro.core.checksum import ChecksumMatrix
 from repro.core.config import MACHINE_EPSILON
 from repro.errors import ConfigurationError
+from repro.kernels.base import ACCUMULATION_DTYPE
 
 
 @runtime_checkable
@@ -63,16 +64,29 @@ class SparseBlockBound:
     scale: float = 1.0
 
     @classmethod
-    def from_checksum(cls, checksum: ChecksumMatrix, scale: float = 1.0) -> "SparseBlockBound":
-        """Precompute the per-block constants from the checksum metadata."""
+    def from_checksum(
+        cls,
+        checksum: ChecksumMatrix,
+        scale: float = 1.0,
+        epsilon: float = MACHINE_EPSILON,
+    ) -> "SparseBlockBound":
+        """Precompute the per-block constants from the checksum metadata.
+
+        ``epsilon`` is the unit roundoff of the storage dtype the bound
+        models (``eps_M`` in the paper); the float64 default reproduces
+        the historic behaviour bit for bit.  Narrow-storage pipelines pass
+        the value from :meth:`repro.core.dtypes.DtypePolicy.epsilon_for`.
+        """
         if scale <= 0:
             raise ConfigurationError(f"bound scale must be positive, got {scale}")
-        n_k = checksum.nonempty_columns.astype(np.float64)
-        lengths = checksum.partition.block_lengths().astype(np.float64)
+        if epsilon <= 0:
+            raise ConfigurationError(f"bound epsilon must be positive, got {epsilon}")
+        n_k = checksum.nonempty_columns.astype(ACCUMULATION_DTYPE)
+        lengths = checksum.partition.block_lengths().astype(ACCUMULATION_DTYPE)
         constants = (
             (n_k + 2.0 * lengths - 2.0) * checksum.row_norm_sums
             + n_k * checksum.checksum_norms
-        ) * MACHINE_EPSILON
+        ) * epsilon
         return cls(constants=constants, scale=scale)
 
     def thresholds(self, beta: float, blocks: np.ndarray | None = None) -> np.ndarray:
@@ -101,14 +115,23 @@ class DenseAnalyticalBound:
     scale: float = 1.0
 
     @classmethod
-    def from_checksum(cls, checksum: ChecksumMatrix, scale: float = 1.0) -> "DenseAnalyticalBound":
+    def from_checksum(
+        cls,
+        checksum: ChecksumMatrix,
+        scale: float = 1.0,
+        epsilon: float = MACHINE_EPSILON,
+    ) -> "DenseAnalyticalBound":
         """Derive the single whole-matrix constant.
 
         Uses the full column dimension ``n`` everywhere a sparse block
         bound would use ``n_k`` — exactly the looseness the paper fixes.
+        ``epsilon`` is the storage dtype's unit roundoff, as in
+        :meth:`SparseBlockBound.from_checksum`.
         """
         if scale <= 0:
             raise ConfigurationError(f"bound scale must be positive, got {scale}")
+        if epsilon <= 0:
+            raise ConfigurationError(f"bound epsilon must be positive, got {epsilon}")
         m = float(checksum.partition.n_rows)
         n = float(checksum.matrix.n_cols)
         total_row_norms = float(checksum.row_norm_sums.sum())
@@ -117,7 +140,7 @@ class DenseAnalyticalBound:
         # dense c is their column-wise sum; the norm of the sum is bounded
         # by the root-sum-square we can compute without re-encoding).
         c_norm = float(np.sqrt(np.sum(checksum.checksum_norms**2)))
-        constant = ((n + 2.0 * m - 2.0) * total_row_norms + n * c_norm) * MACHINE_EPSILON
+        constant = ((n + 2.0 * m - 2.0) * total_row_norms + n * c_norm) * epsilon
         return cls(constant=constant, n_blocks=checksum.n_blocks, scale=scale)
 
     def thresholds(self, beta: float, blocks: np.ndarray | None = None) -> np.ndarray:
@@ -156,12 +179,23 @@ class NormBound:
         return np.full(self.n_blocks, self.scale)
 
 
-def make_bound(kind: str, checksum: ChecksumMatrix, scale: float = 1.0) -> Bound:
-    """Factory dispatching on the :class:`repro.core.config.AbftConfig` kind."""
+def make_bound(
+    kind: str,
+    checksum: ChecksumMatrix,
+    scale: float = 1.0,
+    epsilon: float = MACHINE_EPSILON,
+) -> Bound:
+    """Factory dispatching on the :class:`repro.core.config.AbftConfig` kind.
+
+    ``epsilon`` is the unit roundoff of the storage dtype (the dtype
+    policy's :meth:`~repro.core.dtypes.DtypePolicy.epsilon_for` for the
+    protected matrix); the norm bound is matrix- and dtype-independent
+    and ignores it.
+    """
     if kind == "sparse":
-        return SparseBlockBound.from_checksum(checksum, scale)
+        return SparseBlockBound.from_checksum(checksum, scale, epsilon=epsilon)
     if kind == "dense":
-        return DenseAnalyticalBound.from_checksum(checksum, scale)
+        return DenseAnalyticalBound.from_checksum(checksum, scale, epsilon=epsilon)
     if kind == "norm":
         return NormBound(n_blocks=checksum.n_blocks, scale=scale)
     raise ConfigurationError(f"unknown bound kind {kind!r}")

@@ -22,8 +22,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.checksum import ChecksumMatrix
-from repro.core.config import MACHINE_EPSILON
+from repro.core.dtypes import resolve_dtype_policy
 from repro.errors import ConfigurationError
+from repro.kernels.base import ACCUMULATION_DTYPE
 from repro.sparse.csr import CsrMatrix
 
 #: Default multiplier on the largest observed rounding syndrome.  Sampling
@@ -55,6 +56,7 @@ class EmpiricalBound:
         seed: int = 0,
         safety: float = DEFAULT_SAFETY_FACTOR,
         weight_kind: str = "ones",
+        dtype: object = None,
     ) -> "EmpiricalBound":
         """Run ``samples`` clean SpMVs and record per-block syndrome peaks.
 
@@ -62,6 +64,11 @@ class EmpiricalBound:
         covers the scale range the bound will face (``|s|/beta`` is scale
         free for linear operators, but the exponent spread exercises
         different rounding patterns).
+
+        ``dtype`` selects the dtype policy whose epsilon model floors the
+        never-exceeded blocks (None resolves the usual policy chain); the
+        floor tracks the *matrix storage* dtype, so float32 data gets a
+        float32-scaled floor automatically.
 
         Raises:
             ConfigurationError: on non-positive samples/safety.
@@ -72,7 +79,7 @@ class EmpiricalBound:
             raise ConfigurationError(f"safety must be positive, got {safety}")
         checksum = ChecksumMatrix.build(matrix, block_size, weight_kind)
         rng = np.random.default_rng(seed)
-        peaks = np.zeros(checksum.n_blocks, dtype=np.float64)
+        peaks = np.zeros(checksum.n_blocks, dtype=ACCUMULATION_DTYPE)
         for _ in range(samples):
             b = rng.standard_normal(matrix.n_cols) * 10.0 ** rng.integers(-3, 4)
             beta = float(np.linalg.norm(b))
@@ -85,8 +92,9 @@ class EmpiricalBound:
             np.maximum(peaks, syndrome / beta, out=peaks)
         # Blocks whose syndrome never rose above zero still need a non-zero
         # threshold (exact-zero comparisons are brittle): floor at a few ulps
-        # of the block's checksum magnitude.
-        floor = MACHINE_EPSILON * np.maximum(checksum.checksum_norms, 1.0)
+        # of the block's checksum magnitude, in the storage dtype's epsilon.
+        epsilon = resolve_dtype_policy(explicit=dtype).epsilon_for(matrix.dtype)
+        floor = epsilon * np.maximum(checksum.checksum_norms, 1.0)
         constants = safety * np.maximum(peaks, floor)
         return cls(constants=constants, samples=samples, safety=safety)
 

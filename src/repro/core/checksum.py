@@ -24,6 +24,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.core.blocking import BlockPartition
 from repro.kernels import DEFAULT_KERNEL, resolve_kernels
+from repro.kernels.base import ACCUMULATION_DTYPE
 from repro.obs import resolve_telemetry
 
 if TYPE_CHECKING:  # pragma: no cover - annotations only
@@ -48,7 +49,10 @@ def make_weights(
     per-block ``"linear"`` ramp (name, instance, or None for the default).
     """
     if kind == "ones":
-        return np.ones(partition.n_rows, dtype=np.float64)
+        # Weights live on the accumulation side of the pipeline: float64
+        # under every builtin dtype policy, so the checksum matrix (and
+        # therefore t1/t2) accumulates wide even for narrow storage.
+        return np.ones(partition.n_rows, dtype=ACCUMULATION_DTYPE)
     if kind == "linear":
         return resolve_kernels(kernel).linear_weights(partition)
     if kind == "random":
@@ -137,7 +141,7 @@ class ChecksumMatrix:
             partition=partition,
             weights=weights,
             nonempty_columns=nonempty.astype(np.int64),
-            row_norm_sums=np.asarray(row_norm_sums, dtype=np.float64),
+            row_norm_sums=np.asarray(row_norm_sums, dtype=ACCUMULATION_DTYPE),
             checksum_norms=checksum_norms,
             setup_cost=setup_cost,
             source_nnz=source.nnz,

@@ -76,6 +76,14 @@ class AbftConfig:
             overrides *configured* names process-wide; an explicit
             ``sparse_format=`` argument to a planned entry point beats
             both.  Unplanned multiplies always run CSR.
+        dtype: registered dtype-policy name (see :mod:`repro.core.dtypes`):
+            ``"float64"``, ``"float32"``, or ``"bfloat16"``.  The policy
+            governs the epsilon model of the rounding-error bounds, the
+            dtype explicit data constructions use, and whether values are
+            quantized to an emulated narrow grid.  None keeps the library
+            default (``"float64"``).  The ``REPRO_DTYPE`` environment
+            variable overrides *configured* names process-wide; an
+            explicit ``dtype=`` argument to an entry point beats both.
     """
 
     block_size: int = DEFAULT_BLOCK_SIZE
@@ -89,6 +97,7 @@ class AbftConfig:
     scheme: Optional[str] = None
     parallel: Optional[str] = None
     sparse_format: Optional[str] = None
+    dtype: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.block_size < 1:
@@ -135,3 +144,8 @@ class AbftConfig:
             from repro.sparse.formats import canonical_format_name
 
             canonical_format_name(self.sparse_format)
+        if self.dtype is not None:
+            # Lazy import: mirrors the other registry validations above.
+            from repro.core.dtypes import canonical_dtype_name
+
+            canonical_dtype_name(self.dtype)

@@ -18,6 +18,7 @@ from repro.core.blocking import BlockPartition
 from repro.core.bounds import Bound, make_bound
 from repro.core.checksum import ChecksumMatrix
 from repro.core.config import AbftConfig
+from repro.core.dtypes import DtypePolicy, resolve_dtype_policy
 from repro.errors import ShapeMismatchError
 from repro.kernels import resolve_kernels
 from repro.obs import Telemetry, resolve_telemetry
@@ -83,6 +84,12 @@ class NearMiss:
 #: Callback type of the detector's near-miss hook.
 NearMissHook = Callable[[NearMiss], None]
 
+#: Callback type of the detector's report hook: receives every
+#: evaluation's :class:`DetectionReport` plus the per-position exceeded
+#: mask (aligned with ``report.blocks``).  Adaptive-threshold schemes
+#: use it to learn the clean-syndrome distribution online.
+ReportHook = Callable[[DetectionReport, np.ndarray], None]
+
 
 class BlockAbftDetector:
     """Detector bound to one input matrix (the reusable, per-matrix part).
@@ -100,6 +107,8 @@ class BlockAbftDetector:
         bound_override: Bound | None = None,
         telemetry: object = None,
         near_miss_hook: Optional[NearMissHook] = None,
+        dtype: object = None,
+        report_hook: Optional[ReportHook] = None,
     ) -> None:
         """Args:
             matrix: the input matrix to protect.
@@ -115,6 +124,14 @@ class BlockAbftDetector:
                 clean block whose syndrome margin reaches
                 ``config.near_miss_fraction`` of its bound; fires
                 regardless of whether telemetry is enabled.
+            dtype: dtype-policy selection (name or
+                :class:`~repro.core.dtypes.DtypePolicy`); None resolves
+                ``config.dtype`` (``REPRO_DTYPE`` env override applies).
+                The policy supplies the unit roundoff the analytical
+                bound assumes for the matrix's storage dtype.
+            report_hook: called with every evaluation's
+                :class:`DetectionReport` and exceeded mask; the feedback
+                channel of adaptive-threshold schemes (``vabft``).
         """
         self.matrix = matrix
         self.config = config or AbftConfig()
@@ -122,6 +139,11 @@ class BlockAbftDetector:
             telemetry if telemetry is not None else self.config.telemetry
         )
         self.near_miss_hook = near_miss_hook
+        self.report_hook = report_hook
+        self.dtype_policy: DtypePolicy = resolve_dtype_policy(
+            self.config.dtype, dtype
+        )
+        self.epsilon = self.dtype_policy.epsilon_for(matrix.dtype)
         self.kernels = self.telemetry.wrap_kernels(resolve_kernels(self.config.kernel))
         self.checksum = ChecksumMatrix.build(
             matrix,
@@ -137,7 +159,10 @@ class BlockAbftDetector:
             self.bound = bound_override
         else:
             self.bound = make_bound(
-                self.config.bound, self.checksum, self.config.bound_scale
+                self.config.bound,
+                self.checksum,
+                self.config.bound_scale,
+                epsilon=self.epsilon,
             )
 
     # ------------------------------------------------------------------
@@ -210,7 +235,11 @@ class BlockAbftDetector:
             blocks=blocks,
             beta=beta,
         )
-        if self.telemetry.enabled or self.near_miss_hook is not None:
+        if (
+            self.telemetry.enabled
+            or self.near_miss_hook is not None
+            or self.report_hook is not None
+        ):
             self._record_report(report, exceeded)
         return report
 
@@ -219,10 +248,14 @@ class BlockAbftDetector:
 
         :class:`repro.perf.ProtectedPlan` evaluates the invariant in its
         own preallocated buffers and hands the outcome here so telemetry
-        and the near-miss hook observe exactly what :meth:`compare` would
-        have emitted.  No-op when neither is active.
+        and the hooks observe exactly what :meth:`compare` would have
+        emitted.  No-op when none is active.
         """
-        if self.telemetry.enabled or self.near_miss_hook is not None:
+        if (
+            self.telemetry.enabled
+            or self.near_miss_hook is not None
+            or self.report_hook is not None
+        ):
             self._record_report(report, exceeded)
 
     def _record_report(self, report: DetectionReport, exceeded: np.ndarray) -> None:
@@ -232,8 +265,12 @@ class BlockAbftDetector:
         ``|syndrome| / threshold``), the check/detection counters, and —
         for clean blocks whose margin reaches the configured near-miss
         fraction — bumps ``abft.false_positive_candidates`` and invokes
-        the near-miss hook.
+        the near-miss hook.  The report hook (when set) sees every
+        evaluation first, before any filtering.
         """
+        observer = self.report_hook
+        if observer is not None:
+            observer(report, exceeded)
         with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
             margins = np.abs(report.syndrome) / report.thresholds
         telemetry = self.telemetry

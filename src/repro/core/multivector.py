@@ -24,8 +24,10 @@ from repro.core.blocking import BlockPartition
 from repro.core.bounds import SparseBlockBound
 from repro.core.checksum import ChecksumMatrix
 from repro.core.corrector import TamperHook
+from repro.core.dtypes import coerce_array, resolve_dtype_policy
 from repro.errors import ConfigurationError, ShapeMismatchError
 from repro.kernels import resolve_kernels
+from repro.obs import resolve_telemetry
 from repro.machine import (
     ExecutionMeter,
     Machine,
@@ -73,6 +75,11 @@ class ProtectedSpMM:
         max_rounds: correction round budget.
         kernel: :mod:`repro.kernels` selection (name, instance, or None
             for the configured default).
+        dtype: dtype-policy selection (name or policy); supplies the
+            epsilon model of the per-block bound and the working dtype
+            operands are coerced to.
+        telemetry: :mod:`repro.obs` selection recording operand dtype
+            coercions (None = default exporter).
     """
 
     def __init__(
@@ -82,6 +89,8 @@ class ProtectedSpMM:
         machine: Optional[Machine] = None,
         max_rounds: int = 8,
         kernel: object = None,
+        dtype: object = None,
+        telemetry: object = None,
     ) -> None:
         if block_size < 1:
             raise ConfigurationError(f"block_size must be >= 1, got {block_size}")
@@ -92,8 +101,12 @@ class ProtectedSpMM:
         self.machine = machine or Machine()
         self.max_rounds = max_rounds
         self.kernels = resolve_kernels(kernel)
+        self.telemetry = resolve_telemetry(telemetry)
+        self.dtype_policy = resolve_dtype_policy(explicit=dtype)
         self.checksum = ChecksumMatrix.build(matrix, block_size, "ones", self.kernels)
-        self.bound = SparseBlockBound.from_checksum(self.checksum)
+        self.bound = SparseBlockBound.from_checksum(
+            self.checksum, epsilon=self.dtype_policy.epsilon_for(matrix.dtype)
+        )
 
     @property
     def partition(self) -> BlockPartition:
@@ -165,7 +178,13 @@ class ProtectedSpMM:
         segments for ``"corrected"``.
         """
         matrix = self.matrix
-        b = np.asarray(b, dtype=np.float64)
+        b = coerce_array(
+            b,
+            matrix.data.dtype,
+            site="spmm.operand",
+            telemetry=self.telemetry,
+            reason="operand block joins the matrix storage dtype",
+        )
         if b.ndim != 2 or b.shape[0] != matrix.n_cols:
             raise ShapeMismatchError(
                 f"operand block has shape {b.shape}, expected ({matrix.n_cols}, k)"

@@ -117,6 +117,11 @@ class FaultTolerantSpMV:
         bound_override: optional object exposing ``thresholds(beta, blocks)``
             replacing the analytical detection bound (e.g. an
             :class:`~repro.analysis.empirical.EmpiricalBound`).
+        dtype: dtype-policy selection (name or
+            :class:`~repro.core.dtypes.DtypePolicy`); None resolves
+            ``config.dtype`` with the ``REPRO_DTYPE`` environment
+            override.  The policy feeds the detector's epsilon model and
+            keys the cached execution plan.
     """
 
     #: Registry name in :mod:`repro.schemes` (the paper's scheme).
@@ -130,6 +135,7 @@ class FaultTolerantSpMV:
         machine: Optional[Machine] = None,
         telemetry: object = None,
         bound_override: object = None,
+        dtype: object = None,
     ) -> None:
         if config is not None and block_size is not None and config.block_size != block_size:
             raise ConfigurationError(
@@ -141,7 +147,8 @@ class FaultTolerantSpMV:
         self.config = config
         self.machine = machine or Machine()
         self.detector = BlockAbftDetector(
-            matrix, config, bound_override=bound_override, telemetry=telemetry
+            matrix, config, bound_override=bound_override, telemetry=telemetry,
+            dtype=dtype,
         )
         self._plan: Optional["ProtectedPlan"] = None
 
@@ -149,6 +156,11 @@ class FaultTolerantSpMV:
     def telemetry(self) -> Telemetry:
         """The telemetry stream shared with the detector."""
         return self.detector.telemetry
+
+    @property
+    def dtype_policy(self):
+        """The resolved dtype policy (shared with the detector)."""
+        return self.detector.dtype_policy
 
     @property
     def matrix(self) -> CsrMatrix:
@@ -338,6 +350,7 @@ class FaultTolerantSpMV:
             plan is not None
             and plan.n_shards == n_shards
             and plan.format_choice.requested == requested
+            and plan.dtype_policy.name == self.dtype_policy.name
             and not plan.backend.closed
         ):
             if self.telemetry.enabled:

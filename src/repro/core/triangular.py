@@ -27,7 +27,9 @@ from repro.core.blocking import BlockPartition
 from repro.core.bounds import SparseBlockBound
 from repro.core.checksum import ChecksumMatrix
 from repro.core.corrector import TamperHook
+from repro.core.dtypes import coerce_array, resolve_dtype_policy
 from repro.errors import ConfigurationError, ShapeMismatchError, SingularMatrixError
+from repro.obs import resolve_telemetry
 from repro.machine import (
     ExecutionMeter,
     Machine,
@@ -89,6 +91,10 @@ class ProtectedTriangularSolve:
         machine: simulated device.
         bound_scale: widening factor on the SpMV-derived rounding bound.
         max_rounds: re-solve round budget.
+        dtype: dtype-policy selection (name or policy); supplies the
+            epsilon model of the bound and the dtype the rhs joins.
+        telemetry: :mod:`repro.obs` selection recording rhs dtype
+            coercions (None = default exporter).
     """
 
     def __init__(
@@ -98,6 +104,8 @@ class ProtectedTriangularSolve:
         machine: Optional[Machine] = None,
         bound_scale: float = DEFAULT_BOUND_SCALE,
         max_rounds: int = 8,
+        dtype: object = None,
+        telemetry: object = None,
     ) -> None:
         if lower.shape[0] != lower.shape[1]:
             raise ShapeMismatchError(f"need a square matrix, got {lower.shape}")
@@ -113,8 +121,14 @@ class ProtectedTriangularSolve:
         self.block_size = block_size
         self.machine = machine or Machine()
         self.max_rounds = max_rounds
+        self.telemetry = resolve_telemetry(telemetry)
+        self.dtype_policy = resolve_dtype_policy(explicit=dtype)
         self.checksum = ChecksumMatrix.build(lower, block_size, "ones")
-        self.bound = SparseBlockBound.from_checksum(self.checksum, scale=bound_scale)
+        self.bound = SparseBlockBound.from_checksum(
+            self.checksum,
+            scale=bound_scale,
+            epsilon=self.dtype_policy.epsilon_for(lower.dtype),
+        )
 
     @property
     def partition(self) -> BlockPartition:
@@ -169,7 +183,13 @@ class ProtectedTriangularSolve:
     ) -> TriangularSolveResult:
         """Execute one protected forward solve (tamper contract as SpMV)."""
         lower = self.lower
-        rhs = np.asarray(rhs, dtype=np.float64)
+        rhs = coerce_array(
+            rhs,
+            lower.data.dtype,
+            site="trisolve.rhs",
+            telemetry=self.telemetry,
+            reason="rhs joins the matrix storage dtype",
+        )
         if rhs.shape != (lower.n_rows,):
             raise ShapeMismatchError(
                 f"rhs has shape {rhs.shape}, expected ({lower.n_rows},)"
@@ -178,7 +198,7 @@ class ProtectedTriangularSolve:
         start_seconds, start_flops = meter.snapshot()
         meter.run_graph(self._solve_graph())
 
-        x = np.empty(lower.n_rows, dtype=np.float64)
+        x = np.empty(lower.n_rows, dtype=lower.data.dtype)
         forward_substitution(lower, rhs, x)
         if tamper is not None:
             tamper("result", x, 2.0 * lower.nnz)

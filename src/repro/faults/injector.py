@@ -52,6 +52,11 @@ class FaultInjector:
             ``abft.detections / faults.injections``.
     """
 
+    #: Redraws allowed before giving up on a burst that keeps rounding
+    #: away in the target vector's storage dtype (narrow-dtype targets
+    #: only; float64 storage never redraws).
+    MAX_STORAGE_ATTEMPTS = 100
+
     rng: np.random.Generator
     mean_bits: float = BURST_MEAN_BITS
     variance_bits: float = BURST_VARIANCE_BITS
@@ -87,28 +92,49 @@ class FaultInjector:
         """Corrupt ``vector[index]`` in place; returns the injection record.
 
         Args:
-            vector: float64 vector to corrupt (modified in place).
+            vector: float vector to corrupt (modified in place; any float
+                storage dtype — the burst is drawn in float64 and resampled
+                until it survives rounding into the vector's dtype).
             index: element to hit.
             target: label stored in the record (e.g. ``"result"``).
             sigma: if given, resample bursts until the corruption exceeds
                 the minimal error significance σ.
         """
-        if vector.dtype != np.float64:
-            raise InjectionError(f"can only corrupt float64 vectors, got {vector.dtype}")
+        if not np.issubdtype(vector.dtype, np.floating):
+            raise InjectionError(f"can only corrupt float vectors, got {vector.dtype}")
         if not 0 <= index < vector.size:
             raise InjectionError(f"index {index} out of range for size {vector.size}")
         original = float(vector[index])
         burst: Optional[Burst]
-        if self.model is not None:
-            corrupted, burst = self._corrupt_with_model(original, sigma)
-        elif sigma is None:
-            corrupted, burst = corrupt_value(
-                original, self.rng, self.mean_bits, self.variance_bits
-            )
+        for _ in range(self.MAX_STORAGE_ATTEMPTS):
+            if self.model is not None:
+                corrupted, burst = self._corrupt_with_model(original, sigma)
+            elif sigma is None:
+                corrupted, burst = corrupt_value(
+                    original, self.rng, self.mean_bits, self.variance_bits
+                )
+            else:
+                corrupted, burst = corrupt_significantly(original, self.rng, sigma)
+            # What lands in the vector is the burst *after* storage
+            # rounding; on narrow dtypes a float64-significant burst can
+            # round back to the original (or lose its significance), which
+            # would charge the detector with a miss for an error that never
+            # existed.  float64 storage keeps the value bit-identical, so
+            # the first draw always passes and the RNG stream is unchanged.
+            with np.errstate(over="ignore"):  # f32 overflow -> inf is a visible burst
+                stored = float(np.asarray(corrupted, dtype=vector.dtype))
+            if stored != original and (
+                sigma is None or is_significant(original, stored, sigma)
+            ):
+                break
         else:
-            corrupted, burst = corrupt_significantly(original, self.rng, sigma)
-        vector[index] = corrupted
-        record = Injection(target, index, original, corrupted, burst)
+            self._observe_injection(target, attempted_only=True)
+            raise InjectionError(
+                f"no burst on {original!r} survived rounding into "
+                f"{vector.dtype} in {self.MAX_STORAGE_ATTEMPTS} attempts"
+            )
+        vector[index] = stored
+        record = Injection(target, index, original, stored, burst)
         self.log.append(record)
         self._observe_injection(target)
         return record

@@ -51,6 +51,15 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (annotations only)
 #: Environment variable that overrides the configured kernel-set name.
 KERNEL_ENV_VAR = "REPRO_KERNELS"
 
+#: Dtype of the checksum side of every pipeline: weights, checksum rows,
+#: ``t1``/``t2``, syndromes and thresholds.  Every builtin
+#: :class:`repro.core.dtypes.DtypePolicy` accumulates in float64 — narrow
+#: *storage* changes the working dtype of values and operands, never the
+#: precision the detection arithmetic runs in.  Kernels allocate their
+#: checksum-side buffers from this constant so the contract lives in one
+#: place instead of scattered ``np.float64`` literals.
+ACCUMULATION_DTYPE = np.dtype(np.float64)
+
 #: Kernel set used when neither a name nor the environment selects one.
 DEFAULT_KERNEL = "vectorized"
 
@@ -116,12 +125,13 @@ def segment_sums(
 
     Empty segments yield 0 (``np.add.reduceat`` alone would repeat the
     next segment's leading element instead).  ``out``, when given, must be
-    a float64 array of length ``offsets.size - 1``; it is overwritten and
-    returned, avoiding the allocation on planned hot paths.
+    an array of length ``offsets.size - 1`` in the pipeline's working
+    dtype; it is overwritten and returned, avoiding the allocation on
+    planned hot paths.
     """
     n_segments = offsets.size - 1
     if out is None:
-        out = np.zeros(max(n_segments, 0), dtype=np.float64)
+        out = np.zeros(max(n_segments, 0), dtype=values.dtype)
     else:
         out[:] = 0.0
     if values.size == 0 or n_segments == 0:

@@ -26,7 +26,7 @@ from typing import TYPE_CHECKING, Tuple
 
 import numpy as np
 
-from repro.kernels.base import KernelSet, Tamper, validate_blocks
+from repro.kernels.base import ACCUMULATION_DTYPE, KernelSet, Tamper, validate_blocks
 from repro.kernels.naive import NaiveKernels
 from repro.kernels.vectorized import VectorizedKernels
 
@@ -92,7 +92,7 @@ class _FormatRecomputeMixin(KernelSet):
         self, csr: "CsrMatrix", rows: np.ndarray, b: np.ndarray
     ) -> Tuple[np.ndarray, int]:
         rows = validate_blocks(rows, csr.shape[0])
-        values = np.empty(rows.size, dtype=np.float64)
+        values = np.empty(rows.size, dtype=ACCUMULATION_DTYPE)
         nnz = 0
         for i, row in enumerate(rows):
             row = int(row)

@@ -14,7 +14,12 @@ from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
 
-from repro.kernels.base import KernelSet, Tamper, validate_blocks
+from repro.kernels.base import (
+    ACCUMULATION_DTYPE,
+    KernelSet,
+    Tamper,
+    validate_blocks,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (annotations only)
     from repro.core.blocking import BlockPartition
@@ -28,9 +33,9 @@ class NaiveKernels(KernelSet):
 
     # -- weights / encoding ------------------------------------------------
     def linear_weights(self, partition: "BlockPartition") -> np.ndarray:
-        weights = np.empty(partition.n_rows, dtype=np.float64)
+        weights = np.empty(partition.n_rows, dtype=ACCUMULATION_DTYPE)
         for _, start, stop in partition:
-            weights[start:stop] = np.arange(1, stop - start + 1, dtype=np.float64)
+            weights[start:stop] = np.arange(1, stop - start + 1, dtype=ACCUMULATION_DTYPE)
         return weights
 
     def encode(
@@ -53,7 +58,7 @@ class NaiveKernels(KernelSet):
             indptr[block + 1] = indptr[block] + present.size
             if present.size == 0:
                 continue
-            accumulator = np.zeros(source.n_cols, dtype=np.float64)
+            accumulator = np.zeros(source.n_cols, dtype=ACCUMULATION_DTYPE)
             entry_rows = np.repeat(
                 np.arange(start, stop, dtype=np.int64),
                 np.diff(source.indptr[start : stop + 1]),
@@ -65,7 +70,7 @@ class NaiveKernels(KernelSet):
             (partition.n_blocks, source.n_cols),
             indptr,
             np.concatenate(columns) if columns else np.empty(0, dtype=np.int64),
-            np.concatenate(values) if values else np.empty(0, dtype=np.float64),
+            np.concatenate(values) if values else np.empty(0, dtype=ACCUMULATION_DTYPE),
         )
 
     # -- detection ---------------------------------------------------------
@@ -80,7 +85,7 @@ class NaiveKernels(KernelSet):
         # The per-block dots need no scratch vector; ``workspace`` is
         # accepted for interface parity and ignored.
         if out is None:
-            out = np.empty(partition.n_blocks, dtype=np.float64)
+            out = np.empty(partition.n_blocks, dtype=ACCUMULATION_DTYPE)
         with np.errstate(invalid="ignore", over="ignore"):
             for block, start, stop in partition:
                 # reprolint: disable=ABFT002 -- this dot IS the reference
@@ -98,7 +103,7 @@ class NaiveKernels(KernelSet):
     ) -> np.ndarray:
         blocks = validate_blocks(blocks, partition.n_blocks)
         if out is None:
-            out = np.empty(blocks.size, dtype=np.float64)
+            out = np.empty(blocks.size, dtype=ACCUMULATION_DTYPE)
         with np.errstate(invalid="ignore", over="ignore"):
             for i, block in enumerate(blocks):
                 start, stop = partition.bounds(int(block))
@@ -111,7 +116,7 @@ class NaiveKernels(KernelSet):
         self, t1: np.ndarray, t2: np.ndarray, thresholds: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray]:
         n = len(t1)
-        syndrome = np.empty(n, dtype=np.float64)
+        syndrome = np.empty(n, dtype=ACCUMULATION_DTYPE)
         exceeded = np.zeros(n, dtype=bool)
         for i in range(n):
             s = float(t1[i]) - float(t2[i])
@@ -147,7 +152,7 @@ class NaiveKernels(KernelSet):
         self, csr: "CsrMatrix", rows: np.ndarray, b: np.ndarray
     ) -> Tuple[np.ndarray, int]:
         rows = validate_blocks(rows, csr.n_rows)
-        values = np.empty(rows.size, dtype=np.float64)
+        values = np.empty(rows.size, dtype=ACCUMULATION_DTYPE)
         nnz = 0
         for i, row in enumerate(rows):
             row = int(row)
@@ -162,7 +167,7 @@ class NaiveKernels(KernelSet):
         partition: "BlockPartition",
         weights: Optional[np.ndarray] = None,
     ) -> np.ndarray:
-        out = np.empty((partition.n_blocks, r.shape[1]), dtype=np.float64)
+        out = np.empty((partition.n_blocks, r.shape[1]), dtype=ACCUMULATION_DTYPE)
         with np.errstate(invalid="ignore", over="ignore"):
             for block, start, stop in partition:
                 segment = r[start:stop]
@@ -182,7 +187,7 @@ class NaiveKernels(KernelSet):
         weights: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         blocks = validate_blocks(blocks, partition.n_blocks)
-        out = np.empty((blocks.size, r.shape[1]), dtype=np.float64)
+        out = np.empty((blocks.size, r.shape[1]), dtype=ACCUMULATION_DTYPE)
         with np.errstate(invalid="ignore", over="ignore"):
             for i, block in enumerate(blocks):
                 start, stop = partition.bounds(int(block))
@@ -199,7 +204,7 @@ class NaiveKernels(KernelSet):
         self, t1: np.ndarray, t2: np.ndarray, thresholds: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray]:
         n_blocks, k = np.shape(t1)
-        syndrome = np.empty((n_blocks, k), dtype=np.float64)
+        syndrome = np.empty((n_blocks, k), dtype=ACCUMULATION_DTYPE)
         flags = np.zeros((n_blocks, k), dtype=bool)
         for i in range(n_blocks):
             for j in range(k):

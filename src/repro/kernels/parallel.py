@@ -35,7 +35,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.kernels.base import Tamper, validate_blocks
+from repro.kernels.base import ACCUMULATION_DTYPE, Tamper, validate_blocks
 from repro.kernels.vectorized import VectorizedKernels, _check_operand
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (annotations only)
@@ -170,7 +170,7 @@ class ParallelKernels(VectorizedKernels):
                 weights, r, partition, out=out, workspace=workspace
             )
         if out is None:
-            out = np.empty(n_blocks, dtype=np.float64)
+            out = np.empty(n_blocks, dtype=ACCUMULATION_DTYPE)
         starts = partition.block_starts()
         cuts = self._cuts(starts)
 
@@ -208,7 +208,7 @@ class ParallelKernels(VectorizedKernels):
                 weights, r, partition, blocks, out=out
             )
         if out is None:
-            out = np.empty(blocks.size, dtype=np.float64)
+            out = np.empty(blocks.size, dtype=ACCUMULATION_DTYPE)
         cuts = self._cuts(_work_prefix(span))
 
         def shard(i: int) -> None:
@@ -273,7 +273,7 @@ class ParallelKernels(VectorizedKernels):
         if self._serial(total, rows.size):
             return super().row_checksums(csr, rows, b)
         b = _check_operand(csr, b)
-        values = np.empty(rows.size, dtype=np.float64)
+        values = np.empty(rows.size, dtype=ACCUMULATION_DTYPE)
         cuts = self._cuts(_work_prefix(work))
         counts: List[int] = [0] * (cuts.size - 1)
 
@@ -299,7 +299,7 @@ class ParallelKernels(VectorizedKernels):
         n_blocks = partition.n_blocks
         if n_blocks == 0 or self._serial(r.size, n_blocks):
             return super().result_checksums_multi(r, partition, weights)
-        out = np.empty((n_blocks, r.shape[1]), dtype=np.float64)
+        out = np.empty((n_blocks, r.shape[1]), dtype=ACCUMULATION_DTYPE)
         starts = partition.block_starts()
         cuts = self._cuts(starts)
 
@@ -333,7 +333,7 @@ class ParallelKernels(VectorizedKernels):
             return super().result_checksums_multi_for_blocks(
                 r, partition, blocks, weights
             )
-        out = np.empty((blocks.size, r.shape[1]), dtype=np.float64)
+        out = np.empty((blocks.size, r.shape[1]), dtype=ACCUMULATION_DTYPE)
         cuts = self._cuts(_work_prefix(span))
 
         def shard(i: int) -> None:

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.errors import ShapeMismatchError
 from repro.kernels.base import (
+    ACCUMULATION_DTYPE,
     KernelSet,
     Tamper,
     flat_segment_indices,
@@ -30,7 +31,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (annotations only)
 
 
 def _check_operand(matrix: "CsrMatrix", b: np.ndarray) -> np.ndarray:
-    b = np.asarray(b, dtype=np.float64)
+    # The operand joins the matrix's working dtype: float64 checksum
+    # matrices keep the historic float64 coercion, float32 storage keeps
+    # the multiply narrow.
+    b = np.asarray(b, dtype=matrix.data.dtype)
     if b.shape != (matrix.n_cols,):
         raise ShapeMismatchError(
             f"operand has shape {b.shape}, expected ({matrix.n_cols},)"
@@ -46,9 +50,9 @@ class VectorizedKernels(KernelSet):
     # -- weights / encoding ------------------------------------------------
     def linear_weights(self, partition: "BlockPartition") -> np.ndarray:
         if partition.n_rows == 0:
-            return np.empty(0, dtype=np.float64)
+            return np.empty(0, dtype=ACCUMULATION_DTYPE)
         starts = partition.block_starts()[:-1]
-        ramp = np.arange(partition.n_rows, dtype=np.float64)
+        ramp = np.arange(partition.n_rows, dtype=ACCUMULATION_DTYPE)
         return ramp - np.repeat(starts, partition.block_lengths()) + 1.0
 
     def encode(
@@ -79,7 +83,7 @@ class VectorizedKernels(KernelSet):
         workspace: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         if partition.n_blocks == 0:
-            return out if out is not None else np.empty(0, dtype=np.float64)
+            return out if out is not None else np.empty(0, dtype=ACCUMULATION_DTYPE)
         # Corrupted results may contain inf/NaN; they must propagate into
         # the checksums silently (detection flags them downstream).
         with np.errstate(invalid="ignore", over="ignore"):
@@ -107,7 +111,7 @@ class VectorizedKernels(KernelSet):
     ) -> np.ndarray:
         blocks = validate_blocks(blocks, partition.n_blocks)
         if blocks.size == 0:
-            return out if out is not None else np.empty(0, dtype=np.float64)
+            return out if out is not None else np.empty(0, dtype=ACCUMULATION_DTYPE)
         starts = partition.block_starts()
         indices, offsets = flat_segment_indices(starts[blocks], starts[blocks + 1])
         with np.errstate(invalid="ignore", over="ignore"):
@@ -117,7 +121,7 @@ class VectorizedKernels(KernelSet):
         self, t1: np.ndarray, t2: np.ndarray, thresholds: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray]:
         with np.errstate(invalid="ignore", over="ignore"):
-            syndrome = np.asarray(t1, dtype=np.float64) - t2
+            syndrome = np.asarray(t1, dtype=ACCUMULATION_DTYPE) - t2
             exceeded = np.abs(syndrome) > thresholds
             exceeded |= ~np.isfinite(syndrome)
         return syndrome, exceeded
@@ -173,7 +177,7 @@ class VectorizedKernels(KernelSet):
         weights: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         if partition.n_blocks == 0:
-            return np.empty((0, r.shape[1]), dtype=np.float64)
+            return np.empty((0, r.shape[1]), dtype=ACCUMULATION_DTYPE)
         with np.errstate(invalid="ignore", over="ignore"):
             values = r if weights is None else weights[:, None] * r
             # reprolint: disable=ABFT002 -- left-to-right segment order is the
@@ -189,7 +193,7 @@ class VectorizedKernels(KernelSet):
     ) -> np.ndarray:
         blocks = validate_blocks(blocks, partition.n_blocks)
         if blocks.size == 0:
-            return np.empty((0, r.shape[1]), dtype=np.float64)
+            return np.empty((0, r.shape[1]), dtype=ACCUMULATION_DTYPE)
         starts = partition.block_starts()
         indices, offsets = flat_segment_indices(starts[blocks], starts[blocks + 1])
         with np.errstate(invalid="ignore", over="ignore"):

@@ -6,6 +6,7 @@ from repro.lint.rules.abft import (
     ChecksumRefreshRule,
     DtypeDowncastRule,
     ExactFloatCompareRule,
+    Float64LiteralRule,
     MissingValidationRule,
     ReductionOrderRule,
     SchemeConstructionRule,
@@ -21,6 +22,7 @@ __all__ = [
     "ReductionOrderRule",
     "ExactFloatCompareRule",
     "DtypeDowncastRule",
+    "Float64LiteralRule",
     "BroadExceptRule",
     "MissingValidationRule",
     "SchemeConstructionRule",

@@ -1,4 +1,4 @@
-"""The built-in ABFT rule pack (ABFT001-ABFT007, ABFT013).
+"""The built-in ABFT rule pack (ABFT001-ABFT007, ABFT013, ABFT014).
 
 Each rule statically enforces one protocol invariant of the block-ABFT
 scheme (Schoell et al., DSN 2016) that the runtime cannot check for
@@ -47,6 +47,10 @@ FLOAT_SENSITIVE_NAME = re.compile(
 
 #: Narrow dtypes a silent ``astype`` must not downcast to (ABFT004).
 NARROW_DTYPES = frozenset({"float32", "float16", "half", "single"})
+
+#: Spellings of the accumulation dtype a hot path must not hardcode
+#: (ABFT014) — the dtype policy owns them.
+FLOAT64_LITERALS = frozenset({"np.float64", "numpy.float64", "float64"})
 
 #: Parameter names that select a configuration variant and therefore need
 #: a validation-error path (ABFT006).
@@ -288,12 +292,23 @@ class DtypeDowncastRule(LintRule):
     rule_id = "ABFT004"
     title = "silent dtype downcast below float64"
     rationale = (
-        "The paper's bounds are derived for eps_M = 2^-53 (Section III-C); "
-        "a float32 intermediate inflates rounding error by 2^29 over the "
-        "modeled epsilon, so real errors hide inside the threshold."
+        "The bounds assume the unit roundoff of the *declared* storage "
+        "dtype (Section III-C derives eps_M = 2^-53 for float64); a "
+        "downcast outside the dtype policy inflates rounding error past "
+        "the modeled epsilon, so real errors hide inside the threshold.  "
+        "Narrow storage is supported — but only routed through "
+        "repro.core.dtypes (DtypePolicy / coerce_array), which keeps the "
+        "epsilon model and the telemetry record in sync with the data."
     )
 
+    #: The dtype-policy module — the one sanctioned home of narrow-dtype
+    #: construction (builtin policies, quantizers, coerce_array).
+    POLICY_MODULE = ("core", "dtypes.py")
+
     def check(self, module: ModuleContext) -> Iterator[Finding]:
+        parts = tuple(module.display_path.replace("\\", "/").split("/"))
+        if parts[-2:] == self.POLICY_MODULE:
+            return
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.Call):
                 continue
@@ -304,8 +319,10 @@ class DtypeDowncastRule(LintRule):
                         self.rule_id,
                         node,
                         f"astype({dtype}) silently downcasts below float64; "
-                        "checksum bounds assume eps_M = 2^-53 — keep float64 "
-                        "or suppress with an explicit opt-in reason",
+                        "route narrow storage through the dtype policy "
+                        "(repro.core.dtypes coerce_array / DtypePolicy) so "
+                        "the epsilon model follows, or suppress with an "
+                        "explicit opt-in reason",
                     )
                     continue
             dotted = dotted_name(node.func)
@@ -314,7 +331,8 @@ class DtypeDowncastRule(LintRule):
                     self.rule_id,
                     node,
                     f"{dotted}(...) constructs a sub-float64 value on the "
-                    "checksum path; keep float64 or opt in explicitly",
+                    "checksum path; use the dtype policy or opt in "
+                    "explicitly",
                 )
                 continue
             for keyword in node.keywords:
@@ -333,6 +351,75 @@ class DtypeDowncastRule(LintRule):
             return node.value if node.value in NARROW_DTYPES else ""
         name = terminal_name(node)
         return name if name in NARROW_DTYPES else ""
+
+
+class Float64LiteralRule(LintRule):
+    """ABFT014: raw np.float64 coercions in core/kernels hot paths."""
+
+    rule_id = "ABFT014"
+    title = "hardcoded float64 coercion in a dtype-generic hot path"
+    rationale = (
+        "Since the dtype-generic refactor the core and kernel hot paths "
+        "carry the matrix storage dtype and accumulate in "
+        "ACCUMULATION_DTYPE; a raw np.float64 in a function body silently "
+        "widens float32/bfloat16 pipelines back to double — hiding the "
+        "precision the experiment was supposed to measure — and pins the "
+        "accumulation side in scattered literals instead of the one "
+        "policy-owned constant."
+    )
+
+    #: The dtype-policy module defines the float64 policy itself.
+    POLICY_MODULE = ("core", "dtypes.py")
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        parts = tuple(module.display_path.replace("\\", "/").split("/"))
+        if "core" not in parts and "kernels" not in parts:
+            return
+        if parts[-2:] == self.POLICY_MODULE:
+            return
+        for function, _stack in module.functions():
+            assert isinstance(function, (ast.FunctionDef, ast.AsyncFunctionDef))
+            for node in ast.walk(function):
+                if not isinstance(node, ast.Call):
+                    continue
+                label = self._float64_coercion(node)
+                if label:
+                    yield module.finding(
+                        self.rule_id,
+                        node,
+                        f"{label} hardcodes float64 in a hot-path function; "
+                        "use ACCUMULATION_DTYPE (kernels/base.py) for "
+                        "checksum accumulators, the matrix storage dtype "
+                        "for data buffers, or the resolved DtypePolicy — "
+                        "module-level constants are the place for raw "
+                        "float64 literals",
+                    )
+
+    @staticmethod
+    def _float64_coercion(node: ast.Call) -> str:
+        """Return a display label when ``node`` coerces via a raw float64
+        literal (``astype(np.float64)``, ``dtype=np.float64``,
+        ``np.float64(...)`` and their string spellings)."""
+
+        def is_float64(expr: ast.expr) -> str:
+            if isinstance(expr, ast.Constant) and expr.value == "float64":
+                return '"float64"'
+            name = dotted_name(expr) or terminal_name(expr)
+            return name if name in FLOAT64_LITERALS else ""
+
+        if terminal_name(node.func) == "astype" and node.args:
+            spelled = is_float64(node.args[0])
+            if spelled:
+                return f"astype({spelled})"
+        dotted = dotted_name(node.func)
+        if dotted in ("np.float64", "numpy.float64"):
+            return f"{dotted}(...)"
+        for keyword in node.keywords:
+            if keyword.arg == "dtype":
+                spelled = is_float64(keyword.value)
+                if spelled:
+                    return f"dtype={spelled}"
+        return ""
 
 
 class BroadExceptRule(LintRule):
@@ -584,4 +671,5 @@ ABFT_RULES: Tuple[LintRule, ...] = (
     MissingValidationRule(),
     SchemeConstructionRule(),
     TelemetryGuardRule(),
+    Float64LiteralRule(),
 )

@@ -128,14 +128,15 @@ class _BsrShard:
         br, bc = storage.block_shape
         b0, b1 = r0 // br, -(-r1 // br)
         lo, hi = int(storage.indptr[b0]), int(storage.indptr[b1])
+        dtype = storage.data.dtype
         self.segment = segment
         self.offset = r0 - b0 * br
         self.n_rows = r1 - r0
         self.indices = storage.indices[lo:hi]
         self.data = storage.data[lo:hi]
-        self.tiles = np.empty((hi - lo, bc), dtype=np.float64)
-        self.prod = np.empty((hi - lo, br), dtype=np.float64)
-        self.out2d = np.zeros((b1 - b0, br), dtype=np.float64)
+        self.tiles = np.empty((hi - lo, bc), dtype=dtype)
+        self.prod = np.empty((hi - lo, br), dtype=dtype)
+        self.out2d = np.zeros((b1 - b0, br), dtype=dtype)
         local_ptr = storage.indptr[b0 : b1 + 1] - lo
         nonempty = np.diff(local_ptr) > 0
         if bool(nonempty.all()):
@@ -145,7 +146,7 @@ class _BsrShard:
         else:
             self.scatter = np.flatnonzero(nonempty).astype(np.int64)
             self.starts = local_ptr[:-1][nonempty].astype(np.int64)
-            self.reduced = np.empty((self.scatter.size, br), dtype=np.float64)
+            self.reduced = np.empty((self.scatter.size, br), dtype=dtype)
 
     def execute(self, bview: np.ndarray) -> None:
         """``bview`` is the padded operand reshaped ``(n_block_cols, bc)``."""
@@ -177,7 +178,7 @@ class _EllShard:
         self.segment = segment
         self.indices = storage.indices[r0:r1]
         self.data = storage.data[r0:r1]
-        self.workspace = np.empty(self.indices.shape, dtype=np.float64)
+        self.workspace = np.empty(self.indices.shape, dtype=storage.data.dtype)
 
     def execute(self, b: np.ndarray) -> None:
         if self.indices.size == 0:
@@ -248,7 +249,11 @@ class SpmvPlan:
                 )
         self.matrix = matrix
         self.row_cuts = row_cuts
-        self.out = self._buffer("out", out, matrix.n_rows)
+        # Working buffers live in the matrix's storage dtype, so a planned
+        # float32 multiply is bit-identical to the unplanned one (and a
+        # float64 plan keeps its historic layout byte for byte).
+        self.dtype = matrix.data.dtype
+        self.out = self._buffer("out", out, matrix.n_rows, self.dtype)
         if storage is not None and getattr(storage, "format_name", "csr") == "csr":
             storage = None
         self.storage = storage
@@ -260,7 +265,9 @@ class SpmvPlan:
         self.workspace: Optional[np.ndarray] = None
         self._shards: List[object] = []
         if storage is None:
-            self.workspace = self._buffer("workspace", workspace, matrix.nnz)
+            self.workspace = self._buffer(
+                "workspace", workspace, matrix.nnz, self.dtype
+            )
             self._build_csr_shards(row_cuts)
             return
         if workspace is not None:
@@ -276,7 +283,7 @@ class SpmvPlan:
         if self.sparse_format == "bsr":
             bc = storage.block_shape[1]
             self._padded = np.zeros(
-                storage.n_block_cols * bc, dtype=np.float64
+                storage.n_block_cols * bc, dtype=storage.data.dtype
             )
             self._bview = self._padded.reshape(storage.n_block_cols, bc)
             self._shards = [
@@ -322,7 +329,7 @@ class SpmvPlan:
             else:
                 scatter = np.flatnonzero(nonempty).astype(np.int64)
                 starts = (indptr[r0:r1][nonempty] - lo).astype(np.int64)
-                reduced = np.empty(scatter.size, dtype=np.float64)
+                reduced = np.empty(scatter.size, dtype=self.dtype)
             self._shards.append(
                 _SpmvShard(
                     row_start=r0,
@@ -338,12 +345,17 @@ class SpmvPlan:
             )
 
     @staticmethod
-    def _buffer(name: str, provided: Optional[np.ndarray], size: int) -> np.ndarray:
+    def _buffer(
+        name: str,
+        provided: Optional[np.ndarray],
+        size: int,
+        dtype: np.dtype,
+    ) -> np.ndarray:
         if provided is None:
-            return np.empty(size, dtype=np.float64)
-        if provided.shape != (size,) or provided.dtype != np.float64:
+            return np.empty(size, dtype=dtype)
+        if provided.shape != (size,) or provided.dtype != dtype:
             raise ConfigurationError(
-                f"provided {name} buffer must be float64 of shape ({size},); "
+                f"provided {name} buffer must be {dtype} of shape ({size},); "
                 f"got {provided.dtype} {provided.shape}"
             )
         return provided
@@ -362,7 +374,7 @@ class SpmvPlan:
 
     def check_operand(self, b: np.ndarray) -> np.ndarray:
         """Validate ``b`` once (``execute_shard`` skips validation)."""
-        b = np.asarray(b, dtype=np.float64)
+        b = np.asarray(b, dtype=self.dtype)
         if b.shape != (self.matrix.n_cols,):
             raise ShapeMismatchError(
                 f"operand has shape {b.shape}, expected ({self.matrix.n_cols},)"
@@ -458,13 +470,18 @@ class FusedShardBuffers:
         self.storage = storage
         # Non-CSR storage keeps its scratch shard-private inside SpmvPlan;
         # the flat nnz workspace is a CSR-only buffer.  The checksum
-        # multiply below always stays CSR regardless of storage.
+        # multiply below always stays CSR regardless of storage.  Working
+        # buffers (result + product scratch) follow the matrix storage
+        # dtype; every checksum-side buffer stays in the accumulation
+        # dtype (the checksum matrix is always encoded float64).
+        working = str(matrix.data.dtype)
+        accumulation = str(checksum_matrix.data.dtype)
         self.spmv = SpmvPlan(
             matrix,
             row_cuts=block_starts[block_cuts],
-            out=alloc("r", (matrix.n_rows,), "float64"),
+            out=alloc("r", (matrix.n_rows,), working),
             workspace=(
-                alloc("r_workspace", (matrix.nnz,), "float64")
+                alloc("r_workspace", (matrix.nnz,), working)
                 if storage is None
                 else None
             ),
@@ -473,8 +490,8 @@ class FusedShardBuffers:
         self.checksum_spmv = SpmvPlan(
             checksum_matrix,
             row_cuts=block_cuts,
-            out=alloc("t1", (n_blocks,), "float64"),
-            workspace=alloc("c_workspace", (checksum_matrix.nnz,), "float64"),
+            out=alloc("t1", (n_blocks,), accumulation),
+            workspace=alloc("c_workspace", (checksum_matrix.nnz,), accumulation),
         )
         self.t2 = alloc("t2", (n_blocks,), "float64")
         self.t2_workspace = alloc("t2_workspace", (matrix.n_rows,), "float64")
@@ -629,6 +646,9 @@ class ProtectedPlan:
         n_blocks = partition.n_blocks
         self.operator = operator
         self.n_shards = n_shards
+        # The resolved policy keys the operator's plan cache: a plan built
+        # for one precision contract is never reused under another.
+        self.dtype_policy = detector.dtype_policy
 
         block_starts = partition.block_starts()
         self.block_cuts = shard_blocks(matrix.indptr, block_starts, n_shards)

@@ -159,20 +159,24 @@ def plan_arena_layout(
     Field names match the ``alloc`` names used by
     :class:`~repro.perf.plan.FusedShardBuffers`, plus the static CSR
     triplets, the operand slot ``b``, the result ring and the per-shard
-    wall-clock diagnostics.
+    wall-clock diagnostics.  Working fields (matrix data, operand,
+    result, product scratch) are sized by the matrix storage dtype —
+    a float32 plan's arena is roughly half the float64 footprint —
+    while every checksum-side field stays in the accumulation dtype.
     """
+    working = str(matrix.data.dtype)
     return ArenaLayout.build(
         [
             ("a_indptr", (matrix.n_rows + 1,), "int64"),
             ("a_indices", (matrix.nnz,), "int64"),
-            ("a_data", (matrix.nnz,), "float64"),
+            ("a_data", (matrix.nnz,), working),
             ("c_indptr", (checksum.n_rows + 1,), "int64"),
             ("c_indices", (checksum.nnz,), "int64"),
-            ("c_data", (checksum.nnz,), "float64"),
+            ("c_data", (checksum.nnz,), str(checksum.data.dtype)),
             ("weights", (matrix.n_rows,), "float64"),
-            ("b", (matrix.n_cols,), "float64"),
-            ("r", (matrix.n_rows,), "float64"),
-            ("r_workspace", (matrix.nnz,), "float64"),
+            ("b", (matrix.n_cols,), working),
+            ("r", (matrix.n_rows,), working),
+            ("r_workspace", (matrix.nnz,), working),
             ("t1", (n_blocks,), "float64"),
             ("c_workspace", (checksum.nnz,), "float64"),
             ("t2", (n_blocks,), "float64"),

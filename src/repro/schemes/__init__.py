@@ -15,7 +15,8 @@ behind one registry with one driver contract:
   :mod:`repro.kernels` and the :mod:`repro.obs` exporters.
 
 Built-ins: ``abft`` (the paper's scheme), ``dense_check``, ``complete``,
-``bisection``, ``checkpoint``, ``redundancy`` (DWC) and ``tmr``.
+``bisection``, ``checkpoint``, ``redundancy`` (DWC), ``tmr`` and
+``vabft`` (block-ABFT with online variance-adaptive thresholds).
 Campaigns, sweeps, the CLI and :func:`repro.solvers.ft_pcg.run_pcg`
 resolve schemes exclusively through this registry.
 """
@@ -47,6 +48,7 @@ register_scheme("complete", _builtins.make_complete, overwrite=True)
 register_scheme("dense_check", _builtins.make_dense_check, overwrite=True)
 register_scheme("redundancy", _builtins.make_redundancy, overwrite=True)
 register_scheme("tmr", _builtins.make_tmr, overwrite=True)
+register_scheme("vabft", _builtins.make_vabft, overwrite=True)
 
 __all__ = [
     "ProtectedSpmvResult",

@@ -61,6 +61,55 @@ def make_abft(
     )
 
 
+def make_vabft(
+    matrix: "CsrMatrix",
+    *,
+    config: "AbftConfig",
+    machine: "Machine",
+    telemetry: "Telemetry",
+    **options: object,
+) -> ProtectionScheme:
+    """Variance-adaptive block-ABFT
+    (:class:`repro.schemes.vabft.VarianceAdaptiveSpMV`).
+
+    Options: ``k_sigma`` (float), ``min_samples`` (int), ``warmup`` (int)
+    — see the scheme class for semantics; defaults are the module
+    constants in :mod:`repro.schemes.vabft`.
+    """
+    _reject_unknown("vabft", options, ("k_sigma", "min_samples", "warmup"))
+    from repro.schemes.vabft import (
+        DEFAULT_K_SIGMA,
+        DEFAULT_MIN_SAMPLES,
+        DEFAULT_WARMUP,
+        VarianceAdaptiveSpMV,
+    )
+
+    k_sigma = options.get("k_sigma", DEFAULT_K_SIGMA)
+    if not isinstance(k_sigma, (int, float)) or isinstance(k_sigma, bool):
+        raise ConfigurationError(
+            f"k_sigma must be a number, got {type(k_sigma).__name__}"
+        )
+    min_samples = options.get("min_samples", DEFAULT_MIN_SAMPLES)
+    if not isinstance(min_samples, int) or isinstance(min_samples, bool):
+        raise ConfigurationError(
+            f"min_samples must be an int, got {type(min_samples).__name__}"
+        )
+    warmup = options.get("warmup", DEFAULT_WARMUP)
+    if not isinstance(warmup, int) or isinstance(warmup, bool):
+        raise ConfigurationError(
+            f"warmup must be an int, got {type(warmup).__name__}"
+        )
+    return VarianceAdaptiveSpMV(
+        matrix,
+        config=config,
+        machine=machine,
+        telemetry=telemetry,
+        k_sigma=float(k_sigma),
+        min_samples=min_samples,
+        warmup=warmup,
+    )
+
+
 def make_bisection(
     matrix: "CsrMatrix",
     *,

@@ -48,6 +48,7 @@ BUILTIN_SCHEMES = (
     "dense_check",
     "redundancy",
     "tmr",
+    "vabft",
 )
 
 #: Scheme triple of the paper's correction comparison (Figure 6):

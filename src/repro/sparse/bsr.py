@@ -32,7 +32,7 @@ import numpy as np
 
 from repro.errors import ShapeMismatchError, SparseFormatError
 from repro.sparse.coo import CooMatrix
-from repro.sparse.csr import CsrMatrix
+from repro.sparse.csr import CsrMatrix, storage_dtype
 
 BlockShape = Union[int, Tuple[int, int]]
 
@@ -64,8 +64,9 @@ class BsrMatrix:
             owns the tile range ``[indptr[i], indptr[i+1])``.
         indices: int64 array of block-column ids, sorted within each block
             row.
-        data: float64 tile array of shape ``(n_tiles, br, bc)``; fill
-            slots hold 0.0.
+        data: float64 or float32 tile array of shape ``(n_tiles, br, bc)``;
+            fill slots hold 0.0 (the storage dtype round-trips through
+            CSR/COO conversions).
         mask: bool array of shape ``(n_tiles, br, bc)``; True where the
             slot holds a real (stored) entry — including explicit zeros,
             so CSR round trips are exact.
@@ -89,7 +90,7 @@ class BsrMatrix:
         self.block_shape = _normalize_block_shape(block_shape)
         self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
         self.indices = np.ascontiguousarray(indices, dtype=np.int64)
-        self.data = np.ascontiguousarray(data, dtype=np.float64)
+        self.data = np.ascontiguousarray(data, dtype=storage_dtype(data))
         if mask is None:
             # reprolint: disable=ABFT003 -- structural default: without an
             # explicit mask, exactly the nonzero slots count as entries
@@ -170,6 +171,11 @@ class BsrMatrix:
         return int(self.mask.sum())
 
     @property
+    def dtype(self) -> np.dtype:
+        """Storage dtype of the tile values (the pipeline's working dtype)."""
+        return self.data.dtype
+
+    @property
     def fill_ratio(self) -> float:
         """Fraction of stored tile slots holding real entries (1.0 = dense
         tiles, the regime where BSR beats CSR)."""
@@ -230,7 +236,7 @@ class BsrMatrix:
         key = brow * max(nbc, 1) + bcol
         uniq = np.unique(key)
         n_tiles = int(uniq.size)
-        data = np.zeros((n_tiles, br, bc), dtype=np.float64)
+        data = np.zeros((n_tiles, br, bc), dtype=csr.data.dtype)
         mask = np.zeros((n_tiles, br, bc), dtype=bool)
         if n_tiles:
             tile_id = np.searchsorted(uniq, key)
@@ -271,17 +277,18 @@ class BsrMatrix:
     def padded_operand(self, b: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
         """Copy ``b`` into a ``(n_block_cols * bc,)`` zero-padded buffer.
 
-        ``out``, when given, must be float64 of exactly that length with
-        its tail already zeroed; it is the planned path's reusable buffer.
+        ``out``, when given, must be in the storage dtype, of exactly that
+        length, with its tail already zeroed; it is the planned path's
+        reusable buffer.
         """
-        b = np.asarray(b, dtype=np.float64)
+        b = np.asarray(b, dtype=self.data.dtype)
         if b.shape != (self.n_cols,):
             raise ShapeMismatchError(
                 f"operand has shape {b.shape}, expected ({self.n_cols},)"
             )
         padded = self.n_block_cols * self.block_shape[1]
         if out is None:
-            out = np.zeros(padded, dtype=np.float64)
+            out = np.zeros(padded, dtype=self.data.dtype)
         out[: self.n_cols] = b
         return out
 
@@ -337,12 +344,12 @@ class BsrMatrix:
         lo = int(self.indptr[block_row_start])
         hi = int(self.indptr[block_row_stop])
         n_local = block_row_stop - block_row_start
-        out2d = np.zeros((n_local, br), dtype=np.float64)
+        out2d = np.zeros((n_local, br), dtype=self.data.dtype)
         if hi == lo or n_local == 0:
             return out2d
         bview = padded_b.reshape(self.n_block_cols, bc)
         tiles = bview[self.indices[lo:hi]]
-        prod = np.empty((hi - lo, br), dtype=np.float64)
+        prod = np.empty((hi - lo, br), dtype=self.data.dtype)
         np.einsum("nij,nj->ni", self.data[lo:hi], tiles, out=prod)
         local_ptr = self.indptr[block_row_start : block_row_stop + 1] - lo
         lengths = np.diff(local_ptr)

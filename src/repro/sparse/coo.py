@@ -15,6 +15,7 @@ from typing import Iterable, Tuple
 import numpy as np
 
 from repro.errors import ShapeMismatchError, SparseFormatError
+from repro.sparse.csr import storage_dtype
 
 
 @dataclass(frozen=True)
@@ -25,7 +26,9 @@ class CooMatrix:
         shape: ``(n_rows, n_cols)`` of the logical matrix.
         row: int64 array of row indices, one per stored entry.
         col: int64 array of column indices, one per stored entry.
-        data: float64 array of values, one per stored entry.
+        data: float64 or float32 array of values, one per stored entry
+            (float input keeps its precision; other dtypes coerce to
+            float64 — see :func:`repro.sparse.csr.storage_dtype`).
 
     Duplicate ``(row, col)`` pairs are permitted and are summed when the
     matrix is converted to CSR, matching the usual finite-element assembly
@@ -43,7 +46,7 @@ class CooMatrix:
             raise SparseFormatError(f"negative dimension in shape {self.shape}")
         row = np.ascontiguousarray(self.row, dtype=np.int64)
         col = np.ascontiguousarray(self.col, dtype=np.int64)
-        data = np.ascontiguousarray(self.data, dtype=np.float64)
+        data = np.ascontiguousarray(self.data, dtype=storage_dtype(self.data))
         if not (row.shape == col.shape == data.shape) or row.ndim != 1:
             raise SparseFormatError(
                 "row, col and data must be 1-D arrays of equal length; got "
@@ -83,7 +86,7 @@ class CooMatrix:
     @classmethod
     def from_dense(cls, dense: np.ndarray) -> "CooMatrix":
         """Build a COO matrix holding every non-zero of a dense 2-D array."""
-        dense = np.asarray(dense, dtype=np.float64)
+        dense = np.asarray(dense, dtype=storage_dtype(dense))
         if dense.ndim != 2:
             raise ShapeMismatchError(f"expected a 2-D array, got ndim={dense.ndim}")
         row, col = np.nonzero(dense)
@@ -97,6 +100,11 @@ class CooMatrix:
         """Number of stored entries (duplicates counted separately)."""
         return int(self.data.size)
 
+    @property
+    def dtype(self) -> np.dtype:
+        """Storage dtype of the matrix values."""
+        return self.data.dtype
+
     def transpose(self) -> "CooMatrix":
         """Return the transpose (swaps row/col index arrays; O(1) copies)."""
         return CooMatrix(
@@ -104,8 +112,8 @@ class CooMatrix:
         )
 
     def to_dense(self) -> np.ndarray:
-        """Materialize as a dense float64 array, summing duplicates."""
-        out = np.zeros(self.shape, dtype=np.float64)
+        """Materialize as a dense array in the storage dtype, summing duplicates."""
+        out = np.zeros(self.shape, dtype=self.data.dtype)
         np.add.at(out, (self.row, self.col), self.data)
         return out
 
@@ -122,7 +130,7 @@ class CooMatrix:
         first = np.ones(row.size, dtype=bool)
         first[1:] = (row[1:] != row[:-1]) | (col[1:] != col[:-1])
         group = np.cumsum(first) - 1
-        summed = np.zeros(int(group[-1]) + 1, dtype=np.float64)
+        summed = np.zeros(int(group[-1]) + 1, dtype=self.data.dtype)
         np.add.at(summed, group, data)
         return CooMatrix(self.shape, row[first], col[first], summed)
 

@@ -25,6 +25,21 @@ from repro.errors import ShapeMismatchError, SparseFormatError
 #: are processed in column chunks instead of densifying all at once.
 MATMAT_CHUNK_ELEMENTS = 1 << 24
 
+#: Storage dtypes a sparse matrix carries as-is.  Anything else (ints,
+#: float16, ...) is coerced to float64 at construction, which preserves
+#: the historic behavior for every pre-dtype-policy caller.
+SUPPORTED_STORAGE_DTYPES = (np.dtype(np.float64), np.dtype(np.float32))
+
+
+def storage_dtype(values: np.ndarray) -> np.dtype:
+    """The dtype a sparse format stores ``values`` in.
+
+    float32 and float64 round-trip unchanged; every other dtype coerces
+    to float64 (the paper's baseline precision).
+    """
+    dtype = np.asarray(values).dtype
+    return dtype if dtype in SUPPORTED_STORAGE_DTYPES else np.dtype(np.float64)
+
 
 def _segment_sums(
     values: np.ndarray,
@@ -36,11 +51,12 @@ def _segment_sums(
 
     Segment ``i`` covers ``values[indptr[i]:indptr[i+1]]``; empty segments
     yield 0.  This is the reduction at the heart of every CSR row operation
-    (SpMV row sums, row norms, row counts).  ``out``, when given, must be a
-    float64 array of length ``n_segments``; it is overwritten and returned.
+    (SpMV row sums, row norms, row counts).  ``out``, when given, must be an
+    array of length ``n_segments`` (the working dtype of the pipeline); it
+    is overwritten and returned.
     """
     if out is None:
-        out = np.zeros(n_segments, dtype=np.float64)
+        out = np.zeros(n_segments, dtype=values.dtype)
     else:
         out[:] = 0.0
     if values.size == 0:
@@ -95,7 +111,9 @@ class CsrMatrix:
         indptr: int64 array of length ``n_rows + 1``; row ``i`` owns the
             entry range ``[indptr[i], indptr[i+1])``.
         indices: int64 array of column indices, sorted within each row.
-        data: float64 array of values aligned with ``indices``.
+        data: float64 or float32 array of values aligned with ``indices``
+            (:func:`storage_dtype`: float input keeps its precision, every
+            other dtype coerces to float64).
     """
 
     __slots__ = ("shape", "indptr", "indices", "data", "_entry_rows", "_row_lengths")
@@ -110,7 +128,7 @@ class CsrMatrix:
         self.shape = (int(shape[0]), int(shape[1]))
         self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
         self.indices = np.ascontiguousarray(indices, dtype=np.int64)
-        self.data = np.ascontiguousarray(data, dtype=np.float64)
+        self.data = np.ascontiguousarray(data, dtype=storage_dtype(data))
         self._entry_rows: np.ndarray | None = None
         self._row_lengths: np.ndarray | None = None
         self._validate()
@@ -150,6 +168,11 @@ class CsrMatrix:
     def nnz(self) -> int:
         """Number of stored entries."""
         return int(self.data.size)
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Storage dtype of the matrix values (the pipeline's working dtype)."""
+        return self.data.dtype
 
     @property
     def n_rows(self) -> int:
@@ -207,9 +230,10 @@ class CsrMatrix:
 
         The buffered path computes bit-identical values to the allocating
         path (elementwise multiply is commutative; the segment reduction
-        is shared).
+        is shared).  The operand is coerced to the matrix's storage dtype:
+        the working precision of an SpMV follows the data it multiplies.
         """
-        b = np.asarray(b, dtype=np.float64)
+        b = np.asarray(b, dtype=self.data.dtype)
         if b.shape != (self.n_cols,):
             raise ShapeMismatchError(
                 f"operand has shape {b.shape}, expected ({self.n_cols},)"
@@ -246,7 +270,7 @@ class CsrMatrix:
         :meth:`matvec`.
         """
         row_start, row_stop = self._check_row_range(row_start, row_stop)
-        b = np.asarray(b, dtype=np.float64)
+        b = np.asarray(b, dtype=self.data.dtype)
         if b.shape != (self.n_cols,):
             raise ShapeMismatchError(
                 f"operand has shape {b.shape}, expected ({self.n_cols},)"
@@ -277,26 +301,26 @@ class CsrMatrix:
         :data:`MATMAT_CHUNK_ELEMENTS` elements; chunking is invisible
         numerically (each column reduces independently).
         """
-        b = np.asarray(b, dtype=np.float64)
+        b = np.asarray(b, dtype=self.data.dtype)
         if b.ndim != 2 or b.shape[0] != self.n_cols:
             raise ShapeMismatchError(
                 f"operand block has shape {b.shape}, expected ({self.n_cols}, k)"
             )
-        out = np.zeros((self.n_rows, b.shape[1]), dtype=np.float64)
+        out = np.zeros((self.n_rows, b.shape[1]), dtype=self.data.dtype)
         _spmm_chunked(self.data, self.indices, self.indptr, b, out)
         return out
 
     def matmat_rows(self, row_start: int, row_stop: int, b: np.ndarray) -> np.ndarray:
         """Partial SpMM over rows ``[row_start, row_stop)`` (correction kernel)."""
         row_start, row_stop = self._check_row_range(row_start, row_stop)
-        b = np.asarray(b, dtype=np.float64)
+        b = np.asarray(b, dtype=self.data.dtype)
         if b.ndim != 2 or b.shape[0] != self.n_cols:
             raise ShapeMismatchError(
                 f"operand block has shape {b.shape}, expected ({self.n_cols}, k)"
             )
         lo, hi = self.indptr[row_start], self.indptr[row_stop]
         local_indptr = self.indptr[row_start : row_stop + 1] - lo
-        out = np.zeros((row_stop - row_start, b.shape[1]), dtype=np.float64)
+        out = np.zeros((row_stop - row_start, b.shape[1]), dtype=self.data.dtype)
         _spmm_chunked(self.data[lo:hi], self.indices[lo:hi], local_indptr, b, out)
         return out
 
@@ -311,13 +335,19 @@ class CsrMatrix:
         return np.bincount(self.indices, weights=weighted, minlength=self.n_cols)
 
     def row_norms(self) -> np.ndarray:
-        """Euclidean norm of every row (the ``||a_i||_2`` of the error bound)."""
-        return np.sqrt(_segment_sums(self.data**2, self.indptr, self.n_rows))
+        """Euclidean norm of every row (the ``||a_i||_2`` of the error bound).
+
+        Squared and summed in float64 regardless of the storage dtype:
+        row norms feed the detection bound (the accumulation side of the
+        pipeline), and float32 squares overflow at ``|a_ij| > ~1.8e19``.
+        """
+        squares = np.square(self.data, dtype=np.float64)
+        return np.sqrt(_segment_sums(squares, self.indptr, self.n_rows))
 
     def diagonal(self) -> np.ndarray:
         """Main-diagonal entries as a dense vector (zeros where unstored)."""
         n = min(self.shape)
-        diag = np.zeros(n, dtype=np.float64)
+        diag = np.zeros(n, dtype=self.data.dtype)
         rows = self.entry_rows()
         on_diag = rows == self.indices
         diag_rows = rows[on_diag]
@@ -390,8 +420,8 @@ class CsrMatrix:
         return EllMatrix.from_csr(self)
 
     def to_dense(self) -> np.ndarray:
-        """Materialize as a dense float64 array."""
-        out = np.zeros(self.shape, dtype=np.float64)
+        """Materialize as a dense array in the storage dtype."""
+        out = np.zeros(self.shape, dtype=self.data.dtype)
         out[self.entry_rows(), self.indices] = self.data
         return out
 
@@ -399,13 +429,39 @@ class CsrMatrix:
         """Return ``A^T`` as a new CSR matrix."""
         return self.to_coo().transpose().to_csr()
 
+    def astype(self, dtype: object) -> "CsrMatrix":
+        """Return a matrix with values cast to a supported storage dtype.
+
+        Returns ``self`` when the dtype already matches (the matrix is
+        immutable, so sharing is safe); raises
+        :class:`~repro.errors.SparseFormatError` for non-storage dtypes.
+        """
+        target = np.dtype(dtype)
+        if target not in SUPPORTED_STORAGE_DTYPES:
+            raise SparseFormatError(
+                f"unsupported storage dtype {target.name!r}; expected one of "
+                f"{tuple(d.name for d in SUPPORTED_STORAGE_DTYPES)}"
+            )
+        if self.data.dtype == target:
+            return self
+        return CsrMatrix(
+            self.shape,
+            self.indptr.copy(),
+            self.indices.copy(),
+            self.data.astype(target),
+        )
+
     def scaled(self, factor: float) -> "CsrMatrix":
         """Return ``factor * A`` with the same sparsity structure."""
         return CsrMatrix(self.shape, self.indptr.copy(), self.indices.copy(), self.data * factor)
 
     def with_data(self, data: np.ndarray) -> "CsrMatrix":
-        """Return a matrix with this structure but new entry values."""
-        data = np.asarray(data, dtype=np.float64)
+        """Return a matrix with this structure but new entry values.
+
+        The new values keep their own storage dtype (float32 stays
+        float32); non-float input coerces to float64 as at construction.
+        """
+        data = np.asarray(data, dtype=storage_dtype(data))
         if data.shape != self.data.shape:
             raise ShapeMismatchError(
                 f"data length {data.shape} does not match nnz {self.data.shape}"

@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.errors import ShapeMismatchError, SparseFormatError
 from repro.sparse.coo import CooMatrix
-from repro.sparse.csr import CsrMatrix
+from repro.sparse.csr import CsrMatrix, storage_dtype
 
 
 class EllMatrix:
@@ -34,7 +34,8 @@ class EllMatrix:
         shape: ``(n_rows, n_cols)``.
         indices: ``(n_rows, width)`` int64 column indices; padded slots
             hold 0 and are marked in ``mask``.
-        data: ``(n_rows, width)`` float64 values; padded slots hold 0.0.
+        data: ``(n_rows, width)`` float64 or float32 values; padded slots
+            hold 0.0 (the storage dtype round-trips through CSR).
         mask: ``(n_rows, width)`` bool; True for real entries.
     """
 
@@ -49,7 +50,7 @@ class EllMatrix:
     ) -> None:
         self.shape = (int(shape[0]), int(shape[1]))
         self.indices = np.ascontiguousarray(indices, dtype=np.int64)
-        self.data = np.ascontiguousarray(data, dtype=np.float64)
+        self.data = np.ascontiguousarray(data, dtype=storage_dtype(data))
         self.mask = np.ascontiguousarray(mask, dtype=bool)
         self._row_nnz: Optional[np.ndarray] = None
         self._validate()
@@ -84,7 +85,7 @@ class EllMatrix:
         lengths = csr.row_lengths()
         width = int(lengths.max(initial=0))
         indices = np.zeros((n_rows, width), dtype=np.int64)
-        data = np.zeros((n_rows, width), dtype=np.float64)
+        data = np.zeros((n_rows, width), dtype=csr.data.dtype)
         mask = np.zeros((n_rows, width), dtype=bool)
         if csr.nnz:
             rows = csr.entry_rows()
@@ -118,6 +119,11 @@ class EllMatrix:
     def nnz(self) -> int:
         """Real (non-padding) entries."""
         return int(self.mask.sum())
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Storage dtype of the values (the pipeline's working dtype)."""
+        return self.data.dtype
 
     @property
     def padding_ratio(self) -> float:
@@ -163,14 +169,14 @@ class EllMatrix:
         multiply commutes; the row-wise pairwise sum depends only on
         ``width``).
         """
-        b = np.asarray(b, dtype=np.float64)
+        b = np.asarray(b, dtype=self.data.dtype)
         if b.shape != (self.shape[1],):
             raise ShapeMismatchError(
                 f"operand has shape {b.shape}, expected ({self.shape[1]},)"
             )
         if self.indices.size == 0:
             if out is None:
-                return np.zeros(self.shape[0])
+                return np.zeros(self.shape[0], dtype=self.data.dtype)
             out[:] = 0.0
             return out
         if workspace is None:
@@ -200,7 +206,7 @@ class EllMatrix:
         fixed ``width``, not on which rows are computed.
         """
         row_start, row_stop = self._check_row_range(row_start, row_stop)
-        b = np.asarray(b, dtype=np.float64)
+        b = np.asarray(b, dtype=self.data.dtype)
         if b.shape != (self.shape[1],):
             raise ShapeMismatchError(
                 f"operand has shape {b.shape}, expected ({self.shape[1]},)"
@@ -208,7 +214,7 @@ class EllMatrix:
         n_local = row_stop - row_start
         if self.indices.size == 0 or n_local == 0:
             if out is None:
-                return np.zeros(n_local)
+                return np.zeros(n_local, dtype=self.data.dtype)
             out[:] = 0.0
             return out
         indices = self.indices[row_start:row_stop]

@@ -50,11 +50,15 @@ def _spd_from_offdiag(
     return CooMatrix((n, n), all_rows, all_cols, all_vals).to_csr()
 
 
-def poisson2d(nx: int, ny: int | None = None) -> CsrMatrix:
+def poisson2d(
+    nx: int, ny: int | None = None, dtype: object = np.float64
+) -> CsrMatrix:
     """Five-point finite-difference Laplacian on an ``nx`` x ``ny`` grid.
 
     Returns the standard SPD matrix with 4 on the diagonal and -1 for each
-    of the (up to four) grid neighbours.  ``n = nx * ny``.
+    of the (up to four) grid neighbours.  ``n = nx * ny``.  ``dtype``
+    selects the storage precision (assembly runs in float64 and casts
+    once at the end; the default returns the historic float64 matrix).
     """
     if nx <= 0:
         raise ConfigurationError(f"grid dimension must be positive, got nx={nx}")
@@ -80,10 +84,15 @@ def poisson2d(nx: int, ny: int | None = None) -> CsrMatrix:
     all_rows = np.concatenate([sym_rows, diag_rows])
     all_cols = np.concatenate([sym_cols, diag_rows])
     all_vals = np.concatenate([sym_vals, diag_vals])
-    return CooMatrix((n, n), all_rows, all_cols, all_vals).to_csr()
+    return CooMatrix((n, n), all_rows, all_cols, all_vals).to_csr().astype(dtype)
 
 
-def poisson3d(nx: int, ny: int | None = None, nz: int | None = None) -> CsrMatrix:
+def poisson3d(
+    nx: int,
+    ny: int | None = None,
+    nz: int | None = None,
+    dtype: object = np.float64,
+) -> CsrMatrix:
     """Seven-point finite-difference Laplacian on an ``nx*ny*nz`` grid."""
     if nx <= 0:
         raise ConfigurationError(f"grid dimension must be positive, got nx={nx}")
@@ -107,7 +116,7 @@ def poisson3d(nx: int, ny: int | None = None, nz: int | None = None) -> CsrMatri
     all_rows = np.concatenate([sym_rows, diag_rows])
     all_cols = np.concatenate([sym_cols, diag_rows])
     all_vals = np.concatenate([sym_vals, np.full(n, 6.0)])
-    return CooMatrix((n, n), all_rows, all_cols, all_vals).to_csr()
+    return CooMatrix((n, n), all_rows, all_cols, all_vals).to_csr().astype(dtype)
 
 
 def banded_spd(
@@ -116,6 +125,7 @@ def banded_spd(
     in_band_density: float = 1.0,
     seed: int | np.random.Generator = 0,
     dominance: float = 1.0,
+    dtype: object = np.float64,
 ) -> CsrMatrix:
     """Random SPD matrix whose entries live within a diagonal band.
 
@@ -125,6 +135,8 @@ def banded_spd(
         in_band_density: probability that an in-band position is non-zero.
         seed: RNG seed or generator.
         dominance: additive diagonal slack (larger means better conditioned).
+        dtype: storage precision of the returned matrix (assembly runs in
+            float64 and casts once at the end).
     """
     if n <= 0:
         raise ConfigurationError(f"dimension must be positive, got n={n}")
@@ -150,7 +162,7 @@ def banded_spd(
         rows = np.empty(0, dtype=np.int64)
         cols = np.empty(0, dtype=np.int64)
     vals = -rng.random(rows.size)  # negative off-diagonals, Laplacian-like
-    return _spd_from_offdiag(n, rows, cols, vals, dominance)
+    return _spd_from_offdiag(n, rows, cols, vals, dominance).astype(dtype)
 
 
 def random_spd(
@@ -159,6 +171,7 @@ def random_spd(
     locality: float = 0.05,
     seed: int | np.random.Generator = 0,
     dominance: float = 1.0,
+    dtype: object = np.float64,
 ) -> CsrMatrix:
     """Random SPD matrix with approximately ``nnz_target`` stored entries.
 
@@ -174,6 +187,8 @@ def random_spd(
             more banded).
         seed: RNG seed or generator.
         dominance: additive diagonal slack.
+        dtype: storage precision of the returned matrix (assembly runs in
+            float64 and casts once at the end).
     """
     if n <= 0:
         raise ConfigurationError(f"dimension must be positive, got n={n}")
@@ -211,7 +226,7 @@ def random_spd(
     rows = pair_ids // n
     cols = pair_ids % n
     vals = -rng.random(rows.size)
-    return _spd_from_offdiag(n, rows, cols, vals, dominance)
+    return _spd_from_offdiag(n, rows, cols, vals, dominance).astype(dtype)
 
 
 def block_stencil_spd(
@@ -219,6 +234,7 @@ def block_stencil_spd(
     block_edge: int,
     seed: int | np.random.Generator = 0,
     dominance: float = 1.0,
+    dtype: object = np.float64,
 ) -> CsrMatrix:
     """FEM-style block-structured SPD matrix: dense tiles on a 5-point stencil.
 
@@ -264,7 +280,7 @@ def block_stencil_spd(
     return _spd_from_offdiag(
         n_cells * block_edge, rows.ravel()[keep], cols.ravel()[keep],
         vals[keep], dominance,
-    )
+    ).astype(dtype)
 
 
 def arrowhead_spd(n: int, seed: int | np.random.Generator = 0) -> CsrMatrix:

@@ -82,6 +82,32 @@ def test_corrupt_element_validation():
         injector.corrupt_element(np.array([1], dtype=np.int64), 0)
 
 
+def test_corrupt_element_float32_survives_storage_rounding():
+    """Bursts into narrow-dtype vectors stay σ-significant *after* the
+    write: the recorded corruption is exactly the stored float32 value."""
+    injector = FaultInjector.seeded(4)
+    rng = np.random.default_rng(9)
+    for _ in range(200):
+        vec = rng.standard_normal(8).astype(np.float32)
+        original = float(vec[3])
+        record = injector.corrupt_element(vec, 3, sigma=1e-5)
+        # NaN/inf bursts are always significant; assert_array_equal is
+        # NaN-aware where == is not.
+        np.testing.assert_array_equal(record.corrupted, float(vec[3]))
+        assert is_significant(original, float(vec[3]), 1e-5)
+
+
+def test_corrupt_element_float64_is_single_draw():
+    """float64 storage rounds nothing away, so the resample loop accepts
+    the first draw — the RNG stream matches one direct burst draw."""
+    injector = FaultInjector.seeded(5)
+    vec = np.array([2.5, -1.0])
+    record = injector.corrupt_element(vec, 0, sigma=1e-10)
+    reference, _ = corrupt_significantly(2.5, np.random.default_rng(5), 1e-10)
+    assert record.corrupted == reference
+    assert vec[0] == reference
+
+
 def test_corrupt_random_element_hits_all_positions():
     injector = FaultInjector.seeded(4)
     vec = np.ones(4)

@@ -1,0 +1,21 @@
+"""Fixture: raw float64 coercions inside hot-path function bodies."""
+
+import numpy as np
+
+ACCUMULATION_DTYPE = np.dtype(np.float64)  # module-level constant is fine
+
+
+def accumulate(values):
+    return values.astype(np.float64)  # MARK:ABFT014
+
+
+def allocate(n):
+    return np.zeros(n, dtype=np.float64)  # MARK:ABFT014
+
+
+def allocate_by_name(n):
+    return np.zeros(n, dtype="float64")  # MARK:ABFT014
+
+
+def scalar(x):
+    return np.float64(x)  # MARK:ABFT014

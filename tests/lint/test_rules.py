@@ -18,6 +18,7 @@ CORPUS = {
     "ABFT005": ("abft005_bad.py", "abft005_ok.py"),
     "ABFT006": ("abft006_bad.py", "abft006_ok.py"),
     "ABFT013": ("abft013_bad.py", "abft013_ok.py"),
+    "ABFT014": ("core/abft014_bad.py", "core/abft014_ok.py"),
 }
 
 
@@ -98,6 +99,32 @@ def test_abft007_exempts_registry_and_test_paths():
         "tests/schemes/test_registry.py",
     ):
         _, findings, _ = run_abft007("abft007_bad.py", display)
+        assert findings == [], display
+
+
+def test_abft004_exempts_the_dtype_policy_module():
+    source = (FIXTURES / "abft004_bad.py").read_text(encoding="utf-8")
+    findings, _, _ = lint_source(
+        source,
+        FIXTURES / "abft004_bad.py",
+        [get_rule("ABFT004")],
+        display_path="src/repro/core/dtypes.py",
+    )
+    assert findings == []
+
+
+def test_abft014_only_applies_to_core_and_kernel_paths():
+    source = (FIXTURES / "core/abft014_bad.py").read_text(encoding="utf-8")
+    for display in (
+        "src/repro/analysis/not_core.py",
+        "src/repro/core/dtypes.py",
+    ):
+        findings, _, _ = lint_source(
+            source,
+            FIXTURES / "core/abft014_bad.py",
+            [get_rule("ABFT014")],
+            display_path=display,
+        )
         assert findings == [], display
 
 

@@ -7,7 +7,11 @@ from repro.obs import InMemoryExporter, Telemetry
 from repro.schemes import BUILTIN_SCHEMES, make_scheme
 from repro.sparse import random_spd
 
-BASELINE_SCHEMES = tuple(name for name in BUILTIN_SCHEMES if name != "abft")
+# abft and its variance-adaptive subclass share the untagged ``abft.*``
+# span/counter family; only the related-work baselines tag by scheme.
+BASELINE_SCHEMES = tuple(
+    name for name in BUILTIN_SCHEMES if name not in ("abft", "vabft")
+)
 
 
 @pytest.fixture(scope="module")
@@ -74,4 +78,15 @@ def test_abft_scheme_keeps_its_span_names(corpus):
     span_names = [
         e["name"] for e in telemetry.events() if e["type"] == "span"
     ]
+    assert "abft.multiply" in span_names
+
+
+def test_vabft_scheme_keeps_abft_spans_and_adds_warmup(corpus):
+    matrix, b = corpus
+    telemetry = Telemetry(exporter=InMemoryExporter())
+    make_scheme("vabft", matrix, telemetry=telemetry).multiply(b)
+    span_names = [
+        e["name"] for e in telemetry.events() if e["type"] == "span"
+    ]
+    assert "vabft.warmup" in span_names
     assert "abft.multiply" in span_names
